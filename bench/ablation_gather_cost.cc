@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Ablation — sensitivity of the headline SpMV result to the gather
+ * cost model (DESIGN.md section 4.4).
+ *
+ * The paper's challenge 1 rests on gathers being expensive (22+
+ * cycles best case). This sweep varies the fixed gather overhead
+ * and the per-element port occupancy and reports the VIA-CSB
+ * speedup over software CSB for each point, showing how much of the
+ * result the gather model accounts for.
+ *
+ * Usage: ablation_gather_cost [count=N] [seed=S] [max_rows=R]
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "common.hh"
+#include "cpu/machine.hh"
+#include "kernels/spmv.hh"
+#include "simcore/rng.hh"
+#include "sparse/corpus.hh"
+
+using namespace via;
+
+int
+main(int argc, char **argv)
+{
+    Config cfg = bench::parseArgs(argc, argv);
+    CorpusSpec spec;
+    spec.count = cfg.getUInt("count", 6);
+    spec.maxRows = Index(cfg.getUInt("max_rows", 2048));
+    spec.seed = cfg.getUInt("seed", 1);
+    auto corpus = buildCorpus(spec);
+
+    struct Point
+    {
+        Tick overhead;
+        Tick port_factor;
+    };
+    const Point points[] = {{0, 1}, {8, 1}, {18, 1}, {18, 2},
+                            {30, 2}};
+
+    Rng rng(44);
+    std::printf("== Ablation: gather cost vs VIA-CSB speedup ==\n");
+    std::vector<std::vector<std::string>> rows;
+    for (const Point &pt : points) {
+        MachineParams params;
+        params.core.latencies.gatherOverhead = pt.overhead;
+        params.core.latencies.gatherPortFactor = pt.port_factor;
+
+        std::vector<double> sp;
+        Rng local(44);
+        for (const auto &entry : corpus) {
+            const Csr &a = entry.matrix;
+            DenseVector x = randomVector(a.cols(), local);
+            Machine m1(params), m2(params);
+            Csb csb = Csb::fromCsr(a, kernels::viaCsbBeta(m1));
+            double base =
+                double(kernels::spmvVectorCsb(m1, csb, x).cycles);
+            double viac =
+                double(kernels::spmvViaCsb(m2, csb, x).cycles);
+            sp.push_back(base / viac);
+        }
+        rows.push_back({std::to_string(pt.overhead) + " cycles",
+                        std::to_string(pt.port_factor),
+                        bench::fmt(bench::geomean(sp)) + "x"});
+        (void)rng;
+    }
+    bench::printTable({"gather overhead", "port slots/elem",
+                       "VIA-CSB speedup"},
+                      rows);
+    return 0;
+}

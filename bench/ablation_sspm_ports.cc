@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Ablation — fine-grained SSPM port sweep (DESIGN.md section 4.2).
+ *
+ * Figure 9 samples {2, 4} ports; this sweep runs 1..8 ports at
+ * 16 KB to locate where the FIVU stops being port-bound for each
+ * kernel class (vidx.blkmul moves 3 elements per lane, so it
+ * saturates later than the 1-element vidx ops).
+ *
+ * Usage: ablation_sspm_ports [count=N] [seed=S] [max_rows=R]
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "common.hh"
+#include "cpu/machine.hh"
+#include "kernels/histogram.hh"
+#include "kernels/spmv.hh"
+#include "simcore/rng.hh"
+#include "sparse/corpus.hh"
+
+using namespace via;
+
+int
+main(int argc, char **argv)
+{
+    Config cfg = bench::parseArgs(argc, argv);
+    CorpusSpec spec;
+    spec.count = cfg.getUInt("count", 6);
+    spec.maxRows = Index(cfg.getUInt("max_rows", 2048));
+    spec.seed = cfg.getUInt("seed", 1);
+    auto corpus = buildCorpus(spec);
+
+    Rng rng(33);
+    std::vector<DenseVector> xs;
+    for (const auto &entry : corpus)
+        xs.push_back(randomVector(entry.matrix.cols(), rng));
+    auto keys = [&] {
+        std::vector<Index> k(8192);
+        for (auto &v : k)
+            v = Index(rng.below(2048));
+        return k;
+    }();
+
+    std::printf("== Ablation: SSPM port sweep (16 KB) ==\n");
+    std::vector<std::vector<std::string>> rows;
+    std::vector<double> base_spmv, base_hist;
+    for (std::uint32_t ports : {1u, 2u, 4u, 8u}) {
+        MachineParams params;
+        params.via = ViaConfig::make(16, ports);
+
+        std::vector<double> spmv;
+        for (std::size_t i = 0; i < corpus.size(); ++i) {
+            Machine m(params);
+            Csb csb = Csb::fromCsr(corpus[i].matrix,
+                                   kernels::viaCsbBeta(m));
+            spmv.push_back(double(
+                kernels::spmvViaCsb(m, csb, xs[i]).cycles));
+        }
+        Machine mh(params);
+        double hist =
+            double(kernels::histVia(mh, keys, 2048).cycles);
+
+        if (ports == 1) {
+            base_spmv = spmv;
+            base_hist = {hist};
+        }
+        std::vector<double> sp;
+        for (std::size_t i = 0; i < spmv.size(); ++i)
+            sp.push_back(base_spmv[i] / spmv[i]);
+        rows.push_back({std::to_string(ports),
+                        bench::fmt(bench::geomean(sp)) + "x",
+                        bench::fmt(base_hist[0] / hist) + "x"});
+    }
+    bench::printTable({"ports", "SpMV-CSB vs 1p", "hist vs 1p"},
+                      rows);
+    return 0;
+}

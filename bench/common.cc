@@ -1,0 +1,88 @@
+#include "common.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "simcore/log.hh"
+
+namespace via::bench
+{
+
+Csr
+makeSibling(const Csr &a, Rng &rng)
+{
+    Coo coo(a.rows(), a.cols());
+    Coo src = a.toCoo();
+    for (const Triplet &t : src.elems()) {
+        if (rng.chance(0.6))
+            coo.add(t.row, t.col, Value(rng.uniform() * 2 - 1));
+        if (rng.chance(0.4))
+            coo.add(t.row,
+                    Index(rng.below(std::uint64_t(a.cols()))),
+                    Value(rng.uniform() * 2 - 1));
+    }
+    coo.canonicalize();
+    return Csr::fromCoo(std::move(coo));
+}
+
+Config
+parseArgs(int argc, char **argv)
+{
+    std::vector<std::string> args;
+    for (int i = 1; i < argc; ++i)
+        args.emplace_back(argv[i]);
+    return Config::fromArgs(args);
+}
+
+void
+printTable(const std::vector<std::string> &header,
+           const std::vector<std::vector<std::string>> &rows)
+{
+    std::vector<std::size_t> widths(header.size());
+    for (std::size_t c = 0; c < header.size(); ++c)
+        widths[c] = header[c].size();
+    for (const auto &row : rows)
+        for (std::size_t c = 0; c < row.size() && c < widths.size();
+             ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto print_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            std::printf("%-*s  ", int(widths[c]), row[c].c_str());
+        std::printf("\n");
+    };
+
+    print_row(header);
+    std::size_t total = 0;
+    for (auto w : widths)
+        total += w + 2;
+    std::printf("%s\n", std::string(total, '-').c_str());
+    for (const auto &row : rows)
+        print_row(row);
+}
+
+std::string
+fmt(double v, int precision)
+{
+    std::ostringstream os;
+    os.setf(std::ios::fixed);
+    os.precision(precision);
+    os << v;
+    return os.str();
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    via_assert(!values.empty(), "geomean of empty set");
+    double acc = 0.0;
+    for (double v : values) {
+        via_assert(v > 0.0, "geomean needs positive values, got ", v);
+        acc += std::log(v);
+    }
+    return std::exp(acc / double(values.size()));
+}
+
+} // namespace via::bench

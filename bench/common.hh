@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Shared support for the benchmark harnesses: option parsing and
+ * paper-style table printing.
+ */
+
+#ifndef VIA_BENCH_COMMON_HH
+#define VIA_BENCH_COMMON_HH
+
+#include <string>
+#include <vector>
+
+#include "simcore/config.hh"
+#include "simcore/rng.hh"
+#include "sparse/csr.hh"
+
+namespace via::bench
+{
+
+/**
+ * A structural sibling of @p a for SpMA workloads: ~60% shared
+ * positions, ~40% fresh ones — the mix that makes merge branches
+ * unpredictable.
+ */
+Csr makeSibling(const Csr &a, Rng &rng);
+
+/** Parse argv into a Config of key=value overrides. */
+Config parseArgs(int argc, char **argv);
+
+/** Print an aligned table: header row + data rows. */
+void printTable(const std::vector<std::string> &header,
+                const std::vector<std::vector<std::string>> &rows);
+
+/** Format a double with fixed precision. */
+std::string fmt(double v, int precision = 2);
+
+/** Geometric mean of a nonempty vector of positive values. */
+double geomean(const std::vector<double> &values);
+
+} // namespace via::bench
+
+#endif // VIA_BENCH_COMMON_HH

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Figure 10 — SpMV speedup of the VIA kernels over the software
+ * implementations of the same format, bucketed by CSB block density.
+ *
+ * Paper result: CSB 4.22x average; CSR 1.25x; SPC5 1.24x;
+ * Sell-C-sigma 1.31x. Matrices are sorted by non-zeros per CSB block
+ * and split evenly into four categories; the x-axis label is the
+ * median nnz/block of each category.
+ *
+ * Usage: fig10_spmv [count=N] [seed=S] [max_rows=R] [sspm_kb=K]
+ *                   [ports=P] [corpus_dir=PATH]
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "common.hh"
+#include "cpu/machine.hh"
+#include "cpu/machine_config.hh"
+#include "kernels/runner.hh"
+#include "kernels/spmv.hh"
+#include "simcore/rng.hh"
+#include "sparse/corpus.hh"
+#include "sparse/structure_stats.hh"
+
+using namespace via;
+
+namespace
+{
+
+struct PerMatrix
+{
+    double nnzPerBlock = 0.0;
+    double spCsr = 0.0;  //!< VIA speedup over software, per format
+    double spSpc5 = 0.0;
+    double spSell = 0.0;
+    double spCsb = 0.0;       //!< vs the vectorized CSB kernel
+    double spCsbScalar = 0.0; //!< vs the scalar CSB reference
+};
+
+MachineParams
+makeParams(const Config &cfg)
+{
+    return machineParamsFrom(cfg);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Config cfg = bench::parseArgs(argc, argv);
+    MachineParams params = makeParams(cfg);
+
+    std::vector<CorpusEntry> corpus;
+    if (cfg.has("corpus_dir")) {
+        corpus = loadCorpusDir(cfg.getString("corpus_dir", ""));
+    } else {
+        CorpusSpec spec;
+        spec.count = cfg.getUInt("count", 24);
+        spec.maxRows = Index(cfg.getUInt("max_rows", 4096));
+        spec.seed = cfg.getUInt("seed", 1);
+        corpus = buildCorpus(spec);
+    }
+
+    Rng rng(1234);
+    std::vector<PerMatrix> results;
+    results.reserve(corpus.size());
+
+    for (const auto &entry : corpus) {
+        const Csr &a = entry.matrix;
+        DenseVector x = randomVector(a.cols(), rng);
+        PerMatrix pm;
+
+        auto run = [&](auto &&kernel, auto &&fmt) {
+            Machine m(params);
+            auto res = kernel(m, fmt, x);
+            return double(res.cycles);
+        };
+
+        Index beta = [&] {
+            Machine probe(params);
+            return kernels::viaCsbBeta(probe);
+        }();
+        Csb csb = Csb::fromCsr(a, beta);
+        auto vl = Index(lanesFor(params.valueType));
+        Spc5 spc5 = Spc5::fromCsr(a, vl);
+        SellCSigma sell = SellCSigma::fromCsr(a, vl, 4 * vl);
+
+        pm.nnzPerBlock = csb.meanNnzPerNonEmptyBlock();
+        pm.spCsr = run(kernels::spmvVectorCsr, a) /
+                   run(kernels::spmvViaCsr, a);
+        pm.spSpc5 = run(kernels::spmvVectorSpc5, spc5) /
+                    run(kernels::spmvViaSpc5, spc5);
+        pm.spSell = run(kernels::spmvVectorSell, sell) /
+                    run(kernels::spmvViaSell, sell);
+        double via_csb = run(kernels::spmvViaCsb, csb);
+        pm.spCsb = run(kernels::spmvVectorCsb, csb) / via_csb;
+        pm.spCsbScalar =
+            run(kernels::spmvScalarCsb, csb) / via_csb;
+        results.push_back(pm);
+        std::printf("  %-28s nnz/blk %8.1f  csr %5.2fx  spc5 %5.2fx"
+                    "  sell %5.2fx  csb %5.2fx (%5.2fx vs scalar)\n",
+                    entry.name.c_str(), pm.nnzPerBlock, pm.spCsr,
+                    pm.spSpc5, pm.spSell, pm.spCsb,
+                    pm.spCsbScalar);
+    }
+
+    // Bucket by block density as the paper does.
+    std::vector<double> keys;
+    for (const auto &r : results)
+        keys.push_back(r.nnzPerBlock);
+    auto bucket = evenBuckets(keys, 4);
+
+    std::printf("\n== Figure 10: VIA-SpMV speedup over software, by "
+                "CSB block density ==\n");
+    std::vector<std::vector<std::string>> rows;
+    std::vector<double> all_csr, all_spc5, all_sell, all_csb,
+        all_csb_s;
+    for (std::size_t cat = 0; cat < 4; ++cat) {
+        std::vector<double> med_key, csr, spc5, sell, csb, csb_s;
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            if (bucket[i] != cat)
+                continue;
+            med_key.push_back(results[i].nnzPerBlock);
+            csr.push_back(results[i].spCsr);
+            spc5.push_back(results[i].spSpc5);
+            sell.push_back(results[i].spSell);
+            csb.push_back(results[i].spCsb);
+            csb_s.push_back(results[i].spCsbScalar);
+        }
+        if (csr.empty())
+            continue;
+        all_csr.insert(all_csr.end(), csr.begin(), csr.end());
+        all_spc5.insert(all_spc5.end(), spc5.begin(), spc5.end());
+        all_sell.insert(all_sell.end(), sell.begin(), sell.end());
+        all_csb.insert(all_csb.end(), csb.begin(), csb.end());
+        all_csb_s.insert(all_csb_s.end(), csb_s.begin(),
+                         csb_s.end());
+        std::sort(med_key.begin(), med_key.end());
+        rows.push_back({"cat" + std::to_string(cat + 1) +
+                            " (nnz/blk~" +
+                            bench::fmt(med_key[med_key.size() / 2],
+                                       0) + ")",
+                        bench::fmt(bench::geomean(csr)),
+                        bench::fmt(bench::geomean(spc5)),
+                        bench::fmt(bench::geomean(sell)),
+                        bench::fmt(bench::geomean(csb)),
+                        bench::fmt(bench::geomean(csb_s))});
+    }
+    rows.push_back({"average", bench::fmt(bench::geomean(all_csr)),
+                    bench::fmt(bench::geomean(all_spc5)),
+                    bench::fmt(bench::geomean(all_sell)),
+                    bench::fmt(bench::geomean(all_csb)),
+                    bench::fmt(bench::geomean(all_csb_s))});
+    rows.push_back({"paper avg", "1.25", "1.24", "1.31", "4.22",
+                    "-"});
+    bench::printTable({"category", "CSR", "SPC5", "Sell-C-s",
+                       "CSB/vec", "CSB/scalar"},
+                      rows);
+    return 0;
+}

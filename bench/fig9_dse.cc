@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Figure 9 — design space exploration of the SSPM.
+ *
+ * Sweeps {4 KB, 16 KB} x {2, 4} ports for the three kernels and
+ * reports speedup normalized to each kernel's own 4_2p
+ * configuration, exactly as the paper's Figure 9 does.
+ *
+ * Paper: SpMV +2% (4_4p), +26% (16_2p), +33% (16_4p);
+ *        SpMA +4%, +16%, +20%;  SpMM +8%, +5%, +11%.
+ *
+ * Usage: fig9_dse [count=N] [seed=S] [max_rows=R] [spmm_rows=R2]
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "common.hh"
+#include "cpu/machine.hh"
+#include "kernels/spma.hh"
+#include "kernels/spmm.hh"
+#include "kernels/spmv.hh"
+#include "simcore/rng.hh"
+#include "sparse/corpus.hh"
+
+using namespace via;
+
+namespace
+{
+
+struct Cfg
+{
+    const char *name;
+    std::uint64_t kb;
+    std::uint32_t ports;
+};
+
+const Cfg configs[] = {
+    {"4_2p", 4, 2},
+    {"4_4p", 4, 4},
+    {"16_2p", 16, 2},
+    {"16_4p", 16, 4},
+};
+
+MachineParams
+paramsFor(const Cfg &cfg)
+{
+    MachineParams p;
+    p.via = ViaConfig::make(cfg.kb, cfg.ports);
+    return p;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Config cfg = bench::parseArgs(argc, argv);
+
+    CorpusSpec spec;
+    spec.count = cfg.getUInt("count", 8);
+    // Large matrices are needed for the SSPM-size axis to matter:
+    // small inputs fit a single CSB block / CAM tile at every size.
+    spec.minRows = 1024;
+    spec.maxRows = Index(cfg.getUInt("max_rows", 8192));
+    spec.seed = cfg.getUInt("seed", 1);
+    auto corpus = buildCorpus(spec);
+
+    // SpMA stresses the CAM: denser rows so the 4 KB configuration
+    // has to tile where the 16 KB one does not.
+    CorpusSpec add_spec = spec;
+    add_spec.minRows = 1024;
+    add_spec.maxRows = Index(cfg.getUInt("spma_rows", 4096));
+    add_spec.minDensity = 0.01;
+    auto add_corpus = buildCorpus(add_spec);
+
+    CorpusSpec mm_spec = spec;
+    mm_spec.maxRows = Index(cfg.getUInt("spmm_rows", 256));
+    mm_spec.minRows = 96;
+    mm_spec.minDensity = 0.01;
+    mm_spec.count = std::min<std::size_t>(spec.count, 6);
+    auto mm_corpus = buildCorpus(mm_spec);
+
+    Rng rng(99);
+
+    // cycles[kernel][config] accumulated as geomean inputs.
+    std::vector<double> spmv[4], spma[4], spmm[4];
+
+    for (std::size_t c = 0; c < 4; ++c) {
+        MachineParams params = paramsFor(configs[c]);
+        for (const auto &entry : corpus) {
+            const Csr &a = entry.matrix;
+            DenseVector x = randomVector(a.cols(), rng);
+            {
+                Machine m(params);
+                Csb csb = Csb::fromCsr(a, kernels::viaCsbBeta(m));
+                spmv[c].push_back(double(
+                    kernels::spmvViaCsb(m, csb, x).cycles));
+            }
+        }
+        for (const auto &entry : add_corpus) {
+            Machine m(params);
+            spma[c].push_back(double(
+                kernels::spmaViaCsr(m, entry.matrix,
+                                    entry.matrix).cycles));
+        }
+        for (const auto &entry : mm_corpus) {
+            const Csr &a = entry.matrix;
+            Machine m(params);
+            if (a.maxRowNnz() >
+                Index(m.sspm().config().camEntries()))
+                continue;
+            Csc b = Csc::fromCsr(a);
+            spmm[c].push_back(double(
+                kernels::spmmViaInner(m, a, b).cycles));
+        }
+        std::printf("finished config %s\n", configs[c].name);
+    }
+
+    auto norm = [](std::vector<double> *cyc, std::size_t c) {
+        // speedup of config c over config 0, geomean over corpus
+        std::vector<double> sp;
+        for (std::size_t i = 0; i < cyc[c].size(); ++i)
+            sp.push_back(cyc[0][i] / cyc[c][i]);
+        return bench::geomean(sp);
+    };
+
+    std::printf("\n== Figure 9: speedup vs SSPM size/ports "
+                "(normalized to 4_2p) ==\n");
+    std::vector<std::vector<std::string>> rows;
+    const double paper_spmv[] = {1.00, 1.02, 1.26, 1.33};
+    const double paper_spma[] = {1.00, 1.04, 1.16, 1.20};
+    const double paper_spmm[] = {1.00, 1.08, 1.05, 1.11};
+    for (std::size_t c = 0; c < 4; ++c) {
+        rows.push_back(
+            {configs[c].name, bench::fmt(norm(spmv, c)),
+             bench::fmt(paper_spmv[c]), bench::fmt(norm(spma, c)),
+             bench::fmt(paper_spma[c]), bench::fmt(norm(spmm, c)),
+             bench::fmt(paper_spmm[c])});
+    }
+    bench::printTable({"config", "SpMV", "(paper)", "SpMA",
+                       "(paper)", "SpMM", "(paper)"},
+                      rows);
+    return 0;
+}

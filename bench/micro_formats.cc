@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Host-side microbenchmarks (google-benchmark) for the sparse
+ * format library itself: construction/conversion throughput and the
+ * golden kernels. These measure the library running natively — not
+ * the simulated machine — and guard against regressions in the
+ * format code that all experiments depend on.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "kernels/reference.hh"
+#include "simcore/rng.hh"
+#include "sparse/convert.hh"
+#include "sparse/corpus.hh"
+#include "sparse/generators.hh"
+#include "sparse/sell_c_sigma.hh"
+#include "sparse/spc5.hh"
+
+using namespace via;
+
+namespace
+{
+
+Csr
+benchMatrix(std::int64_t n)
+{
+    Rng rng(7);
+    return genUniform(Index(n), Index(n), 0.01, rng);
+}
+
+void
+BM_CsrFromCoo(benchmark::State &state)
+{
+    Csr m = benchMatrix(state.range(0));
+    Coo coo = m.toCoo();
+    for (auto _ : state) {
+        Csr rebuilt = Csr::fromCoo(coo);
+        benchmark::DoNotOptimize(rebuilt.nnz());
+    }
+    state.SetItemsProcessed(std::int64_t(state.iterations()) *
+                            std::int64_t(m.nnz()));
+}
+BENCHMARK(BM_CsrFromCoo)->Arg(512)->Arg(2048);
+
+void
+BM_CsbFromCsr(benchmark::State &state)
+{
+    Csr m = benchMatrix(state.range(0));
+    for (auto _ : state) {
+        Csb csb = Csb::fromCsr(m, 512);
+        benchmark::DoNotOptimize(csb.nnz());
+    }
+    state.SetItemsProcessed(std::int64_t(state.iterations()) *
+                            std::int64_t(m.nnz()));
+}
+BENCHMARK(BM_CsbFromCsr)->Arg(512)->Arg(2048);
+
+void
+BM_SellFromCsr(benchmark::State &state)
+{
+    Csr m = benchMatrix(state.range(0));
+    for (auto _ : state) {
+        SellCSigma s = SellCSigma::fromCsr(m, 8, 32);
+        benchmark::DoNotOptimize(s.nnz());
+    }
+}
+BENCHMARK(BM_SellFromCsr)->Arg(512)->Arg(2048);
+
+void
+BM_Spc5FromCsr(benchmark::State &state)
+{
+    Csr m = benchMatrix(state.range(0));
+    for (auto _ : state) {
+        Spc5 s = Spc5::fromCsr(m, 8);
+        benchmark::DoNotOptimize(s.nnz());
+    }
+}
+BENCHMARK(BM_Spc5FromCsr)->Arg(512)->Arg(2048);
+
+void
+BM_GoldenSpmv(benchmark::State &state)
+{
+    Csr m = benchMatrix(state.range(0));
+    Rng rng(8);
+    DenseVector x = randomVector(m.cols(), rng);
+    for (auto _ : state) {
+        DenseVector y = m.multiply(x);
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.SetItemsProcessed(std::int64_t(state.iterations()) *
+                            std::int64_t(m.nnz()));
+}
+BENCHMARK(BM_GoldenSpmv)->Arg(512)->Arg(2048);
+
+void
+BM_GoldenSpmm(benchmark::State &state)
+{
+    Csr m = benchMatrix(state.range(0));
+    for (auto _ : state) {
+        Csr c = mulCsr(m, m);
+        benchmark::DoNotOptimize(c.nnz());
+    }
+}
+BENCHMARK(BM_GoldenSpmm)->Arg(256);
+
+void
+BM_CorpusBuild(benchmark::State &state)
+{
+    for (auto _ : state) {
+        CorpusSpec spec;
+        spec.count = std::size_t(state.range(0));
+        spec.maxRows = 512;
+        auto corpus = buildCorpus(spec);
+        benchmark::DoNotOptimize(corpus.size());
+    }
+}
+BENCHMARK(BM_CorpusBuild)->Arg(4);
+
+} // namespace
+
+BENCHMARK_MAIN();

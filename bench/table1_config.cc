@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Table I — simulation parameters.
+ *
+ * Prints the machine configuration used throughout the evaluation,
+ * mirroring the paper's Table I. Override any parameter with
+ * key=value arguments (e.g. sspm_kb=4 ports=4).
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "common.hh"
+#include "cpu/core_params.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace via;
+    Config cfg = bench::parseArgs(argc, argv);
+
+    MachineParams params;
+    params.via = ViaConfig::make(cfg.getUInt("sspm_kb", 16),
+                                 std::uint32_t(cfg.getUInt("ports",
+                                                           2)));
+
+    std::printf("== Table I: simulation parameters ==\n\n");
+    params.print(std::cout);
+    return 0;
+}

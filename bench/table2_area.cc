@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Table II — area and leakage power of the SSPM configurations
+ * (22 nm, 2 GHz synthesis; reproduced by the calibrated analytic
+ * model in power/area_model).
+ */
+
+#include <cstdio>
+
+#include "common.hh"
+#include "power/area_model.hh"
+
+using namespace via;
+
+int
+main()
+{
+    std::printf("== Table II: SSPM area and leakage (22 nm) ==\n\n");
+
+    struct Row
+    {
+        std::uint64_t kb;
+        std::uint32_t ports;
+    };
+    const Row rows_in[] = {{16, 4}, {16, 2}, {8, 4}, {8, 2},
+                           {4, 4},  {4, 2},  {32, 2}, {64, 2}};
+
+    std::vector<std::vector<std::string>> rows;
+    for (const Row &r : rows_in) {
+        AreaEstimate e = AreaModel::estimate(r.kb, r.ports);
+        auto anchor = AreaModel::paperAnchor(r.kb, r.ports);
+        rows.push_back(
+            {std::to_string(r.kb) + "_" + std::to_string(r.ports) +
+                 "p",
+             bench::fmt(e.areaMm2, 3),
+             anchor ? bench::fmt(anchor->areaMm2, 3) : "-",
+             bench::fmt(e.leakageMw, 2),
+             anchor ? bench::fmt(anchor->leakageMw, 2) : "-",
+             bench::fmt(100.0 * e.areaMm2 /
+                            AreaModel::haswellCoreMm2,
+                        1) + "%"});
+    }
+    bench::printTable({"config", "area mm2", "paper", "leak mW",
+                       "paper", "vs core"},
+                      rows);
+
+    std::printf("\n(The >16 KB rows extrapolate the fitted power "
+                "law beyond the paper's synthesis points.)\n");
+    return 0;
+}

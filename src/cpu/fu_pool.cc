@@ -1,0 +1,41 @@
+#include "cpu/fu_pool.hh"
+
+#include <algorithm>
+
+#include "cpu/core_params.hh"
+#include "simcore/log.hh"
+
+namespace via
+{
+
+FuPool::FuPool(const CoreParams &params)
+{
+    for (std::size_t c = 1; c < std::size_t(FuClass::NumClasses);
+         ++c) {
+        _resources[c] =
+            Resource(params.unitsFor(FuClass(c)));
+    }
+}
+
+Resource &
+FuPool::forClass(FuClass cls)
+{
+    via_assert(cls != FuClass::None && cls < FuClass::NumClasses,
+               "no resource for FU class ", int(cls));
+    return _resources[std::size_t(cls)];
+}
+
+const Resource &
+FuPool::forClass(FuClass cls) const
+{
+    return const_cast<FuPool *>(this)->forClass(cls);
+}
+
+void
+FuPool::resetTiming()
+{
+    for (auto &r : _resources)
+        r.resetTiming();
+}
+
+} // namespace via

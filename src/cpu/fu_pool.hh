@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Bandwidth-limited resources for the list-scheduling core model.
+ *
+ * A Resource with k units and occupancy 1 models a structure that
+ * accepts k operations per cycle (an issue port group, a cache port,
+ * a pipelined FU). acquire() greedily grabs the earliest free unit
+ * at or after the requested tick, which is exactly the greedy list
+ * scheduler used by tools like llvm-mca.
+ */
+
+#ifndef VIA_CPU_FU_POOL_HH
+#define VIA_CPU_FU_POOL_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "isa/opcodes.hh"
+#include "simcore/resource.hh"
+#include "simcore/types.hh"
+
+namespace via
+{
+
+struct CoreParams;
+
+/** One Resource per functional-unit class. */
+class FuPool
+{
+  public:
+    explicit FuPool(const CoreParams &params);
+
+    Resource &forClass(FuClass cls);
+    const Resource &forClass(FuClass cls) const;
+
+    void resetTiming();
+
+  private:
+    std::array<Resource,
+               std::size_t(FuClass::NumClasses)> _resources;
+};
+
+} // namespace via
+
+#endif // VIA_CPU_FU_POOL_HH

@@ -1,0 +1,44 @@
+#include "cpu/lsq.hh"
+
+#include <algorithm>
+
+#include "simcore/log.hh"
+
+namespace via
+{
+
+StoreTracker::StoreTracker(std::uint32_t depth)
+    : _ring(std::max<std::uint32_t>(depth, 1))
+{
+}
+
+void
+StoreTracker::recordStore(Addr addr, std::uint32_t bytes, Tick when)
+{
+    _ring[_next] = StoreRec{addr, addr + bytes, when};
+    _next = (_next + 1) % _ring.size();
+}
+
+Tick
+StoreTracker::loadReady(Addr addr, std::uint32_t bytes) const
+{
+    Addr lo = addr;
+    Addr hi = addr + bytes;
+    Tick ready = 0;
+    for (const auto &st : _ring) {
+        if (st.hi > lo && st.lo < hi && st.complete > ready) {
+            ready = st.complete;
+            ++_conflicts;
+        }
+    }
+    return ready;
+}
+
+void
+StoreTracker::resetTiming()
+{
+    std::fill(_ring.begin(), _ring.end(), StoreRec{});
+    _next = 0;
+}
+
+} // namespace via

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Load/store ordering support for the core model.
+ *
+ * StoreTracker remembers the most recent stores (a store-buffer worth)
+ * so that younger loads to overlapping bytes wait until the store has
+ * drained to the cache. Addresses are known at emit time, so this is
+ * perfect memory disambiguation — adequate for the streaming kernels
+ * studied here and noted as a modelling assumption in the README.
+ */
+
+#ifndef VIA_CPU_LSQ_HH
+#define VIA_CPU_LSQ_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "simcore/types.hh"
+
+namespace via
+{
+
+/**
+ * A pool of queue slots occupied for a time interval (LQ/SQ
+ * occupancy). Allocation is gated on the earliest-free slot, which
+ * is what bounds memory-level parallelism in a real core.
+ */
+class SlotPool
+{
+  public:
+    explicit
+    SlotPool(std::uint32_t slots)
+        : _freeAt(slots > 0 ? slots : 1, 0)
+    {}
+
+    /** Earliest tick a slot can be allocated. */
+    Tick
+    freeAt() const
+    {
+        Tick best = _freeAt[0];
+        for (Tick t : _freeAt)
+            best = t < best ? t : best;
+        return best;
+    }
+
+    /** Occupy the earliest slot until @p until. */
+    void
+    reserve(Tick until)
+    {
+        std::size_t best = 0;
+        for (std::size_t i = 1; i < _freeAt.size(); ++i)
+            if (_freeAt[i] < _freeAt[best])
+                best = i;
+        _freeAt[best] = until;
+    }
+
+    void
+    resetTiming()
+    {
+        for (Tick &t : _freeAt)
+            t = 0;
+    }
+
+  private:
+    std::vector<Tick> _freeAt;
+};
+
+/** Ring buffer of in-flight/recent stores for load ordering. */
+class StoreTracker
+{
+  public:
+    explicit StoreTracker(std::uint32_t depth);
+
+    /** Record a store of [addr, addr+bytes) completing at @p when. */
+    void recordStore(Addr addr, std::uint32_t bytes, Tick when);
+
+    /**
+     * Earliest tick a load of [addr, addr+bytes) may observe memory:
+     * the max completion among overlapping tracked stores.
+     */
+    Tick loadReady(Addr addr, std::uint32_t bytes) const;
+
+    void resetTiming();
+
+    std::uint64_t conflicts() const { return _conflicts; }
+
+  private:
+    struct StoreRec
+    {
+        Addr lo = 0;
+        Addr hi = 0;
+        Tick complete = 0;
+    };
+
+    std::vector<StoreRec> _ring;
+    std::size_t _next = 0;
+    mutable std::uint64_t _conflicts = 0;
+};
+
+} // namespace via
+
+#endif // VIA_CPU_LSQ_HH

@@ -1,0 +1,976 @@
+#include "cpu/machine.hh"
+
+#include <algorithm>
+
+#include "simcore/log.hh"
+
+namespace via
+{
+
+namespace
+{
+
+/** Pack a host double into a raw lane container for element type t. */
+std::uint64_t
+fToRaw(ElemType t, double v)
+{
+    VecValue tmp;
+    tmp.setFAs(t, 0, v);
+    return tmp.raw[0];
+}
+
+/** Unpack a raw lane container as a double for element type t. */
+double
+rawToF(ElemType t, std::uint64_t raw)
+{
+    VecValue tmp;
+    tmp.raw[0] = raw;
+    return tmp.fAs(t, 0);
+}
+
+} // namespace
+
+Machine::Machine(const MachineParams &params)
+    : _params(params),
+      _memSys(std::make_unique<MemSystem>(params.mem)),
+      _sspm(std::make_unique<Sspm>(params.via)),
+      _fivu(std::make_unique<Fivu>(params.via)),
+      _core(std::make_unique<OoOCore>(params.core, *_memSys, *_fivu))
+{
+    _core->attachEvents(&_events);
+    _memSys->registerStats(_stats);
+    _core->registerStats(_stats);
+
+    const SspmStats &ss = _sspm->stats();
+    _stats.addScalar("sspm.direct_reads", "direct-mapped reads",
+                     &ss.directReads);
+    _stats.addScalar("sspm.direct_writes", "direct-mapped writes",
+                     &ss.directWrites);
+    _stats.addScalar("sspm.cam_reads", "CAM-mode reads",
+                     &ss.camReads);
+    _stats.addScalar("sspm.cam_writes", "CAM-mode writes",
+                     &ss.camWrites);
+    _stats.addScalar("sspm.bitmap_clears", "flash clears",
+                     &ss.bitmapClears);
+
+    const IndexTableStats &its = _sspm->indexTable().stats();
+    _stats.addScalar("cam.searches", "index table searches",
+                     &its.searches);
+    _stats.addScalar("cam.comparisons",
+                     "comparators activated (energy proxy)",
+                     &its.comparisons);
+    _stats.addScalar("cam.banks_searched",
+                     "banks not clock-gated during searches",
+                     &its.banksSearched);
+    _stats.addScalar("cam.inserts", "new tracked indices",
+                     &its.inserts);
+    _stats.addScalar("cam.overflows", "rejected inserts (table full)",
+                     &its.overflows);
+
+    const FivuStats &fs = _fivu->stats();
+    _stats.addScalar("fivu.insts", "VIA instructions executed",
+                     &fs.viaInsts);
+    _stats.addScalar("fivu.busy_cycles", "FIVU occupancy",
+                     &fs.busyCycles);
+    _stats.addScalar("fivu.sspm_read_cycles",
+                     "cycles spent on SSPM read phases",
+                     &fs.sspmReadCycles);
+    _stats.addScalar("fivu.sspm_write_cycles",
+                     "cycles spent on SSPM write phases",
+                     &fs.sspmWriteCycles);
+}
+
+VecValue &
+Machine::vreg(VReg r)
+{
+    return _vrf[r.id];
+}
+
+const VecValue &
+Machine::vreg(VReg r) const
+{
+    return _vrf[r.id];
+}
+
+std::uint64_t
+Machine::sregRaw(SReg r) const
+{
+    via_assert(r.id >= 0 && r.id < NUM_SREGS, "bad sreg ", r.id);
+    return _srf[std::size_t(r.id)];
+}
+
+std::int64_t
+Machine::sregI(SReg r) const
+{
+    return std::int64_t(sregRaw(r));
+}
+
+void
+Machine::setSregI(SReg r, std::int64_t v)
+{
+    via_assert(r.id >= 0 && r.id < NUM_SREGS, "bad sreg ", r.id);
+    _srf[std::size_t(r.id)] = std::uint64_t(v);
+}
+
+double
+Machine::sregF(SReg r) const
+{
+    double out;
+    std::uint64_t raw = sregRaw(r);
+    std::memcpy(&out, &raw, sizeof(out));
+    return out;
+}
+
+void
+Machine::setSregF(SReg r, double v)
+{
+    std::uint64_t raw;
+    std::memcpy(&raw, &v, sizeof(raw));
+    via_assert(r.id >= 0 && r.id < NUM_SREGS, "bad sreg ", r.id);
+    _srf[std::size_t(r.id)] = raw;
+}
+
+std::uint32_t
+Machine::resolveVl(ElemType t, int vl) const
+{
+    std::uint32_t max = lanesFor(t);
+    if (vl < 0)
+        return max;
+    via_assert(std::uint32_t(vl) <= max, "vl ", vl,
+               " exceeds lanes for this element type (", max, ")");
+    return std::uint32_t(vl);
+}
+
+std::int16_t
+Machine::vid(VReg r)
+{
+    via_assert(r.id >= 0 && r.id < NUM_VREGS, "bad vreg ", r.id);
+    return std::int16_t(NUM_SREGS + r.id);
+}
+
+std::int16_t
+Machine::sid(SReg r)
+{
+    if (r.id < 0)
+        return REG_NONE;
+    via_assert(r.id < NUM_SREGS, "bad sreg ", r.id);
+    return std::int16_t(r.id);
+}
+
+Inst
+Machine::makeInst(Op op, int vl, std::int16_t dst, std::int16_t s0,
+                  std::int16_t s1, std::int16_t s2)
+{
+    Inst inst;
+    inst.op = op;
+    inst.vl = std::uint8_t(vl < 0 ? 0 : vl);
+    inst.dst = dst;
+    inst.src = {s0, s1, s2};
+    inst.seq = _seq++;
+    return inst;
+}
+
+// ================= scalar ======================================
+
+void
+Machine::simm(SReg dst, std::int64_t value)
+{
+    setSregI(dst, value);
+    _core->push(makeInst(Op::SAlu, 0, sid(dst), REG_NONE));
+}
+
+void
+Machine::salu(SReg dst, std::int64_t result, SReg a, SReg b)
+{
+    setSregI(dst, result);
+    _core->push(makeInst(Op::SAlu, 0, sid(dst), sid(a), sid(b)));
+}
+
+void
+Machine::smul(SReg dst, std::int64_t result, SReg a, SReg b)
+{
+    setSregI(dst, result);
+    _core->push(makeInst(Op::SMul, 0, sid(dst), sid(a), sid(b)));
+}
+
+void
+Machine::sfadd(SReg dst, SReg a, SReg b)
+{
+    setSregF(dst, sregF(a) + sregF(b));
+    _core->push(makeInst(Op::SFAdd, 0, sid(dst), sid(a), sid(b)));
+}
+
+void
+Machine::sfmul(SReg dst, SReg a, SReg b)
+{
+    setSregF(dst, sregF(a) * sregF(b));
+    _core->push(makeInst(Op::SFMul, 0, sid(dst), sid(a), sid(b)));
+}
+
+void
+Machine::sbranch(SReg cond)
+{
+    _core->push(makeInst(Op::SBranch, 0, REG_NONE, sid(cond)));
+}
+
+void
+Machine::sbranchData(SReg cond, std::uint64_t site, bool taken)
+{
+    Inst inst = makeInst(Op::SBranch, 0, REG_NONE, sid(cond));
+    inst.isDataBranch = true;
+    inst.branchSite = std::uint32_t(site);
+    inst.branchTaken = taken;
+    _core->push(inst);
+}
+
+void
+Machine::sload(SReg dst, Addr addr, std::uint32_t bytes,
+               SReg addr_dep)
+{
+    via_assert(bytes >= 1 && bytes <= 8, "bad scalar load size");
+    std::uint64_t raw = 0;
+    _store.read(addr, &raw, bytes);
+    if (bytes == 4) {
+        // Sign-extend 32-bit loads: indices are int32.
+        raw = std::uint64_t(std::int64_t(std::int32_t(raw)));
+    }
+    via_assert(dst.id >= 0 && dst.id < NUM_SREGS, "bad sreg");
+    _srf[std::size_t(dst.id)] = raw;
+
+    Inst inst = makeInst(Op::SLoad, 0, sid(dst), sid(addr_dep));
+    inst.addAccess(addr, bytes, false);
+    _core->push(inst);
+}
+
+void
+Machine::sstore(Addr addr, SReg src, std::uint32_t bytes,
+                SReg addr_dep)
+{
+    via_assert(bytes >= 1 && bytes <= 8, "bad scalar store size");
+    std::uint64_t raw = sregRaw(src);
+    _store.write(addr, &raw, bytes);
+
+    Inst inst = makeInst(Op::SStore, 0, REG_NONE, sid(src),
+                         sid(addr_dep));
+    inst.addAccess(addr, bytes, true);
+    _core->push(inst);
+}
+
+void
+Machine::sloadF(SReg dst, Addr addr, ElemType t, SReg addr_dep)
+{
+    double v;
+    if (t == ElemType::F64) {
+        v = _store.load<double>(addr);
+    } else {
+        via_assert(t == ElemType::F32, "sloadF needs an FP type");
+        v = double(_store.load<float>(addr));
+    }
+    setSregF(dst, v);
+
+    Inst inst = makeInst(Op::SLoad, 0, sid(dst), sid(addr_dep));
+    inst.addAccess(addr, elemBytes(t), false);
+    _core->push(inst);
+}
+
+void
+Machine::sstoreF(Addr addr, SReg src, ElemType t, SReg addr_dep)
+{
+    double v = sregF(src);
+    if (t == ElemType::F64) {
+        _store.store<double>(addr, v);
+    } else {
+        via_assert(t == ElemType::F32, "sstoreF needs an FP type");
+        _store.store<float>(addr, float(v));
+    }
+
+    Inst inst = makeInst(Op::SStore, 0, REG_NONE, sid(src),
+                         sid(addr_dep));
+    inst.addAccess(addr, elemBytes(t), true);
+    _core->push(inst);
+}
+
+// ================= vector memory ================================
+
+void
+Machine::vload(VReg dst, Addr addr, ElemType t, int vl, SReg addr_dep)
+{
+    std::uint32_t n = resolveVl(t, vl);
+    std::uint32_t eb = elemBytes(t);
+    VecValue &d = _vrf[dst.id];
+    for (std::uint32_t l = 0; l < n; ++l) {
+        std::uint64_t raw = 0;
+        _store.read(addr + Addr(l) * eb, &raw, eb);
+        if (t == ElemType::I32)
+            raw = std::uint64_t(std::int64_t(std::int32_t(raw)));
+        d.raw[l] = raw;
+    }
+    for (std::uint32_t l = n; l < MAX_LANES; ++l)
+        d.raw[l] = 0;
+
+    Inst inst = makeInst(Op::VLoad, int(n), vid(dst), sid(addr_dep));
+    inst.addAccess(addr, n * eb, false);
+    _core->push(inst);
+}
+
+void
+Machine::vstore(Addr addr, VReg src, ElemType t, int vl,
+                SReg addr_dep)
+{
+    std::uint32_t n = resolveVl(t, vl);
+    std::uint32_t eb = elemBytes(t);
+    const VecValue &s = _vrf[src.id];
+    for (std::uint32_t l = 0; l < n; ++l)
+        _store.write(addr + Addr(l) * eb, &s.raw[l], eb);
+
+    Inst inst = makeInst(Op::VStore, int(n), REG_NONE, vid(src),
+                         sid(addr_dep));
+    inst.addAccess(addr, n * eb, true);
+    _core->push(inst);
+}
+
+void
+Machine::vgather(VReg dst, Addr base, VReg idx, ElemType t, int vl)
+{
+    std::uint32_t n = resolveVl(t, vl);
+    std::uint32_t eb = elemBytes(t);
+    const VecValue &ix = _vrf[idx.id];
+    VecValue &d = _vrf[dst.id];
+
+    Inst inst = makeInst(Op::VGather, int(n), vid(dst), vid(idx));
+    for (std::uint32_t l = 0; l < n; ++l) {
+        Addr a = base + Addr(ix.i(l)) * eb;
+        std::uint64_t raw = 0;
+        _store.read(a, &raw, eb);
+        if (t == ElemType::I32)
+            raw = std::uint64_t(std::int64_t(std::int32_t(raw)));
+        d.raw[l] = raw;
+        inst.addAccess(a, eb, false);
+    }
+    for (std::uint32_t l = n; l < MAX_LANES; ++l)
+        d.raw[l] = 0;
+    _core->push(inst);
+}
+
+void
+Machine::vscatter(Addr base, VReg idx, VReg src, ElemType t, int vl)
+{
+    std::uint32_t n = resolveVl(t, vl);
+    std::uint32_t eb = elemBytes(t);
+    const VecValue &ix = _vrf[idx.id];
+    const VecValue &s = _vrf[src.id];
+
+    Inst inst = makeInst(Op::VScatter, int(n), REG_NONE, vid(idx),
+                         vid(src));
+    for (std::uint32_t l = 0; l < n; ++l) {
+        Addr a = base + Addr(ix.i(l)) * eb;
+        _store.write(a, &s.raw[l], eb);
+        inst.addAccess(a, eb, true);
+    }
+    _core->push(inst);
+}
+
+// ================= vector arithmetic ============================
+
+void
+Machine::vbroadcastF(VReg dst, double v)
+{
+    ElemType t = valueType();
+    VecValue &d = _vrf[dst.id];
+    for (std::uint32_t l = 0; l < lanesFor(t); ++l)
+        d.setFAs(t, l, v);
+    _core->push(makeInst(Op::VBroadcastF, int(lanesFor(t)), vid(dst),
+                         REG_NONE));
+}
+
+void
+Machine::vbroadcastI(VReg dst, std::int64_t v)
+{
+    VecValue &d = _vrf[dst.id];
+    for (std::uint32_t l = 0; l < MAX_LANES; ++l)
+        d.setI(l, v);
+    _core->push(makeInst(Op::VBroadcastI, int(MAX_LANES), vid(dst),
+                         REG_NONE));
+}
+
+void
+Machine::viotaI(VReg dst, std::int64_t base, std::int64_t step)
+{
+    VecValue &d = _vrf[dst.id];
+    for (std::uint32_t l = 0; l < MAX_LANES; ++l)
+        d.setI(l, base + std::int64_t(l) * step);
+    _core->push(makeInst(Op::VIota, int(MAX_LANES), vid(dst),
+                         REG_NONE));
+}
+
+void
+Machine::vpatternI(VReg dst, const std::vector<std::int64_t> &lanes)
+{
+    via_assert(lanes.size() <= MAX_LANES, "pattern too wide");
+    VecValue &d = _vrf[dst.id];
+    for (std::uint32_t l = 0; l < MAX_LANES; ++l)
+        d.setI(l, l < lanes.size() ? lanes[l] : 0);
+    _core->push(makeInst(Op::VIota, int(MAX_LANES), vid(dst),
+                         REG_NONE));
+}
+
+void
+Machine::vmove(VReg dst, VReg src)
+{
+    _vrf[dst.id] = _vrf[src.id];
+    _core->push(makeInst(Op::VMove, int(vl()), vid(dst), vid(src)));
+}
+
+double
+Machine::combineF(ArithKind k, double a, double b) const
+{
+    switch (k) {
+      case ArithKind::Add:
+        return a + b;
+      case ArithKind::Sub:
+        return a - b;
+      case ArithKind::Mul:
+        return a * b;
+    }
+    via_panic("bad arith kind");
+}
+
+void
+Machine::vaddF(VReg dst, VReg a, VReg b, int vl_)
+{
+    ElemType t = valueType();
+    std::uint32_t n = resolveVl(t, vl_);
+    VecValue &d = _vrf[dst.id];
+    const VecValue &x = _vrf[a.id];
+    const VecValue &y = _vrf[b.id];
+    for (std::uint32_t l = 0; l < n; ++l)
+        d.setFAs(t, l, x.fAs(t, l) + y.fAs(t, l));
+    _core->push(makeInst(Op::VAddF, int(n), vid(dst), vid(a),
+                         vid(b)));
+}
+
+void
+Machine::vsubF(VReg dst, VReg a, VReg b, int vl_)
+{
+    ElemType t = valueType();
+    std::uint32_t n = resolveVl(t, vl_);
+    VecValue &d = _vrf[dst.id];
+    const VecValue &x = _vrf[a.id];
+    const VecValue &y = _vrf[b.id];
+    for (std::uint32_t l = 0; l < n; ++l)
+        d.setFAs(t, l, x.fAs(t, l) - y.fAs(t, l));
+    _core->push(makeInst(Op::VSubF, int(n), vid(dst), vid(a),
+                         vid(b)));
+}
+
+void
+Machine::vmulF(VReg dst, VReg a, VReg b, int vl_)
+{
+    ElemType t = valueType();
+    std::uint32_t n = resolveVl(t, vl_);
+    VecValue &d = _vrf[dst.id];
+    const VecValue &x = _vrf[a.id];
+    const VecValue &y = _vrf[b.id];
+    for (std::uint32_t l = 0; l < n; ++l)
+        d.setFAs(t, l, x.fAs(t, l) * y.fAs(t, l));
+    _core->push(makeInst(Op::VMulF, int(n), vid(dst), vid(a),
+                         vid(b)));
+}
+
+void
+Machine::vfmaF(VReg dst, VReg a, VReg b, VReg c, int vl_)
+{
+    ElemType t = valueType();
+    std::uint32_t n = resolveVl(t, vl_);
+    VecValue &d = _vrf[dst.id];
+    const VecValue &x = _vrf[a.id];
+    const VecValue &y = _vrf[b.id];
+    const VecValue &z = _vrf[c.id];
+    for (std::uint32_t l = 0; l < n; ++l)
+        d.setFAs(t, l, x.fAs(t, l) * y.fAs(t, l) + z.fAs(t, l));
+    _core->push(makeInst(Op::VFmaF, int(n), vid(dst), vid(a), vid(b),
+                         vid(c)));
+}
+
+void
+Machine::vaddI(VReg dst, VReg a, VReg b, int vl_)
+{
+    std::uint32_t n = vl_ < 0 ? MAX_LANES : std::uint32_t(vl_);
+    VecValue &d = _vrf[dst.id];
+    const VecValue &x = _vrf[a.id];
+    const VecValue &y = _vrf[b.id];
+    for (std::uint32_t l = 0; l < n; ++l)
+        d.setI(l, x.i(l) + y.i(l));
+    _core->push(makeInst(Op::VAddI, int(n), vid(dst), vid(a),
+                         vid(b)));
+}
+
+void
+Machine::vsubI(VReg dst, VReg a, VReg b, int vl_)
+{
+    std::uint32_t n = vl_ < 0 ? MAX_LANES : std::uint32_t(vl_);
+    VecValue &d = _vrf[dst.id];
+    const VecValue &x = _vrf[a.id];
+    const VecValue &y = _vrf[b.id];
+    for (std::uint32_t l = 0; l < n; ++l)
+        d.setI(l, x.i(l) - y.i(l));
+    _core->push(makeInst(Op::VAddI, int(n), vid(dst), vid(a),
+                         vid(b)));
+}
+
+void
+Machine::vmulI(VReg dst, VReg a, VReg b, int vl_)
+{
+    std::uint32_t n = vl_ < 0 ? MAX_LANES : std::uint32_t(vl_);
+    VecValue &d = _vrf[dst.id];
+    const VecValue &x = _vrf[a.id];
+    const VecValue &y = _vrf[b.id];
+    for (std::uint32_t l = 0; l < n; ++l)
+        d.setI(l, x.i(l) * y.i(l));
+    _core->push(makeInst(Op::VMulI, int(n), vid(dst), vid(a),
+                         vid(b)));
+}
+
+void
+Machine::vandI(VReg dst, VReg src, std::int64_t imm, int vl_)
+{
+    std::uint32_t n = vl_ < 0 ? MAX_LANES : std::uint32_t(vl_);
+    VecValue &d = _vrf[dst.id];
+    const VecValue &x = _vrf[src.id];
+    for (std::uint32_t l = 0; l < n; ++l)
+        d.setI(l, x.i(l) & imm);
+    _core->push(makeInst(Op::VAndI, int(n), vid(dst), vid(src)));
+}
+
+void
+Machine::vshrI(VReg dst, VReg src, std::uint32_t shift, int vl_)
+{
+    std::uint32_t n = vl_ < 0 ? MAX_LANES : std::uint32_t(vl_);
+    VecValue &d = _vrf[dst.id];
+    const VecValue &x = _vrf[src.id];
+    for (std::uint32_t l = 0; l < n; ++l)
+        d.setI(l, x.i(l) >> shift);
+    _core->push(makeInst(Op::VShrI, int(n), vid(dst), vid(src)));
+}
+
+void
+Machine::vcmpEqI(VReg dst, VReg a, VReg b, int vl_)
+{
+    std::uint32_t n = vl_ < 0 ? MAX_LANES : std::uint32_t(vl_);
+    VecValue &d = _vrf[dst.id];
+    const VecValue &x = _vrf[a.id];
+    const VecValue &y = _vrf[b.id];
+    for (std::uint32_t l = 0; l < n; ++l)
+        d.setI(l, x.i(l) == y.i(l) ? 1 : 0);
+    _core->push(makeInst(Op::VCmpEqI, int(n), vid(dst), vid(a),
+                         vid(b)));
+}
+
+void
+Machine::vcmpLtI(VReg dst, VReg a, VReg b, int vl_)
+{
+    std::uint32_t n = vl_ < 0 ? MAX_LANES : std::uint32_t(vl_);
+    VecValue &d = _vrf[dst.id];
+    const VecValue &x = _vrf[a.id];
+    const VecValue &y = _vrf[b.id];
+    for (std::uint32_t l = 0; l < n; ++l)
+        d.setI(l, x.i(l) < y.i(l) ? 1 : 0);
+    _core->push(makeInst(Op::VCmpLtI, int(n), vid(dst), vid(a),
+                         vid(b)));
+}
+
+void
+Machine::vredsumF(SReg dst, VReg src, int vl_)
+{
+    ElemType t = valueType();
+    std::uint32_t n = resolveVl(t, vl_);
+    const VecValue &s = _vrf[src.id];
+    double sum = 0.0;
+    for (std::uint32_t l = 0; l < n; ++l)
+        sum += s.fAs(t, l);
+    setSregF(dst, sum);
+    _core->push(makeInst(Op::VRedSumF, int(n), sid(dst), vid(src)));
+}
+
+void
+Machine::vcompress(VReg dst, VReg src, VReg mask, int vl_)
+{
+    std::uint32_t n = vl_ < 0 ? MAX_LANES : std::uint32_t(vl_);
+    const VecValue s = _vrf[src.id]; // copy: dst may alias src
+    const VecValue m = _vrf[mask.id];
+    VecValue &d = _vrf[dst.id];
+    std::uint32_t k = 0;
+    for (std::uint32_t l = 0; l < n; ++l)
+        if (m.i(l) != 0)
+            d.raw[k++] = s.raw[l];
+    for (; k < MAX_LANES; ++k)
+        d.raw[k] = 0;
+    _core->push(makeInst(Op::VCompress, int(n), vid(dst), vid(src),
+                         vid(mask)));
+}
+
+void
+Machine::vexpand(VReg dst, VReg src, VReg mask, int vl_)
+{
+    std::uint32_t n = vl_ < 0 ? MAX_LANES : std::uint32_t(vl_);
+    const VecValue s = _vrf[src.id];
+    const VecValue m = _vrf[mask.id];
+    VecValue &d = _vrf[dst.id];
+    std::uint32_t k = 0;
+    for (std::uint32_t l = 0; l < n; ++l)
+        d.raw[l] = (m.i(l) != 0) ? s.raw[k++] : 0;
+    for (std::uint32_t l = n; l < MAX_LANES; ++l)
+        d.raw[l] = 0;
+    _core->push(makeInst(Op::VExpand, int(n), vid(dst), vid(src),
+                         vid(mask)));
+}
+
+void
+Machine::vexpandMask(VReg dst, VReg src, std::uint32_t mask, int vl_,
+                     SReg mask_dep)
+{
+    std::uint32_t n = vl_ < 0 ? MAX_LANES : std::uint32_t(vl_);
+    const VecValue s = _vrf[src.id];
+    VecValue &d = _vrf[dst.id];
+    std::uint32_t k = 0;
+    for (std::uint32_t l = 0; l < n; ++l)
+        d.raw[l] = ((mask >> l) & 1u) ? s.raw[k++] : 0;
+    for (std::uint32_t l = n; l < MAX_LANES; ++l)
+        d.raw[l] = 0;
+    _core->push(makeInst(Op::VExpand, int(n), vid(dst), vid(src),
+                         sid(mask_dep)));
+}
+
+void
+Machine::vpermute(VReg dst, VReg src, VReg perm, int vl_)
+{
+    std::uint32_t n = vl_ < 0 ? MAX_LANES : std::uint32_t(vl_);
+    const VecValue s = _vrf[src.id];
+    const VecValue p = _vrf[perm.id];
+    VecValue &d = _vrf[dst.id];
+    for (std::uint32_t l = 0; l < n; ++l) {
+        auto sel = std::uint64_t(p.i(l)) % n;
+        d.raw[l] = s.raw[sel];
+    }
+    _core->push(makeInst(Op::VPermute, int(n), vid(dst), vid(src),
+                         vid(perm)));
+}
+
+void
+Machine::vconflict(VReg dst, VReg idx, int vl_)
+{
+    std::uint32_t n = vl_ < 0 ? MAX_LANES : std::uint32_t(vl_);
+    const VecValue ix = _vrf[idx.id];
+    VecValue &d = _vrf[dst.id];
+    for (std::uint32_t l = 0; l < n; ++l) {
+        std::int64_t mask = 0;
+        for (std::uint32_t j = 0; j < l; ++j)
+            if (ix.i(j) == ix.i(l))
+                mask |= std::int64_t(1) << j;
+        d.setI(l, mask);
+    }
+    for (std::uint32_t l = n; l < MAX_LANES; ++l)
+        d.raw[l] = 0;
+    _core->push(makeInst(Op::VConflict, int(n), vid(dst), vid(idx)));
+}
+
+void
+Machine::vmergeIdx(VReg dst, VReg src, VReg idx, int vl_)
+{
+    ElemType t = valueType();
+    std::uint32_t n = resolveVl(t, vl_);
+    const VecValue s = _vrf[src.id];
+    const VecValue ix = _vrf[idx.id];
+    VecValue &d = _vrf[dst.id];
+    for (std::uint32_t l = 0; l < n; ++l) {
+        double sum = 0.0;
+        for (std::uint32_t j = 0; j < n; ++j)
+            if (ix.i(j) == ix.i(l))
+                sum += s.fAs(t, j);
+        d.setFAs(t, l, sum);
+    }
+    for (std::uint32_t l = n; l < MAX_LANES; ++l)
+        d.raw[l] = 0;
+    _core->push(makeInst(Op::VMergeIdx, int(n), vid(dst), vid(src),
+                         vid(idx)));
+}
+
+// ================= VIA ==========================================
+
+void
+Machine::vidxClear()
+{
+    _sspm->clearAll();
+    _core->push(makeInst(Op::VidxClear, 0, REG_NONE, REG_NONE));
+}
+
+void
+Machine::vidxClearSegment(std::uint64_t lo, std::uint64_t hi)
+{
+    _sspm->clearSegment(lo, hi);
+    _core->push(makeInst(Op::VidxClear, 0, REG_NONE, REG_NONE));
+}
+
+void
+Machine::vidxCount(SReg dst)
+{
+    setSregI(dst, _sspm->count());
+    _core->push(makeInst(Op::VidxCount, 0, sid(dst), REG_NONE));
+}
+
+void
+Machine::vidxLoadD(VReg data, VReg idx, int vl_)
+{
+    std::uint32_t n = resolveVl(valueType(), vl_);
+    const VecValue &d = _vrf[data.id];
+    const VecValue &ix = _vrf[idx.id];
+    for (std::uint32_t l = 0; l < n; ++l)
+        _sspm->writeDirect(std::uint64_t(ix.i(l)), d.raw[l]);
+
+    Inst inst = makeInst(Op::VidxLoadD, int(n), REG_NONE, vid(data),
+                         vid(idx));
+    inst.sspmWrites = std::uint16_t(n);
+    _core->push(inst);
+}
+
+void
+Machine::vidxLoadC(VReg data, VReg keys, int vl_)
+{
+    std::uint32_t n = resolveVl(valueType(), vl_);
+    const VecValue &d = _vrf[data.id];
+    const VecValue &k = _vrf[keys.id];
+    for (std::uint32_t l = 0; l < n; ++l) {
+        auto slot = _sspm->camWrite(k.i(l), d.raw[l]);
+        if (slot == IndexTable::NO_SLOT)
+            via_fatal("SSPM index table overflow on vidx.load.c; "
+                      "the kernel must tile rows to the CAM size (",
+                      _sspm->config().camEntries(), " entries)");
+    }
+
+    Inst inst = makeInst(Op::VidxLoadC, int(n), REG_NONE, vid(data),
+                         vid(keys));
+    inst.sspmWrites = std::uint16_t(n);
+    inst.camSearches = std::uint16_t(n);
+    _core->push(inst);
+}
+
+void
+Machine::vidxMov(VReg dst, VReg idx, int vl_)
+{
+    std::uint32_t n = resolveVl(valueType(), vl_);
+    const VecValue ix = _vrf[idx.id];
+    VecValue &d = _vrf[dst.id];
+    for (std::uint32_t l = 0; l < n; ++l)
+        d.raw[l] = _sspm->readDirect(std::uint64_t(ix.i(l)));
+    for (std::uint32_t l = n; l < MAX_LANES; ++l)
+        d.raw[l] = 0;
+
+    Inst inst = makeInst(Op::VidxMov, int(n), vid(dst), vid(idx));
+    inst.sspmReads = std::uint16_t(n);
+    _core->push(inst);
+}
+
+void
+Machine::vidxKeys(VReg dst, std::uint32_t slot_offset, int vl_)
+{
+    std::uint32_t n = resolveVl(indexType(), vl_);
+    VecValue &d = _vrf[dst.id];
+    std::uint32_t count = _sspm->count();
+    for (std::uint32_t l = 0; l < n; ++l) {
+        std::uint32_t slot = slot_offset + l;
+        d.setI(l, slot < count ? _sspm->keyAt(slot) : 0);
+    }
+    for (std::uint32_t l = n; l < MAX_LANES; ++l)
+        d.raw[l] = 0;
+
+    Inst inst = makeInst(Op::VidxKeys, int(n), vid(dst), REG_NONE);
+    inst.sspmReads = std::uint16_t(n);
+    _core->push(inst);
+}
+
+void
+Machine::vidxVals(VReg dst, std::uint32_t slot_offset, int vl_)
+{
+    std::uint32_t n = resolveVl(valueType(), vl_);
+    VecValue &d = _vrf[dst.id];
+    std::uint32_t count = _sspm->count();
+    for (std::uint32_t l = 0; l < n; ++l) {
+        std::uint32_t slot = slot_offset + l;
+        d.raw[l] = slot < count ? _sspm->valueAt(slot) : 0;
+    }
+    for (std::uint32_t l = n; l < MAX_LANES; ++l)
+        d.raw[l] = 0;
+
+    Inst inst = makeInst(Op::VidxVals, int(n), vid(dst), REG_NONE);
+    inst.sspmReads = std::uint16_t(n);
+    _core->push(inst);
+}
+
+void
+Machine::vidxArithD(Op op, ArithKind k, VReg data, VReg idx,
+                    ViaOut out, VReg dst, std::int64_t offset,
+                    int vl_)
+{
+    ElemType t = valueType();
+    std::uint32_t n = resolveVl(t, vl_);
+    const VecValue d = _vrf[data.id];
+    const VecValue ix = _vrf[idx.id];
+
+    Inst inst = makeInst(op, int(n),
+                         out == ViaOut::Vrf ? vid(dst) : REG_NONE,
+                         vid(data), vid(idx));
+    inst.sspmReads = std::uint16_t(n);
+
+    if (out == ViaOut::Vrf) {
+        VecValue &o = _vrf[dst.id];
+        for (std::uint32_t l = 0; l < n; ++l) {
+            double cur = rawToF(t, _sspm->readDirect(
+                                       std::uint64_t(ix.i(l))));
+            o.setFAs(t, l, combineF(k, cur, d.fAs(t, l)));
+        }
+        for (std::uint32_t l = n; l < MAX_LANES; ++l)
+            o.raw[l] = 0;
+    } else {
+        // Lanes are processed in order; software merges duplicate
+        // indices beforehand (vconflict), as in the paper's
+        // histogram kernel.
+        for (std::uint32_t l = 0; l < n; ++l) {
+            auto src_idx = std::uint64_t(ix.i(l));
+            double cur = rawToF(t, _sspm->readDirect(src_idx));
+            double res = combineF(k, cur, d.fAs(t, l));
+            _sspm->writeDirect(std::uint64_t(ix.i(l) + offset),
+                               fToRaw(t, res));
+        }
+        inst.sspmWrites = std::uint16_t(n);
+    }
+    _core->push(inst);
+}
+
+void
+Machine::vidxAddD(VReg data, VReg idx, ViaOut out, VReg dst,
+                  std::int64_t offset, int vl_)
+{
+    vidxArithD(Op::VidxAddD, ArithKind::Add, data, idx, out, dst,
+               offset, vl_);
+}
+
+void
+Machine::vidxSubD(VReg data, VReg idx, ViaOut out, VReg dst,
+                  std::int64_t offset, int vl_)
+{
+    vidxArithD(Op::VidxSubD, ArithKind::Sub, data, idx, out, dst,
+               offset, vl_);
+}
+
+void
+Machine::vidxMulD(VReg data, VReg idx, ViaOut out, VReg dst,
+                  std::int64_t offset, int vl_)
+{
+    vidxArithD(Op::VidxMulD, ArithKind::Mul, data, idx, out, dst,
+               offset, vl_);
+}
+
+void
+Machine::vidxArithC(Op op, ArithKind k, VReg data, VReg keys,
+                    ViaOut out, VReg dst, int vl_)
+{
+    ElemType t = valueType();
+    std::uint32_t n = resolveVl(t, vl_);
+    const VecValue d = _vrf[data.id];
+    const VecValue ks = _vrf[keys.id];
+
+    Inst inst = makeInst(op, int(n),
+                         out == ViaOut::Vrf ? vid(dst) : REG_NONE,
+                         vid(data), vid(keys));
+    inst.sspmReads = std::uint16_t(n);
+    inst.camSearches = std::uint16_t(n);
+
+    if (out == ViaOut::Vrf) {
+        VecValue &o = _vrf[dst.id];
+        for (std::uint32_t l = 0; l < n; ++l) {
+            bool found = false;
+            std::uint64_t raw = _sspm->camRead(ks.i(l), found);
+            double res = found
+                             ? combineF(k, rawToF(t, raw),
+                                        d.fAs(t, l))
+                             : 0.0;
+            o.setFAs(t, l, res);
+        }
+        for (std::uint32_t l = n; l < MAX_LANES; ++l)
+            o.raw[l] = 0;
+    } else {
+        // Union read-modify-write (SpMA): matches combine in place,
+        // misses insert the incoming value.
+        for (std::uint32_t l = 0; l < n; ++l) {
+            double incoming = d.fAs(t, l);
+            auto combine = [&](std::uint64_t cur_raw,
+                               std::uint64_t new_raw) {
+                double cur = rawToF(t, cur_raw);
+                double inc = rawToF(t, new_raw);
+                return fToRaw(t, combineF(k, cur, inc));
+            };
+            auto slot = _sspm->camUpdate(ks.i(l),
+                                         fToRaw(t, incoming),
+                                         combine);
+            if (slot == IndexTable::NO_SLOT)
+                via_fatal("SSPM index table overflow on ",
+                          mnemonic(op), "; tile rows to ",
+                          _sspm->config().camEntries(), " entries");
+        }
+        inst.sspmWrites = std::uint16_t(n);
+    }
+    _core->push(inst);
+}
+
+void
+Machine::vidxAddC(VReg data, VReg keys, ViaOut out, VReg dst, int vl_)
+{
+    vidxArithC(Op::VidxAddC, ArithKind::Add, data, keys, out, dst,
+               vl_);
+}
+
+void
+Machine::vidxSubC(VReg data, VReg keys, ViaOut out, VReg dst, int vl_)
+{
+    vidxArithC(Op::VidxSubC, ArithKind::Sub, data, keys, out, dst,
+               vl_);
+}
+
+void
+Machine::vidxMulC(VReg data, VReg keys, ViaOut out, VReg dst, int vl_)
+{
+    vidxArithC(Op::VidxMulC, ArithKind::Mul, data, keys, out, dst,
+               vl_);
+}
+
+void
+Machine::vidxBlkMulD(VReg data, VReg idx, std::uint32_t idx_offset,
+                     std::int64_t offset, int vl_)
+{
+    ElemType t = valueType();
+    std::uint32_t n = resolveVl(t, vl_);
+    via_assert(idx_offset > 0 && idx_offset < 32,
+               "bad in-block index split ", idx_offset);
+    const VecValue d = _vrf[data.id];
+    const VecValue ix = _vrf[idx.id];
+    const std::int64_t col_mask = (std::int64_t(1) << idx_offset) - 1;
+
+    for (std::uint32_t l = 0; l < n; ++l) {
+        std::int64_t packed = ix.i(l);
+        auto col = std::uint64_t(packed & col_mask);
+        auto row = std::uint64_t(packed >> idx_offset);
+        double x = rawToF(t, _sspm->readDirect(col));
+        double acc = rawToF(t, _sspm->readDirect(row + offset));
+        acc += x * d.fAs(t, l);
+        _sspm->writeDirect(row + std::uint64_t(offset),
+                           fToRaw(t, acc));
+    }
+
+    Inst inst = makeInst(Op::VidxBlkMulD, int(n), REG_NONE,
+                         vid(data), vid(idx));
+    inst.sspmReads = std::uint16_t(2 * n);
+    inst.sspmWrites = std::uint16_t(n);
+    _core->push(inst);
+}
+
+} // namespace via

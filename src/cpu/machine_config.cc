@@ -1,0 +1,65 @@
+#include "cpu/machine_config.hh"
+
+namespace via
+{
+
+MachineParams
+machineParamsFrom(const Config &cfg)
+{
+    MachineParams p;
+
+    p.via = ViaConfig::make(
+        cfg.getUInt("sspm_kb", 16),
+        std::uint32_t(cfg.getUInt("ports", 2)));
+    if (cfg.has("cam_kb"))
+        p.via.camBytes = cfg.getUInt("cam_kb", 4) * 1024;
+    p.via.bankEntries =
+        std::uint32_t(cfg.getUInt("cam_bank", p.via.bankEntries));
+
+    CoreParams &core = p.core;
+    core.robSize = std::uint32_t(cfg.getUInt("rob", core.robSize));
+    core.dispatchWidth = std::uint32_t(
+        cfg.getUInt("dispatch", core.dispatchWidth));
+    core.commitWidth =
+        std::uint32_t(cfg.getUInt("commit", core.commitWidth));
+    core.lqEntries =
+        std::uint32_t(cfg.getUInt("lq", core.lqEntries));
+    core.sqEntries =
+        std::uint32_t(cfg.getUInt("sq", core.sqEntries));
+    core.viaAtCommit = cfg.getBool("via_at_commit",
+                                   core.viaAtCommit);
+
+    OpLatencies &lat = core.latencies;
+    lat.gatherOverhead =
+        cfg.getUInt("gather_overhead", lat.gatherOverhead);
+    lat.gatherPortFactor =
+        cfg.getUInt("gather_ports", lat.gatherPortFactor);
+    lat.mispredictPenalty =
+        cfg.getUInt("mispredict", lat.mispredictPenalty);
+    lat.storeForwardPenalty =
+        cfg.getUInt("store_forward", lat.storeForwardPenalty);
+
+    MemSystemParams &mem = p.mem;
+    if (cfg.has("l1_kb"))
+        mem.levels[0].sizeBytes = cfg.getUInt("l1_kb", 32) * 1024;
+    if (cfg.has("l2_kb"))
+        mem.levels[1].sizeBytes = cfg.getUInt("l2_kb", 1024) * 1024;
+    mem.levels[0].hitLatency =
+        cfg.getUInt("l1_lat", mem.levels[0].hitLatency);
+    mem.levels[1].hitLatency =
+        cfg.getUInt("l2_lat", mem.levels[1].hitLatency);
+    if (cfg.has("mshrs")) {
+        mem.levels[0].mshrs =
+            std::uint32_t(cfg.getUInt("mshrs", 16));
+        mem.levels[1].mshrs = 2 * mem.levels[0].mshrs;
+    }
+    mem.dram.latency = cfg.getUInt("dram_lat", mem.dram.latency);
+    mem.dram.bytesPerCycle =
+        cfg.getDouble("dram_bw", mem.dram.bytesPerCycle);
+    mem.prefetch.degree = std::uint32_t(
+        cfg.getUInt("prefetch", mem.prefetch.degree));
+
+    return p;
+}
+
+} // namespace via

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Build MachineParams from key=value configuration, so every
+ * harness and the CLI expose the same sweep knobs.
+ *
+ * Recognized keys (all optional):
+ *   sspm_kb, ports, cam_kb, cam_bank      — VIA hardware
+ *   rob, dispatch, commit, lq, sq         — core window/widths
+ *   l1_kb, l2_kb, l1_lat, l2_lat, mshrs   — caches
+ *   dram_lat, dram_bw                     — memory (cycles, B/cyc)
+ *   prefetch                              — L2 next-N-line degree
+ *   gather_overhead, gather_ports         — indexed-access cost
+ *   mispredict, store_forward             — penalty model
+ *   via_at_commit                         — strict §IV-E reading
+ */
+
+#ifndef VIA_CPU_MACHINE_CONFIG_HH
+#define VIA_CPU_MACHINE_CONFIG_HH
+
+#include "cpu/core_params.hh"
+#include "simcore/config.hh"
+
+namespace via
+{
+
+/** Table I defaults overridden by whatever @p cfg carries. */
+MachineParams machineParamsFrom(const Config &cfg);
+
+} // namespace via
+
+#endif // VIA_CPU_MACHINE_CONFIG_HH

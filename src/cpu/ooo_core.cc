@@ -1,0 +1,232 @@
+#include "cpu/ooo_core.hh"
+
+#include <algorithm>
+
+#include "simcore/log.hh"
+
+namespace via
+{
+
+OoOCore::OoOCore(const CoreParams &params, MemSystem &mem, Fivu &fivu)
+    : _params(params), _mem(mem), _fivu(fivu), _fus(params),
+      _dispatchPorts(params.dispatchWidth),
+      _rob(params.robSize, params.commitWidth),
+      _stores(params.storeBuffer),
+      _loadQueue(params.lqEntries),
+      _storeQueue(params.sqEntries)
+{
+}
+
+Tick
+OoOCore::regReady(std::int16_t reg) const
+{
+    if (reg == REG_NONE)
+        return 0;
+    via_assert(reg >= 0 && reg < NUM_REGS, "bad register id ", reg);
+    return _regReady[std::size_t(reg)];
+}
+
+void
+OoOCore::setRegReady(std::int16_t reg, Tick when)
+{
+    if (reg == REG_NONE)
+        return;
+    via_assert(reg >= 0 && reg < NUM_REGS, "bad register id ", reg);
+    _regReady[std::size_t(reg)] = when;
+}
+
+Tick
+OoOCore::scheduleMem(const Inst &inst, Tick issue)
+{
+    // Each access grabs an L1 port slot, respects store ordering,
+    // then walks the hierarchy. The instruction's data is ready when
+    // the slowest access returns.
+    bool indexed = inst.op == Op::VGather || inst.op == Op::VScatter;
+    Tick port_occ = indexed ? _params.latencies.gatherPortFactor : 1;
+    Tick data_ready = issue;
+    for (std::uint8_t a = 0; a < inst.numAccesses; ++a) {
+        const MemAccess &acc = inst.accesses[a];
+        ++_stats.cacheAccesses;
+
+        Tick ready = issue;
+        SlotPool &queue = acc.isWrite ? _storeQueue : _loadQueue;
+        // A load/store queue entry must be free before the access
+        // can leave the core: this bounds memory-level parallelism.
+        ready = std::max(ready, queue.freeAt());
+        if (!acc.isWrite) {
+            Tick fwd = _stores.loadReady(acc.addr, acc.bytes);
+            if (fwd > 0) {
+                // The load consumes a store still in flight: wait
+                // for the line plus the forwarding-replay penalty.
+                ready = std::max(
+                    ready,
+                    fwd + _params.latencies.storeForwardPenalty);
+            }
+        }
+
+        Resource &port = _fus.forClass(acc.isWrite
+                                           ? FuClass::StorePort
+                                           : FuClass::LoadPort);
+        Tick start = port.acquire(ready, port_occ);
+        MemResult res = _mem.access(acc.addr, acc.bytes, acc.isWrite,
+                                    start);
+        queue.reserve(res.complete);
+        if (acc.isWrite) {
+            _stores.recordStore(acc.addr, acc.bytes, res.complete);
+            // Stores retire into the cache; the instruction itself
+            // completes once the access is issued.
+            data_ready = std::max(data_ready, start + 1);
+        } else {
+            data_ready = std::max(data_ready, res.complete);
+        }
+    }
+    return data_ready;
+}
+
+void
+OoOCore::push(const Inst &inst)
+{
+    ++_stats.insts;
+    FuClass cls = fuClassOf(inst.op);
+
+    if (logLevel() >= LogLevel::Debug) {
+        via_debug("[", inst.seq, "] ", mnemonic(inst.op),
+                  " vl=", int(inst.vl), " dst=", inst.dst,
+                  " src=", inst.src[0], ",", inst.src[1], ",",
+                  inst.src[2], " mem=", int(inst.numAccesses),
+                  " sspm=", inst.sspmReads, "r/", inst.sspmWrites,
+                  "w");
+    }
+
+    // ---- dispatch: in order, width-limited, ROB-bounded ----------
+    Tick disp_ready = std::max(_lastDispatch, _rob.dispatchReady());
+    Tick dispatch = _dispatchPorts.acquire(disp_ready);
+    _lastDispatch = dispatch;
+
+    // ---- operand readiness ---------------------------------------
+    Tick ready = dispatch;
+    for (std::int16_t src : inst.src)
+        ready = std::max(ready, regReady(src));
+
+    Tick complete;
+    if (inst.isVia()) {
+        ++_stats.viaInsts;
+        // VIA instructions must be non-speculative before touching
+        // the SSPM (Section IV-E). With perfect branch prediction
+        // that means all older branches resolved; the conservative
+        // commit-time reading is available for the ablation.
+        Tick safe = _params.viaAtCommit ? _rob.commitFront()
+                                        : _lastBranchResolve;
+        Tick eligible = std::max(ready, safe);
+        Fivu::Timing t = _fivu.dispatch(inst, eligible,
+                                        _params.latencies);
+        complete = t.complete;
+    } else if (inst.isMem()) {
+        ++_stats.memInsts;
+        if (inst.op == Op::VGather || inst.op == Op::VScatter)
+            _stats.gatherElements += inst.numAccesses;
+        // Address generation / AGU issue.
+        Resource &agu = _fus.forClass(cls);
+        Tick issue = agu.acquire(ready);
+        Tick fixed = _params.latencies.latencyOf(inst.op);
+        complete = std::max(scheduleMem(inst, issue), issue + fixed);
+    } else if (cls == FuClass::None) {
+        complete = ready;
+    } else {
+        Resource &fu = _fus.forClass(cls);
+        Tick issue = fu.acquire(ready);
+        complete = issue + _params.latencies.latencyOf(inst.op);
+    }
+
+    if (inst.vl > 0)
+        ++_stats.vectorInsts;
+    else
+        ++_stats.scalarInsts;
+
+    if (inst.op == Op::SBranch) {
+        _lastBranchResolve = std::max(_lastBranchResolve, complete);
+        if (inst.isDataBranch) {
+            ++_stats.branches;
+            // 2-bit saturating counter, weakly-taken initial state.
+            std::uint8_t &ctr = _branchTable.try_emplace(
+                inst.branchSite, 2).first->second;
+            bool predict_taken = ctr >= 2;
+            if (predict_taken != inst.branchTaken) {
+                ++_stats.mispredicts;
+                // Front-end redirect: nothing younger dispatches
+                // until the branch resolves plus the refill delay.
+                _lastDispatch = std::max(
+                    _lastDispatch,
+                    complete + _params.latencies.mispredictPenalty);
+            }
+            if (inst.branchTaken && ctr < 3)
+                ++ctr;
+            else if (!inst.branchTaken && ctr > 0)
+                --ctr;
+        }
+    }
+
+    setRegReady(inst.dst, complete);
+    _lastComplete = std::max(_lastComplete, complete);
+
+    // ---- in-order commit -----------------------------------------
+    Tick commit = _rob.commit(complete);
+    _stats.commitTick = commit;
+
+    // Simulated-time observers (stat sampling etc.) run as the
+    // commit front passes their scheduled ticks.
+    if (_events && commit > _events->curTick())
+        _events->advanceTo(commit);
+}
+
+void
+OoOCore::resetTiming()
+{
+    _fus.resetTiming();
+    _dispatchPorts.resetTiming();
+    _rob.resetTiming();
+    _stores.resetTiming();
+    _loadQueue.resetTiming();
+    _storeQueue.resetTiming();
+    _regReady.fill(0);
+    _lastDispatch = 0;
+    _lastComplete = 0;
+    _lastBranchResolve = 0;
+    _branchTable.clear();
+    _fivu.resetTiming();
+    _mem.dram().resetTiming();
+}
+
+void
+OoOCore::registerStats(StatSet &stats) const
+{
+    stats.addScalar("core.insts", "dynamic instructions",
+                    &_stats.insts);
+    stats.addScalar("core.via_insts", "VIA instructions",
+                    &_stats.viaInsts);
+    stats.addScalar("core.mem_insts", "memory instructions",
+                    &_stats.memInsts);
+    stats.addScalar("core.vector_insts", "vector instructions",
+                    &_stats.vectorInsts);
+    stats.addScalar("core.scalar_insts", "scalar instructions",
+                    &_stats.scalarInsts);
+    stats.addScalar("core.cache_accesses",
+                    "element accesses issued to L1",
+                    &_stats.cacheAccesses);
+    stats.addScalar("core.gather_elements",
+                    "elements moved by gathers/scatters",
+                    &_stats.gatherElements);
+    stats.addScalar("core.branches", "data-dependent branches",
+                    &_stats.branches);
+    stats.addScalar("core.mispredicts", "branch mispredictions",
+                    &_stats.mispredicts);
+    stats.addScalar("core.cycles", "commit tick of youngest inst",
+                    &_stats.commitTick);
+    stats.addFormula("core.ipc", "instructions per cycle", [this] {
+        return _stats.commitTick
+                   ? double(_stats.insts) / double(_stats.commitTick)
+                   : 0.0;
+    });
+}
+
+} // namespace via

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Analytic out-of-order core model.
+ *
+ * OoOCore consumes the dynamic instruction stream in program order
+ * and computes, per instruction, its dispatch, issue, completion and
+ * commit ticks using greedy list scheduling over:
+ *
+ *   - dispatch bandwidth (in order, dispatchWidth/cycle),
+ *   - ROB occupancy (dispatch stalls until the reused entry retired),
+ *   - data dependencies through the register ready table,
+ *   - functional-unit bandwidth per class,
+ *   - L1 load/store ports: gathers and scatters issue one cache
+ *     access per active element,
+ *   - memory ordering: loads wait for overlapping older stores,
+ *   - the FIVU: VIA instructions become eligible only when all older
+ *     instructions have committed (commit-time execution, paper
+ *     Section IV-E) and serialize on the SSPM ports.
+ *
+ * The model never materializes a trace: each pushed Inst is folded
+ * into O(window) state. Branches are treated as perfectly predicted.
+ */
+
+#ifndef VIA_CPU_OOO_CORE_HH
+#define VIA_CPU_OOO_CORE_HH
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+
+#include "cpu/core_params.hh"
+#include "cpu/fu_pool.hh"
+#include "cpu/lsq.hh"
+#include "cpu/rob.hh"
+#include "isa/inst.hh"
+#include "mem/mem_system.hh"
+#include "simcore/event_queue.hh"
+#include "simcore/stats.hh"
+#include "simcore/types.hh"
+#include "via/fivu.hh"
+
+namespace via
+{
+
+/** Core-level statistics. */
+struct CoreStats
+{
+    std::uint64_t insts = 0;
+    std::uint64_t viaInsts = 0;
+    std::uint64_t memInsts = 0;
+    std::uint64_t vectorInsts = 0;
+    std::uint64_t scalarInsts = 0;
+    std::uint64_t cacheAccesses = 0; //!< element accesses issued
+    std::uint64_t gatherElements = 0;
+    std::uint64_t branches = 0;      //!< data-dependent branches
+    std::uint64_t mispredicts = 0;
+    std::uint64_t commitTick = 0;    //!< running makespan
+};
+
+/** Greedy list-scheduling OoO timing model. */
+class OoOCore
+{
+  public:
+    /**
+     * @param params core sizing
+     * @param mem the shared memory hierarchy
+     * @param fivu the VIA unit (shared with the Machine facade)
+     */
+    OoOCore(const CoreParams &params, MemSystem &mem, Fivu &fivu);
+
+    /** Fold one instruction (program order) into the schedule. */
+    void push(const Inst &inst);
+
+    /** Commit tick of the youngest instruction (the makespan). */
+    Tick finishTick() const { return _rob.commitFront(); }
+
+    /** Completion tick of the youngest value written (drain). */
+    Tick lastComplete() const { return _lastComplete; }
+
+    /** Reset all timing state for a new measurement interval. */
+    void resetTiming();
+
+    const CoreParams &params() const { return _params; }
+    CoreStats &stats() { return _stats; }
+    const CoreStats &stats() const { return _stats; }
+
+    /** Register core statistics under "core.". */
+    void registerStats(StatSet &stats) const;
+
+    /**
+     * Attach an event queue that is advanced to each commit tick:
+     * events scheduled on it (periodic stat sampling, watchdogs)
+     * fire at the right simulated times as the kernel runs.
+     */
+    void attachEvents(EventQueue *events) { _events = events; }
+
+  private:
+    /** Combined scalar+vector register-ready table. */
+    static constexpr int NUM_REGS = NUM_SREGS + NUM_VREGS;
+
+    Tick regReady(std::int16_t reg) const;
+    void setRegReady(std::int16_t reg, Tick when);
+
+    /** Schedule the memory accesses of @p inst; returns data-ready. */
+    Tick scheduleMem(const Inst &inst, Tick issue);
+
+    CoreParams _params;
+    MemSystem &_mem;
+    Fivu &_fivu;
+    EventQueue *_events = nullptr;
+
+    FuPool _fus;
+    Resource _dispatchPorts;
+    RobModel _rob;
+    StoreTracker _stores;
+    SlotPool _loadQueue;
+    SlotPool _storeQueue;
+
+    std::array<Tick, NUM_REGS> _regReady{};
+    Tick _lastDispatch = 0;
+    Tick _lastComplete = 0;
+    Tick _lastBranchResolve = 0; //!< non-speculative point
+
+    /** 2-bit saturating counters for data-dependent branches. */
+    std::unordered_map<std::uint32_t, std::uint8_t> _branchTable;
+
+    CoreStats _stats;
+};
+
+} // namespace via
+
+#endif // VIA_CPU_OOO_CORE_HH

@@ -1,0 +1,45 @@
+#include "cpu/rob.hh"
+
+#include <algorithm>
+
+#include "simcore/log.hh"
+
+namespace via
+{
+
+RobModel::RobModel(std::uint32_t rob_size, std::uint32_t commit_width)
+    : _ring(std::max<std::uint32_t>(rob_size, 1), 0),
+      _commitPorts(commit_width)
+{
+}
+
+Tick
+RobModel::dispatchReady() const
+{
+    // The slot the next instruction will occupy holds the commit
+    // tick of the instruction robSize older (0 if none yet).
+    return _ring[_count % _ring.size()];
+}
+
+Tick
+RobModel::commit(Tick complete)
+{
+    // In-order commit: cannot retire before the previous
+    // instruction's commit cycle; at most commitWidth per cycle.
+    Tick at = _commitPorts.acquire(std::max(complete, _lastCommit));
+    _lastCommit = at;
+    _ring[_count % _ring.size()] = at;
+    ++_count;
+    return at;
+}
+
+void
+RobModel::resetTiming()
+{
+    std::fill(_ring.begin(), _ring.end(), Tick(0));
+    _commitPorts.resetTiming();
+    _lastCommit = 0;
+    _count = 0;
+}
+
+} // namespace via

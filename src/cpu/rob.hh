@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Analytic reorder-buffer model.
+ *
+ * The ROB bounds how far dispatch can run ahead of commit: the i-th
+ * instruction cannot dispatch before instruction (i - robSize) has
+ * committed. Commit itself is in order and commit-width limited.
+ */
+
+#ifndef VIA_CPU_ROB_HH
+#define VIA_CPU_ROB_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cpu/fu_pool.hh"
+#include "simcore/types.hh"
+
+namespace via
+{
+
+/** Ring of per-entry commit ticks plus the in-order commit front. */
+class RobModel
+{
+  public:
+    RobModel(std::uint32_t rob_size, std::uint32_t commit_width);
+
+    /**
+     * Earliest dispatch tick for the next instruction given ROB
+     * occupancy: the commit time of the entry being reused.
+     */
+    Tick dispatchReady() const;
+
+    /**
+     * Commit the next instruction (in order) once it completed at
+     * @p complete. Returns the commit tick.
+     */
+    Tick commit(Tick complete);
+
+    /** Commit tick of the youngest committed instruction. */
+    Tick commitFront() const { return _lastCommit; }
+
+    /** Number of instructions pushed so far. */
+    SeqNum count() const { return _count; }
+
+    /** Reset for a new kernel run. */
+    void resetTiming();
+
+  private:
+    std::vector<Tick> _ring; //!< commit tick per (seq % robSize)
+    Resource _commitPorts;
+    Tick _lastCommit = 0;
+    SeqNum _count = 0;
+};
+
+} // namespace via
+
+#endif // VIA_CPU_ROB_HH

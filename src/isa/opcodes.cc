@@ -1,0 +1,174 @@
+#include "isa/opcodes.hh"
+
+#include "simcore/log.hh"
+
+namespace via
+{
+
+bool
+isMemOp(Op op)
+{
+    switch (op) {
+      case Op::SLoad:
+      case Op::SStore:
+      case Op::VLoad:
+      case Op::VStore:
+      case Op::VGather:
+      case Op::VScatter:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isViaOp(Op op)
+{
+    switch (op) {
+      case Op::VidxLoadD:
+      case Op::VidxLoadC:
+      case Op::VidxMov:
+      case Op::VidxKeys:
+      case Op::VidxVals:
+      case Op::VidxCount:
+      case Op::VidxClear:
+      case Op::VidxAddD:
+      case Op::VidxAddC:
+      case Op::VidxSubD:
+      case Op::VidxSubC:
+      case Op::VidxMulD:
+      case Op::VidxMulC:
+      case Op::VidxBlkMulD:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isCamOp(Op op)
+{
+    switch (op) {
+      case Op::VidxLoadC:
+      case Op::VidxAddC:
+      case Op::VidxSubC:
+      case Op::VidxMulC:
+      case Op::VidxKeys:
+      case Op::VidxVals:
+        return true;
+      default:
+        return false;
+    }
+}
+
+FuClass
+fuClassOf(Op op)
+{
+    switch (op) {
+      case Op::Nop:
+        return FuClass::None;
+      case Op::SAlu:
+      case Op::SBranch:
+        return FuClass::IntAlu;
+      case Op::SMul:
+        return FuClass::IntMul;
+      case Op::SFAdd:
+        return FuClass::VecFp;
+      case Op::SFMul:
+        return FuClass::VecFpMul;
+      case Op::SLoad:
+      case Op::VLoad:
+      case Op::VGather:
+        return FuClass::LoadPort;
+      case Op::SStore:
+      case Op::VStore:
+      case Op::VScatter:
+        return FuClass::StorePort;
+      case Op::VAddF:
+      case Op::VSubF:
+        return FuClass::VecFp;
+      case Op::VMulF:
+      case Op::VFmaF:
+        return FuClass::VecFpMul;
+      case Op::VAddI:
+      case Op::VMulI:
+      case Op::VAndI:
+      case Op::VShrI:
+      case Op::VCmpEqI:
+      case Op::VCmpLtI:
+      case Op::VBroadcastF:
+      case Op::VBroadcastI:
+      case Op::VIota:
+      case Op::VMove:
+        return FuClass::VecAlu;
+      case Op::VRedSumF:
+        return FuClass::VecRed;
+      case Op::VCompress:
+      case Op::VExpand:
+      case Op::VPermute:
+      case Op::VConflict:
+      case Op::VMergeIdx:
+        return FuClass::VecPerm;
+      default:
+        break;
+    }
+    if (isViaOp(op))
+        return FuClass::Fivu;
+    via_panic("fuClassOf: unhandled op ", int(op));
+}
+
+std::string_view
+mnemonic(Op op)
+{
+    switch (op) {
+      case Op::Nop: return "nop";
+      case Op::SAlu: return "salu";
+      case Op::SMul: return "smul";
+      case Op::SFAdd: return "sfadd";
+      case Op::SFMul: return "sfmul";
+      case Op::SBranch: return "sbr";
+      case Op::SLoad: return "sld";
+      case Op::SStore: return "sst";
+      case Op::VLoad: return "vld";
+      case Op::VStore: return "vst";
+      case Op::VGather: return "vgather";
+      case Op::VScatter: return "vscatter";
+      case Op::VAddF: return "vaddf";
+      case Op::VSubF: return "vsubf";
+      case Op::VMulF: return "vmulf";
+      case Op::VFmaF: return "vfmaf";
+      case Op::VAddI: return "vaddi";
+      case Op::VMulI: return "vmuli";
+      case Op::VAndI: return "vandi";
+      case Op::VShrI: return "vshri";
+      case Op::VCmpEqI: return "vcmpeqi";
+      case Op::VCmpLtI: return "vcmplti";
+      case Op::VRedSumF: return "vredsumf";
+      case Op::VBroadcastF: return "vbcastf";
+      case Op::VBroadcastI: return "vbcasti";
+      case Op::VIota: return "viota";
+      case Op::VMove: return "vmove";
+      case Op::VCompress: return "vcompress";
+      case Op::VExpand: return "vexpand";
+      case Op::VPermute: return "vpermute";
+      case Op::VConflict: return "vconflict";
+      case Op::VMergeIdx: return "vmergeidx";
+      case Op::VidxLoadD: return "vidx.load.d";
+      case Op::VidxLoadC: return "vidx.load.c";
+      case Op::VidxMov: return "vidx.mov";
+      case Op::VidxKeys: return "vidx.keys";
+      case Op::VidxVals: return "vidx.vals";
+      case Op::VidxCount: return "vidx.count";
+      case Op::VidxClear: return "vidx.clear";
+      case Op::VidxAddD: return "vidx.add.d";
+      case Op::VidxAddC: return "vidx.add.c";
+      case Op::VidxSubD: return "vidx.sub.d";
+      case Op::VidxSubC: return "vidx.sub.c";
+      case Op::VidxMulD: return "vidx.mul.d";
+      case Op::VidxMulC: return "vidx.mul.c";
+      case Op::VidxBlkMulD: return "vidx.blkmul.d";
+      default: return "<bad-op>";
+    }
+}
+
+} // namespace via

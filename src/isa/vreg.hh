@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Architectural vector state: lane containers and the register file.
+ *
+ * Registers are 256-bit (AVX2-like) by default: 8 x 32-bit or
+ * 4 x 64-bit lanes. Lanes are stored as raw 64-bit containers with
+ * typed accessors so one structure serves every element type.
+ */
+
+#ifndef VIA_ISA_VREG_HH
+#define VIA_ISA_VREG_HH
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+
+#include "simcore/log.hh"
+
+namespace via
+{
+
+/** Element types understood by the vector unit. */
+enum class ElemType : std::uint8_t { I32, F32, I64, F64 };
+
+/** Bytes per element. */
+constexpr std::uint32_t
+elemBytes(ElemType t)
+{
+    return (t == ElemType::I32 || t == ElemType::F32) ? 4 : 8;
+}
+
+/** Hardware vector width in bits. */
+constexpr std::uint32_t VECTOR_BITS = 256;
+
+/** Maximum lanes (32-bit elements in a 256-bit register). */
+constexpr std::uint32_t MAX_LANES = VECTOR_BITS / 32;
+
+/** Lanes available for a given element type. */
+constexpr std::uint32_t
+lanesFor(ElemType t)
+{
+    return VECTOR_BITS / (8 * elemBytes(t));
+}
+
+/** One vector register's value: raw 64-bit lane containers. */
+struct VecValue
+{
+    std::array<std::uint64_t, MAX_LANES> raw{};
+
+    std::int64_t
+    i(std::uint32_t lane) const
+    {
+        return std::int64_t(raw[lane]);
+    }
+
+    void
+    setI(std::uint32_t lane, std::int64_t v)
+    {
+        raw[lane] = std::uint64_t(v);
+    }
+
+    float
+    f32(std::uint32_t lane) const
+    {
+        float out;
+        auto bits = std::uint32_t(raw[lane]);
+        std::memcpy(&out, &bits, sizeof(out));
+        return out;
+    }
+
+    void
+    setF32(std::uint32_t lane, float v)
+    {
+        std::uint32_t bits;
+        std::memcpy(&bits, &v, sizeof(bits));
+        raw[lane] = bits;
+    }
+
+    double
+    f64(std::uint32_t lane) const
+    {
+        double out;
+        std::memcpy(&out, &raw[lane], sizeof(out));
+        return out;
+    }
+
+    void
+    setF64(std::uint32_t lane, double v)
+    {
+        std::uint64_t bits;
+        std::memcpy(&bits, &v, sizeof(bits));
+        raw[lane] = bits;
+    }
+
+    /** Generic float read honouring the element type. */
+    double
+    fAs(ElemType t, std::uint32_t lane) const
+    {
+        return t == ElemType::F64 ? f64(lane) : double(f32(lane));
+    }
+
+    /** Generic float write honouring the element type. */
+    void
+    setFAs(ElemType t, std::uint32_t lane, double v)
+    {
+        if (t == ElemType::F64)
+            setF64(lane, v);
+        else
+            setF32(lane, float(v));
+    }
+};
+
+/** Number of architectural vector registers (ymm0..ymm15). */
+constexpr int NUM_VREGS = 16;
+
+/** Number of architectural scalar registers made visible. */
+constexpr int NUM_SREGS = 32;
+
+/** Architectural vector register file. */
+class VecRegFile
+{
+  public:
+    VecValue &
+    operator[](int idx)
+    {
+        via_assert(idx >= 0 && idx < NUM_VREGS,
+                   "vreg index out of range: ", idx);
+        return _regs[std::size_t(idx)];
+    }
+
+    const VecValue &
+    operator[](int idx) const
+    {
+        via_assert(idx >= 0 && idx < NUM_VREGS,
+                   "vreg index out of range: ", idx);
+        return _regs[std::size_t(idx)];
+    }
+
+  private:
+    std::array<VecValue, NUM_VREGS> _regs{};
+};
+
+} // namespace via
+
+#endif // VIA_ISA_VREG_HH

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Histogram kernels (paper Section IV-F1, Algorithm 5; evaluated in
+ * Section VII-D / Figure 12.a).
+ *
+ * Baselines:
+ *   - scalar: load-increment-store per key; duplicate keys serialize
+ *     through store-to-load forwarding.
+ *   - vector: AVX-512CD style — vpconflictd + merge sequence, then
+ *     gather/add/scatter on the bucket array in memory. The
+ *     scatter-to-gather dependence on hot buckets is the
+ *     store-load-forwarding wall the paper attacks.
+ *
+ * VIA: same conflict-detection front end, but the accumulation is a
+ * single vidx.add.d into the SSPM (Algorithm 5 line 5); buckets
+ * never travel through the cache hierarchy until the final drain.
+ */
+
+#ifndef VIA_KERNELS_HISTOGRAM_HH
+#define VIA_KERNELS_HISTOGRAM_HH
+
+#include <vector>
+
+#include "cpu/machine.hh"
+#include "sparse/sparse_types.hh"
+
+namespace via::kernels
+{
+
+/** Result of one histogram run. */
+struct HistResult
+{
+    std::vector<Value> hist;
+    Tick cycles = 0;
+};
+
+HistResult histScalar(Machine &m, const std::vector<Index> &keys,
+                      Index buckets);
+HistResult histVector(Machine &m, const std::vector<Index> &keys,
+                      Index buckets);
+HistResult histVia(Machine &m, const std::vector<Index> &keys,
+                   Index buckets);
+
+} // namespace via::kernels
+
+#endif // VIA_KERNELS_HISTOGRAM_HH

@@ -1,0 +1,56 @@
+#include "kernels/reference.hh"
+
+#include "simcore/log.hh"
+
+namespace via::kernels
+{
+
+std::vector<Value>
+refHistogram(const std::vector<Index> &keys, Index buckets)
+{
+    std::vector<Value> hist(std::size_t(buckets), Value(0));
+    for (Index k : keys) {
+        via_assert(k >= 0 && k < buckets, "key ", k,
+                   " outside [0, ", buckets, ")");
+        hist[std::size_t(k)] += Value(1);
+    }
+    return hist;
+}
+
+const std::array<float, 16> &
+gaussian4x4()
+{
+    // Binomial 4-tap (1,3,3,1) outer product, normalized by 64.
+    static const std::array<float, 16> filter = [] {
+        std::array<float, 16> f{};
+        const float tap[4] = {1.f, 3.f, 3.f, 1.f};
+        for (int y = 0; y < 4; ++y)
+            for (int x = 0; x < 4; ++x)
+                f[std::size_t(y * 4 + x)] =
+                    tap[y] * tap[x] / 64.0f;
+        return f;
+    }();
+    return filter;
+}
+
+DenseMatrix
+refConvolve4x4(const DenseMatrix &img)
+{
+    via_assert(img.rows() >= 4 && img.cols() >= 4,
+               "image smaller than the filter");
+    const auto &f = gaussian4x4();
+    DenseMatrix out(img.rows() - 3, img.cols() - 3);
+    for (Index y = 0; y < out.rows(); ++y) {
+        for (Index x = 0; x < out.cols(); ++x) {
+            float acc = 0.0f;
+            for (int dy = 0; dy < 4; ++dy)
+                for (int dx = 0; dx < 4; ++dx)
+                    acc += f[std::size_t(dy * 4 + dx)] *
+                           img.at(y + dy, x + dx);
+            out.at(y, x) = acc;
+        }
+    }
+    return out;
+}
+
+} // namespace via::kernels

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Host-side golden implementations used to verify kernels.
+ * (SpMV/SpMA/SpMM goldens live with the formats: Csr::multiply,
+ * addCsr, mulCsr.)
+ */
+
+#ifndef VIA_KERNELS_REFERENCE_HH
+#define VIA_KERNELS_REFERENCE_HH
+
+#include <array>
+#include <vector>
+
+#include "sparse/dense.hh"
+#include "sparse/sparse_types.hh"
+
+namespace via::kernels
+{
+
+/** Count keys into `buckets` bins; keys must be in [0, buckets). */
+std::vector<Value> refHistogram(const std::vector<Index> &keys,
+                                Index buckets);
+
+/** The 4x4 Gaussian kernel used by the stencil workloads. */
+const std::array<float, 16> &gaussian4x4();
+
+/**
+ * Valid-region 4x4 convolution: output is
+ * (rows-3) x (cols-3), out(y,x) = sum filter(dy,dx)*img(y+dy,x+dx).
+ */
+DenseMatrix refConvolve4x4(const DenseMatrix &img);
+
+} // namespace via::kernels
+
+#endif // VIA_KERNELS_REFERENCE_HH

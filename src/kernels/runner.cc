@@ -1,0 +1,23 @@
+#include "kernels/runner.hh"
+
+namespace via::kernels
+{
+
+RunMetrics
+collectMetrics(const Machine &m, const EnergyParams &eparams)
+{
+    RunMetrics r;
+    r.cycles = m.cycles();
+    const CoreStats &cs = m.core().stats();
+    r.insts = cs.insts;
+    const DramStats &ds = m.memSystem().dram().stats();
+    r.dramReadBytes = ds.bytesRead;
+    r.dramWriteBytes = ds.bytesWritten;
+    r.dramBytesPerCycle =
+        r.cycles ? double(r.dramBytes()) / double(r.cycles) : 0.0;
+    r.ipc = r.cycles ? double(r.insts) / double(r.cycles) : 0.0;
+    r.energy = computeEnergy(m, eparams);
+    return r;
+}
+
+} // namespace via::kernels

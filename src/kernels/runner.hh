@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Run-level metrics collection: cycles, traffic, bandwidth, energy.
+ *
+ * Kernels are pure emit functions; the runner wraps one kernel run
+ * on a fresh Machine and condenses the statistics the benchmark
+ * harnesses report.
+ */
+
+#ifndef VIA_KERNELS_RUNNER_HH
+#define VIA_KERNELS_RUNNER_HH
+
+#include <cstdint>
+
+#include "cpu/machine.hh"
+#include "power/energy_model.hh"
+
+namespace via::kernels
+{
+
+/** Condensed metrics of one finished kernel run. */
+struct RunMetrics
+{
+    Tick cycles = 0;
+    std::uint64_t insts = 0;
+    std::uint64_t dramReadBytes = 0;
+    std::uint64_t dramWriteBytes = 0;
+    double dramBytesPerCycle = 0.0; //!< achieved DRAM bandwidth
+    double ipc = 0.0;
+    EnergyBreakdown energy;
+
+    std::uint64_t
+    dramBytes() const
+    {
+        return dramReadBytes + dramWriteBytes;
+    }
+};
+
+/** Snapshot the metrics of a machine after a kernel ran on it. */
+RunMetrics collectMetrics(const Machine &m,
+                          const EnergyParams &eparams = {});
+
+} // namespace via::kernels
+
+#endif // VIA_KERNELS_RUNNER_HH

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Sparse matrix addition C = A + B (paper Algorithm 2, Section
+ * VII-B).
+ *
+ * Baseline: the classic sorted two-pointer merge per row, the
+ * algorithm state-of-the-art C++ libraries (Eigen) effectively run —
+ * it is branchy and processes one element per iteration, which is
+ * exactly why the paper attacks it with the CAM.
+ *
+ * VIA: per row, load A's (col, value) pairs into the CAM
+ * (vidx.load.c), stream B through vidx.add.c with SSPM output —
+ * matching columns combine in place, new columns insert in order —
+ * then read the element count and extract keys/values with
+ * vidx.keys / vidx.vals (Section IV-C).
+ *
+ * The CAM extraction emits each row's elements in insertion order
+ * (A's columns, then B-only columns); the paper does not discuss
+ * re-sorting, so the returned matrix is canonicalized host-side
+ * before comparison.
+ *
+ * Rows whose union exceeds the CAM capacity are tiled into column
+ * ranges host-side; each range runs the same CAM flow.
+ */
+
+#ifndef VIA_KERNELS_SPMA_HH
+#define VIA_KERNELS_SPMA_HH
+
+#include "cpu/machine.hh"
+#include "sparse/csr.hh"
+
+namespace via::kernels
+{
+
+/** Result of one SpMA run. */
+struct SpmaResult
+{
+    Csr c;           //!< canonicalized result
+    Tick cycles = 0;
+};
+
+/** Scalar sorted-merge baseline. */
+SpmaResult spmaScalarCsr(Machine &m, const Csr &a, const Csr &b);
+
+/** VIA CAM-union kernel. */
+SpmaResult spmaViaCsr(Machine &m, const Csr &a, const Csr &b);
+
+} // namespace via::kernels
+
+#endif // VIA_KERNELS_SPMA_HH

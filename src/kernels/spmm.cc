@@ -1,0 +1,240 @@
+#include "kernels/spmm.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "kernels/kernel_utils.hh"
+#include "simcore/log.hh"
+
+namespace via::kernels
+{
+
+namespace
+{
+
+constexpr ElemType VT = ElemType::F32;
+constexpr ElemType IT = ElemType::I32;
+
+/** Output arrays sized for the worst realistic case. */
+struct COut
+{
+    Addr col = 0;
+    Addr val = 0;
+    Addr ptr = 0;
+    std::vector<Index> rowPtr;
+    Index out = 0;
+};
+
+COut
+allocOut(Machine &m, const Csr &a, const Csc &b)
+{
+    // The inner-product result has at most rows*cols entries, but
+    // allocating that is wasteful; a safe, tight-enough bound is
+    // min(rows*cols, nnzA * max col nnz).
+    std::size_t bound = std::size_t(a.rows()) * std::size_t(b.cols());
+    std::size_t alt = a.nnz() * std::size_t(std::max<Index>(
+                                    b.maxColNnz(), 1));
+    bound = std::min(bound, alt + 1);
+    COut c;
+    c.col = m.mem().alloc(bound * sizeof(Index));
+    c.val = m.mem().alloc(bound * sizeof(Value));
+    c.ptr = m.mem().alloc((std::size_t(a.rows()) + 1) *
+                          sizeof(Index));
+    c.rowPtr.assign(std::size_t(a.rows()) + 1, 0);
+    return c;
+}
+
+Csr
+assemble(const Machine &m, const COut &c, Index rows, Index cols)
+{
+    auto nnz = std::size_t(c.rowPtr.back());
+    std::vector<Index> cols_out = downloadIndices(m, c.col, nnz);
+    DenseVector vals_out = downloadValues(m, c.val, nnz);
+    std::vector<Index> ptr = c.rowPtr;
+    return Csr::fromParts(rows, cols, std::move(ptr),
+                          std::move(cols_out), std::move(vals_out));
+}
+
+} // namespace
+
+SpmmResult
+spmmScalarInner(Machine &m, const Csr &a, const Csc &b)
+{
+    via_assert(a.cols() == b.rows(), "SpMM shape mismatch");
+    Addr a_ptr = upload(m, a.rowPtr());
+    Addr a_col = upload(m, a.colIdx());
+    Addr a_val = upload(m, a.values());
+    Addr b_ptr = upload(m, b.colPtr());
+    Addr b_row = upload(m, b.rowIdx());
+    Addr b_val = upload(m, b.values());
+    COut c = allocOut(m, a, b);
+
+    SReg s_ka{0}, s_kb{1}, s_ai{2}, s_bi{3}, s_v{4}, s_v2{5},
+        s_acc{6}, s_out{7}, s_j{8}, s_r{9};
+
+    m.sstore(c.ptr, s_out, 4);
+    for (Index r = 0; r < a.rows(); ++r) {
+        m.sload(s_ka, a_ptr + 4 * (Addr(r) + 1), 4);
+        Index a_lo = a.rowPtr()[std::size_t(r)];
+        Index a_hi = a.rowPtr()[std::size_t(r) + 1];
+        if (a_lo == a_hi) {
+            m.sbranch(s_ka); // empty row: skip all columns
+            m.sstore(c.ptr + 4 * (Addr(r) + 1), s_out, 4);
+            c.rowPtr[std::size_t(r) + 1] = c.out;
+            continue;
+        }
+        for (Index j = 0; j < b.cols(); ++j) {
+            m.sload(s_kb, b_ptr + 4 * (Addr(j) + 1), 4);
+            m.sbranch(s_kb);
+            Index b_lo = b.colPtr()[std::size_t(j)];
+            Index b_hi = b.colPtr()[std::size_t(j) + 1];
+            if (b_lo == b_hi)
+                continue;
+
+            // Two-pointer index matching (Algorithm 3 line 4).
+            m.salu(s_acc, 0);
+            Index ka = a_lo, kb = b_lo;
+            bool any = false;
+            while (ka < a_hi && kb < b_hi) {
+                m.sload(s_ai, a_col + 4 * Addr(ka), 4);
+                m.sload(s_bi, b_row + 4 * Addr(kb), 4);
+                m.salu(s_v, 0, s_ai, s_bi); // compare
+                Index ca = a.colIdx()[std::size_t(ka)];
+                Index cb = b.rowIdx()[std::size_t(kb)];
+                // Data-dependent index-matching branches.
+                m.sbranchData(s_v, 11, ca == cb);
+                if (ca != cb)
+                    m.sbranchData(s_v, 12, ca < cb);
+                if (ca == cb) {
+                    m.sloadF(s_v, a_val + 4 * Addr(ka), VT);
+                    m.sloadF(s_v2, b_val + 4 * Addr(kb), VT);
+                    m.sfmul(s_v, s_v, s_v2);
+                    m.sfadd(s_acc, s_acc, s_v);
+                    m.salu(s_ka, ka + 1, s_ka);
+                    m.salu(s_kb, kb + 1, s_kb);
+                    ++ka;
+                    ++kb;
+                    any = true;
+                } else if (ca < cb) {
+                    m.salu(s_ka, ka + 1, s_ka);
+                    ++ka;
+                } else {
+                    m.salu(s_kb, kb + 1, s_kb);
+                    ++kb;
+                }
+            }
+            if (any) {
+                m.simm(s_v, j);
+                m.sstore(c.col + 4 * Addr(c.out), s_v, 4);
+                m.sstoreF(c.val + 4 * Addr(c.out), s_acc, VT);
+                m.salu(s_out, c.out + 1, s_out);
+                ++c.out;
+            }
+            m.salu(s_j, j + 1, s_j);
+            m.sbranch(s_j);
+        }
+        m.sstore(c.ptr + 4 * (Addr(r) + 1), s_out, 4);
+        m.salu(s_r, r + 1, s_r);
+        m.sbranch(s_r);
+        c.rowPtr[std::size_t(r) + 1] = c.out;
+    }
+    return SpmmResult{assemble(m, c, a.rows(), b.cols()),
+                      m.cycles()};
+}
+
+SpmmResult
+spmmViaInner(Machine &m, const Csr &a, const Csc &b)
+{
+    via_assert(a.cols() == b.rows(), "SpMM shape mismatch");
+    Addr a_ptr = upload(m, a.rowPtr());
+    Addr a_col = upload(m, a.colIdx());
+    Addr a_val = upload(m, a.values());
+    Addr b_ptr = upload(m, b.colPtr());
+    Addr b_row = upload(m, b.rowIdx());
+    Addr b_val = upload(m, b.values());
+    COut c = allocOut(m, a, b);
+
+    const int vl = int(m.vl());
+    const auto cam_cap = Index(m.sspm().config().camEntries());
+    via_assert(a.maxRowNnz() <= cam_cap,
+               "A row exceeds the CAM (", cam_cap, " entries): the "
+               "VIA SpMM kernel requires rows to fit (paper "
+               "Section IV: highly sparse inputs)");
+
+    VReg v_col{0}, v_val{1}, v_prod{2}, v_acc{3};
+    SReg s_ka{0}, s_kb{1}, s_acc{2}, s_out{7}, s_j{8}, s_r{9},
+        s_k{10};
+
+    m.sstore(c.ptr, s_out, 4);
+    for (Index r = 0; r < a.rows(); ++r) {
+        m.sload(s_ka, a_ptr + 4 * (Addr(r) + 1), 4);
+        Index a_lo = a.rowPtr()[std::size_t(r)];
+        Index a_hi = a.rowPtr()[std::size_t(r) + 1];
+        if (a_lo == a_hi) {
+            m.sbranch(s_ka);
+            m.sstore(c.ptr + 4 * (Addr(r) + 1), s_out, 4);
+            c.rowPtr[std::size_t(r) + 1] = c.out;
+            continue;
+        }
+
+        // Figure 4 step 1: the A row's (col -> value) pairs enter
+        // the CAM once per row.
+        m.vidxClear();
+        for (Index k = a_lo; k < a_hi; k += vl) {
+            int n = std::min<Index>(vl, a_hi - k);
+            m.vload(v_col, a_col + 4 * Addr(k), IT, n);
+            m.vload(v_val, a_val + 4 * Addr(k), VT, n);
+            m.vidxLoadC(v_val, v_col, n);
+            m.salu(s_k, k + vl, s_k);
+            m.sbranch(s_k);
+        }
+
+        for (Index j = 0; j < b.cols(); ++j) {
+            m.sload(s_kb, b_ptr + 4 * (Addr(j) + 1), 4);
+            m.sbranch(s_kb);
+            Index b_lo = b.colPtr()[std::size_t(j)];
+            Index b_hi = b.colPtr()[std::size_t(j) + 1];
+            if (b_lo == b_hi)
+                continue;
+
+            // Figure 4 steps 2-4: stream the column, match in the
+            // CAM, multiply and reduce.
+            m.vbroadcastF(v_acc, 0.0);
+            bool any = false;
+            for (Index k = b_lo; k < b_hi; k += vl) {
+                int n = std::min<Index>(vl, b_hi - k);
+                m.vload(v_col, b_row + 4 * Addr(k), IT, n);
+                m.vload(v_val, b_val + 4 * Addr(k), VT, n);
+                m.vidxMulC(v_val, v_col, ViaOut::Vrf, v_prod, n);
+                m.vaddF(v_acc, v_acc, v_prod, n);
+                m.salu(s_k, k + vl, s_k);
+                m.sbranch(s_k);
+            }
+            // Structural-match test mirrors Algorithm 3's k != -1.
+            for (Index k = b_lo; k < b_hi && !any; ++k) {
+                Index row = b.rowIdx()[std::size_t(k)];
+                auto &cols = a.colIdx();
+                any = std::binary_search(
+                    cols.begin() + a_lo, cols.begin() + a_hi, row);
+            }
+            m.vredsumF(s_acc, v_acc);
+            if (any) {
+                m.simm(s_k, j);
+                m.sstore(c.col + 4 * Addr(c.out), s_k, 4);
+                m.sstoreF(c.val + 4 * Addr(c.out), s_acc, VT);
+                m.salu(s_out, c.out + 1, s_out);
+                ++c.out;
+            }
+            m.salu(s_j, j + 1, s_j);
+            m.sbranch(s_j);
+        }
+        m.sstore(c.ptr + 4 * (Addr(r) + 1), s_out, 4);
+        m.salu(s_r, r + 1, s_r);
+        m.sbranch(s_r);
+        c.rowPtr[std::size_t(r) + 1] = c.out;
+    }
+    return SpmmResult{assemble(m, c, a.rows(), b.cols()),
+                      m.cycles()};
+}
+
+} // namespace via::kernels

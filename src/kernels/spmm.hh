@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Sparse matrix-matrix multiplication C = A * B (paper Algorithm 3,
+ * Section VII-C).
+ *
+ * The classic inner-product formulation: A in CSR, B in CSC; every
+ * (row, column) pair intersects two sorted index lists ("index
+ * matching"). The baseline does the two-pointer merge the way
+ * scalar library code does. The VIA kernel loads each A row into
+ * the CAM once and then streams every B column through vidx.mul.c,
+ * turning the entire search into one instruction per VL elements
+ * (paper Figure 4).
+ */
+
+#ifndef VIA_KERNELS_SPMM_HH
+#define VIA_KERNELS_SPMM_HH
+
+#include "cpu/machine.hh"
+#include "sparse/csc.hh"
+#include "sparse/csr.hh"
+
+namespace via::kernels
+{
+
+/** Result of one SpMM run. */
+struct SpmmResult
+{
+    Csr c;
+    Tick cycles = 0;
+};
+
+/** Scalar two-pointer intersection baseline. */
+SpmmResult spmmScalarInner(Machine &m, const Csr &a, const Csc &b);
+
+/** VIA CAM index-matching kernel (Figure 4). */
+SpmmResult spmmViaInner(Machine &m, const Csr &a, const Csc &b);
+
+} // namespace via::kernels
+
+#endif // VIA_KERNELS_SPMM_HH

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Sparse matrix-vector multiplication kernels (paper Section VII-A).
+ *
+ * Every variant runs on the simulated machine: the software versions
+ * use the baseline vector ISA (gathers, expands, reductions) and the
+ * VIA versions use the vidx.* extensions. All compute y = A x with
+ * float32 values and return the result read back from simulated
+ * memory, so callers can verify against Csr::multiply().
+ *
+ * Variants:
+ *   - scalar CSR           (Algorithm 1, one element at a time)
+ *   - vector CSR           (Figure 2: gather on x, per-row reduce)
+ *   - vector SPC5          (masked row blocks, unit-stride x)
+ *   - vector Sell-C-sigma  (chunked rows, gather on x)
+ *   - vector CSB           (software blocks: gather x, gather/scatter
+ *                           y partials — the store-load forwarding
+ *                           pattern Section II-C describes)
+ *   - VIA CSR / SPC5 / Sell-C-sigma / CSB (Section IV)
+ */
+
+#ifndef VIA_KERNELS_SPMV_HH
+#define VIA_KERNELS_SPMV_HH
+
+#include "cpu/machine.hh"
+#include "sparse/csb.hh"
+#include "sparse/csr.hh"
+#include "sparse/dense.hh"
+#include "sparse/sell_c_sigma.hh"
+#include "sparse/spc5.hh"
+
+namespace via::kernels
+{
+
+/** Result of one kernel run on a machine. */
+struct SpmvResult
+{
+    DenseVector y;   //!< result read back from simulated memory
+    Tick cycles = 0; //!< makespan of the kernel's instructions
+};
+
+SpmvResult spmvScalarCsr(Machine &m, const Csr &a,
+                         const DenseVector &x);
+SpmvResult spmvVectorCsr(Machine &m, const Csr &a,
+                         const DenseVector &x);
+SpmvResult spmvVectorSpc5(Machine &m, const Spc5 &a,
+                          const DenseVector &x);
+SpmvResult spmvVectorSell(Machine &m, const SellCSigma &a,
+                          const DenseVector &x);
+SpmvResult spmvVectorCsb(Machine &m, const Csb &a,
+                         const DenseVector &x);
+/**
+ * Scalar CSB (the reference CSB implementation is scalar): per
+ * element, unpack the merged index, read x, accumulate y in memory.
+ */
+SpmvResult spmvScalarCsb(Machine &m, const Csb &a,
+                         const DenseVector &x);
+
+SpmvResult spmvViaCsr(Machine &m, const Csr &a, const DenseVector &x);
+SpmvResult spmvViaSpc5(Machine &m, const Spc5 &a,
+                       const DenseVector &x);
+SpmvResult spmvViaSell(Machine &m, const SellCSigma &a,
+                       const DenseVector &x);
+SpmvResult spmvViaCsb(Machine &m, const Csb &a, const DenseVector &x);
+
+/**
+ * The CSB block side the VIA kernel wants for a machine: half the
+ * SSPM entries (input chunk + accumulator chunk fill the SRAM).
+ */
+Index viaCsbBeta(const Machine &m);
+
+} // namespace via::kernels
+
+#endif // VIA_KERNELS_SPMV_HH

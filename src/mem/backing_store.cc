@@ -1,0 +1,69 @@
+#include "mem/backing_store.hh"
+
+#include <algorithm>
+
+namespace via
+{
+
+std::uint8_t *
+BackingStore::pageFor(Addr addr)
+{
+    std::uint64_t pn = addr / pageBytes;
+    auto &page = _pages[pn];
+    if (!page) {
+        page = std::make_unique<std::uint8_t[]>(pageBytes);
+        std::memset(page.get(), 0, pageBytes);
+    }
+    return page.get();
+}
+
+const std::uint8_t *
+BackingStore::pageForRead(Addr addr) const
+{
+    // Reads of untouched memory observe zeroes; materialize the page
+    // so the caller can memcpy uniformly. (mutable map)
+    return const_cast<BackingStore *>(this)->pageFor(addr);
+}
+
+void
+BackingStore::read(Addr addr, void *dst, std::size_t bytes) const
+{
+    auto *out = static_cast<std::uint8_t *>(dst);
+    while (bytes > 0) {
+        std::uint64_t off = addr % pageBytes;
+        std::size_t chunk = std::min<std::size_t>(bytes,
+                                                  pageBytes - off);
+        std::memcpy(out, pageForRead(addr) + off, chunk);
+        addr += chunk;
+        out += chunk;
+        bytes -= chunk;
+    }
+}
+
+void
+BackingStore::write(Addr addr, const void *src, std::size_t bytes)
+{
+    auto *in = static_cast<const std::uint8_t *>(src);
+    while (bytes > 0) {
+        std::uint64_t off = addr % pageBytes;
+        std::size_t chunk = std::min<std::size_t>(bytes,
+                                                  pageBytes - off);
+        std::memcpy(pageFor(addr) + off, in, chunk);
+        addr += chunk;
+        in += chunk;
+        bytes -= chunk;
+    }
+}
+
+Addr
+BackingStore::alloc(std::uint64_t bytes, std::uint64_t align)
+{
+    via_assert(align && (align & (align - 1)) == 0,
+               "alignment must be a power of two, got ", align);
+    _brk = (_brk + align - 1) & ~(align - 1);
+    Addr base = _brk;
+    _brk += std::max<std::uint64_t>(bytes, 1);
+    return base;
+}
+
+} // namespace via

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Sparse paged functional memory plus a bump allocator.
+ *
+ * The backing store holds the architectural contents of simulated
+ * memory. Timing is handled entirely by MemSystem; this class is
+ * purely functional so the kernels can be checked for correctness
+ * against golden references.
+ */
+
+#ifndef VIA_MEM_BACKING_STORE_HH
+#define VIA_MEM_BACKING_STORE_HH
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <type_traits>
+#include <unordered_map>
+#include <vector>
+
+#include "simcore/log.hh"
+#include "simcore/types.hh"
+
+namespace via
+{
+
+/** Byte-addressable sparse memory with typed helpers. */
+class BackingStore
+{
+  public:
+    static constexpr std::uint64_t pageBytes = 1 << 16;
+
+    BackingStore() = default;
+
+    /** Raw byte access. */
+    void read(Addr addr, void *dst, std::size_t bytes) const;
+    void write(Addr addr, const void *src, std::size_t bytes);
+
+    /** Typed scalar access for trivially copyable types. */
+    template <typename T>
+    T
+    load(Addr addr) const
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        T v;
+        read(addr, &v, sizeof(T));
+        return v;
+    }
+
+    template <typename T>
+    void
+    store(Addr addr, const T &v)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        write(addr, &v, sizeof(T));
+    }
+
+    /**
+     * Allocate a region of simulated memory.
+     *
+     * @param bytes region size
+     * @param align required alignment (power of two)
+     * @return base address of the region
+     */
+    Addr alloc(std::uint64_t bytes, std::uint64_t align = 64);
+
+    /** Copy a host array into simulated memory; returns its base. */
+    template <typename T>
+    Addr
+    allocArray(const std::vector<T> &host, std::uint64_t align = 64)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        Addr base = alloc(host.size() * sizeof(T), align);
+        if (!host.empty())
+            write(base, host.data(), host.size() * sizeof(T));
+        return base;
+    }
+
+    /** Copy a simulated array back out to the host. */
+    template <typename T>
+    std::vector<T>
+    readArray(Addr base, std::size_t count) const
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        std::vector<T> out(count);
+        if (count)
+            read(base, out.data(), count * sizeof(T));
+        return out;
+    }
+
+    /** Bytes currently handed out by the allocator. */
+    std::uint64_t allocated() const { return _brk - allocBase; }
+
+    /** Number of physical pages materialized. */
+    std::size_t pagesTouched() const { return _pages.size(); }
+
+  private:
+    /** First address the allocator hands out (avoid address 0). */
+    static constexpr Addr allocBase = 0x10000;
+
+    std::uint8_t *pageFor(Addr addr);
+    const std::uint8_t *pageForRead(Addr addr) const;
+
+    mutable std::unordered_map<std::uint64_t,
+                               std::unique_ptr<std::uint8_t[]>> _pages;
+    Addr _brk = allocBase;
+};
+
+} // namespace via
+
+#endif // VIA_MEM_BACKING_STORE_HH

@@ -1,0 +1,137 @@
+#include "mem/cache.hh"
+
+#include <algorithm>
+
+#include "simcore/log.hh"
+
+namespace via
+{
+
+Cache::Cache(const CacheParams &params)
+    : _params(params)
+{
+    via_assert(params.lineBytes &&
+                   (params.lineBytes & (params.lineBytes - 1)) == 0,
+               "line size must be a power of two");
+    via_assert(params.assoc > 0, "associativity must be positive");
+    std::uint64_t lines = params.sizeBytes / params.lineBytes;
+    via_assert(lines % params.assoc == 0,
+               "cache geometry does not divide evenly: ", lines,
+               " lines, assoc ", params.assoc);
+    _numSets = lines / params.assoc;
+    via_assert(_numSets > 0, "cache too small for one set");
+    _lines.resize(lines);
+    _mshrBusyUntil.assign(params.mshrs, 0);
+}
+
+std::size_t
+Cache::setIndex(Addr line_addr) const
+{
+    return std::size_t((line_addr / _params.lineBytes) % _numSets);
+}
+
+Cache::LookupResult
+Cache::access(Addr line_addr, bool is_write)
+{
+    via_assert(line_addr % _params.lineBytes == 0,
+               "unaligned line address");
+    if (is_write)
+        ++_stats.writes;
+    else
+        ++_stats.reads;
+
+    Line *set = &_lines[setIndex(line_addr) * _params.assoc];
+    Line *victim = set;
+    for (std::uint32_t way = 0; way < _params.assoc; ++way) {
+        Line &line = set[way];
+        if (line.valid && line.tag == line_addr) {
+            line.lruStamp = ++_lruClock;
+            line.dirty = line.dirty || is_write;
+            return LookupResult{true, false, 0};
+        }
+        // Prefer invalid ways, then the least recently used one.
+        if (!victim->valid)
+            continue;
+        if (!line.valid || line.lruStamp < victim->lruStamp)
+            victim = &set[way];
+    }
+
+    if (is_write)
+        ++_stats.writeMisses;
+    else
+        ++_stats.readMisses;
+
+    LookupResult res;
+    res.hit = false;
+    if (victim->valid && victim->dirty) {
+        res.victimDirty = true;
+        res.victimLine = victim->tag;
+        ++_stats.writebacks;
+    }
+    victim->valid = true;
+    victim->tag = line_addr;
+    victim->dirty = is_write;
+    victim->lruStamp = ++_lruClock;
+    return res;
+}
+
+bool
+Cache::contains(Addr line_addr) const
+{
+    const Line *set = &_lines[setIndex(line_addr) * _params.assoc];
+    for (std::uint32_t way = 0; way < _params.assoc; ++way)
+        if (set[way].valid && set[way].tag == line_addr)
+            return true;
+    return false;
+}
+
+void
+Cache::flush()
+{
+    for (auto &line : _lines)
+        line = Line{};
+    _inflight.clear();
+    std::fill(_mshrBusyUntil.begin(), _mshrBusyUntil.end(), Tick(0));
+}
+
+bool
+Cache::mshrLookup(Addr line_addr, Tick when, Tick &complete) const
+{
+    auto it = _inflight.find(line_addr);
+    if (it == _inflight.end() || it->second <= when) {
+        if (it != _inflight.end())
+            _inflight.erase(it); // stale entry: miss already filled
+        return false;
+    }
+    complete = it->second;
+    return true;
+}
+
+Tick
+Cache::mshrFreeAt() const
+{
+    return *std::min_element(_mshrBusyUntil.begin(),
+                             _mshrBusyUntil.end());
+}
+
+void
+Cache::mshrReserve(Addr line_addr, Tick complete, Tick stall)
+{
+    auto slot = std::min_element(_mshrBusyUntil.begin(),
+                                 _mshrBusyUntil.end());
+    *slot = complete;
+    _inflight[line_addr] = complete;
+    _stats.mshrStallCycles += stall;
+    // Bound the inflight map: drop entries that completed long ago.
+    if (_inflight.size() > 4 * _mshrBusyUntil.size()) {
+        Tick horizon = mshrFreeAt();
+        for (auto it = _inflight.begin(); it != _inflight.end();) {
+            if (it->second <= horizon)
+                it = _inflight.erase(it);
+            else
+                ++it;
+        }
+    }
+}
+
+} // namespace via

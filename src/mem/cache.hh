@@ -1,0 +1,115 @@
+/**
+ * @file
+ * A set-associative write-back, write-allocate cache tag model.
+ *
+ * Cache tracks tags and dirty bits functionally (data lives in
+ * BackingStore) and accounts for MSHR occupancy so that a stream of
+ * misses is throttled to the number of outstanding-miss registers.
+ * Timing is computed analytically by MemSystem, which walks the
+ * levels on each access.
+ */
+
+#ifndef VIA_MEM_CACHE_HH
+#define VIA_MEM_CACHE_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/mem_types.hh"
+#include "simcore/types.hh"
+
+namespace via
+{
+
+/** Per-level statistics, exposed raw for StatSet registration. */
+struct CacheStats
+{
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t readMisses = 0;
+    std::uint64_t writeMisses = 0;
+    std::uint64_t writebacks = 0;
+    std::uint64_t mshrStallCycles = 0;
+
+    std::uint64_t accesses() const { return reads + writes; }
+    std::uint64_t misses() const { return readMisses + writeMisses; }
+};
+
+/** One level of set-associative cache with LRU replacement. */
+class Cache
+{
+  public:
+    explicit Cache(const CacheParams &params);
+
+    /** Outcome of a tag lookup. */
+    struct LookupResult
+    {
+        bool hit = false;
+        bool victimDirty = false; //!< an eviction wrote back a line
+        Addr victimLine = 0;      //!< line address of the writeback
+    };
+
+    /**
+     * Access one cache line: probe the tags, allocate on miss (LRU
+     * victim), update dirty bit for writes.
+     *
+     * @param line_addr line-aligned address
+     * @param is_write store access (sets dirty on the allocated line)
+     * @return hit/miss and any dirty eviction
+     */
+    LookupResult access(Addr line_addr, bool is_write);
+
+    /** Probe without modifying state (for tests/inspection). */
+    bool contains(Addr line_addr) const;
+
+    /** Invalidate everything (e.g. between benchmark phases). */
+    void flush();
+
+    /**
+     * Earliest tick a new miss can allocate an MSHR (the earliest
+     * slot-free time). The caller gates the miss's issue on this and
+     * then calls mshrReserve with the resulting completion.
+     */
+    Tick mshrFreeAt() const;
+
+    /**
+     * Occupy the earliest MSHR slot until @p complete for the miss
+     * to @p line_addr. @p stall (issue delay caused by MSHR
+     * pressure) is recorded for statistics.
+     */
+    void mshrReserve(Addr line_addr, Tick complete, Tick stall = 0);
+
+    /** If the line has an in-flight miss, returns its completion. */
+    bool mshrLookup(Addr line_addr, Tick when, Tick &complete) const;
+
+    const CacheParams &params() const { return _params; }
+    CacheStats &stats() { return _stats; }
+    const CacheStats &stats() const { return _stats; }
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        std::uint64_t lruStamp = 0;
+    };
+
+    std::size_t setIndex(Addr line_addr) const;
+
+    CacheParams _params;
+    std::size_t _numSets;
+    std::vector<Line> _lines; //!< numSets * assoc, row-major by set
+    std::uint64_t _lruClock = 0;
+    CacheStats _stats;
+
+    /** Outstanding miss completion times, by line address. */
+    mutable std::unordered_map<Addr, Tick> _inflight;
+    /** Completion times occupying MSHR slots (unordered). */
+    std::vector<Tick> _mshrBusyUntil;
+};
+
+} // namespace via
+
+#endif // VIA_MEM_CACHE_HH

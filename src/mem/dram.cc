@@ -1,0 +1,38 @@
+#include "mem/dram.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "simcore/log.hh"
+
+namespace via
+{
+
+Dram::Dram(const DramParams &params)
+    : _params(params), _pipe(1)
+{
+    via_assert(params.bytesPerCycle > 0.0,
+               "DRAM bandwidth must be positive");
+    _cyclesPerLine = std::max<std::uint32_t>(
+        1, std::uint32_t(std::llround(
+               std::ceil(64.0 / params.bytesPerCycle))));
+}
+
+Tick
+Dram::serve(std::uint64_t bytes, Tick when, bool is_write)
+{
+    ++_stats.requests;
+    if (is_write)
+        _stats.bytesWritten += bytes;
+    else
+        _stats.bytesRead += bytes;
+
+    auto xfer = std::max<Tick>(
+        1, Tick(std::ceil(double(bytes) / _params.bytesPerCycle)));
+    Tick start = _pipe.acquire(when, xfer);
+    _stats.queueCycles += start - when;
+    _stats.busyCycles += xfer;
+    return start + _params.latency + xfer;
+}
+
+} // namespace via

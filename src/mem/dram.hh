@@ -1,0 +1,71 @@
+/**
+ * @file
+ * A bandwidth-limited DRAM pipe model.
+ *
+ * The controller is modelled as a single pipe with a fixed access
+ * latency plus a transfer time proportional to the request size.
+ * Back-to-back requests serialize on the pipe, which is what creates
+ * the bandwidth wall that sparse kernels run into.
+ */
+
+#ifndef VIA_MEM_DRAM_HH
+#define VIA_MEM_DRAM_HH
+
+#include <cstdint>
+
+#include "mem/mem_types.hh"
+#include "simcore/resource.hh"
+#include "simcore/types.hh"
+
+namespace via
+{
+
+/** DRAM statistics, raw counters for StatSet registration. */
+struct DramStats
+{
+    std::uint64_t requests = 0;
+    std::uint64_t bytesRead = 0;
+    std::uint64_t bytesWritten = 0;
+    std::uint64_t busyCycles = 0;  //!< pipe occupied (bandwidth used)
+    std::uint64_t queueCycles = 0; //!< time requests waited for pipe
+};
+
+/** Single-pipe DRAM timing model. */
+class Dram
+{
+  public:
+    explicit Dram(const DramParams &params);
+
+    /**
+     * Serve one request.
+     *
+     * @param bytes request size
+     * @param when issue tick
+     * @param is_write write traffic (affects stats only)
+     * @return tick at which the data is available (reads) or the
+     *         request is retired (writes)
+     */
+    Tick serve(std::uint64_t bytes, Tick when, bool is_write);
+
+    const DramParams &params() const { return _params; }
+    DramStats &stats() { return _stats; }
+    const DramStats &stats() const { return _stats; }
+
+    /** Reset timing state (not statistics). */
+    void resetTiming() { _pipe.resetTiming(); }
+
+  private:
+    DramParams _params;
+    /**
+     * The data pipe, booked per cycle: requests with late issue
+     * times never block earlier-time requests of other program
+     * positions (no head-of-line artifact).
+     */
+    Resource _pipe;
+    std::uint32_t _cyclesPerLine; //!< transfer cycles per request
+    DramStats _stats;
+};
+
+} // namespace via
+
+#endif // VIA_MEM_DRAM_HH

@@ -1,0 +1,211 @@
+#include "mem/mem_system.hh"
+
+#include <algorithm>
+
+#include "simcore/log.hh"
+
+namespace via
+{
+
+MemSystemParams
+MemSystemParams::defaults()
+{
+    MemSystemParams p;
+    CacheParams l1;
+    l1.name = "l1d";
+    l1.sizeBytes = 32 * 1024;
+    l1.assoc = 8;
+    l1.lineBytes = 64;
+    l1.hitLatency = 4;
+    l1.mshrs = 16;
+    CacheParams l2;
+    l2.name = "l2";
+    l2.sizeBytes = 1024 * 1024;
+    l2.assoc = 16;
+    l2.lineBytes = 64;
+    l2.hitLatency = 12;
+    l2.mshrs = 32;
+    p.levels = {l1, l2};
+    p.dram.latency = 180;
+    // Single-channel DDR3-1600 (gem5's classic default): 12.8 GB/s
+    // peak = 6.4 B/cycle at 2 GHz.
+    p.dram.bytesPerCycle = 6.4;
+    return p;
+}
+
+MemSystem::MemSystem(const MemSystemParams &params)
+    : _params(params), _dram(params.dram)
+{
+    via_assert(!params.levels.empty(),
+               "memory hierarchy needs at least one cache level");
+    std::uint32_t line = params.levels.front().lineBytes;
+    for (const auto &lp : params.levels) {
+        via_assert(lp.lineBytes == line,
+                   "all levels must share one line size");
+        _levels.push_back(std::make_unique<Cache>(lp));
+    }
+}
+
+std::uint32_t
+MemSystem::lineBytes() const
+{
+    return _params.levels.front().lineBytes;
+}
+
+void
+MemSystem::flush()
+{
+    for (auto &lvl : _levels)
+        lvl->flush();
+    _dram.resetTiming();
+}
+
+MemResult
+MemSystem::accessLine(Addr line_addr, bool is_write, Tick when)
+{
+    Tick latency = 0;
+    int hit_level = -1;
+
+    // Walk the tags to find where the line comes from, accounting
+    // writebacks and merging with in-flight fetches.
+    for (std::size_t i = 0; i < _levels.size(); ++i) {
+        Cache &cache = *_levels[i];
+        latency += cache.params().hitLatency;
+
+        // A miss to a line already being fetched merges with the
+        // outstanding fill — no new MSHR is needed.
+        Tick inflight;
+        if (cache.mshrLookup(line_addr, when, inflight)) {
+            cache.access(line_addr, is_write); // touch tags / LRU
+            return MemResult{std::max(inflight, when + latency),
+                             int(i)};
+        }
+
+        auto res = cache.access(line_addr, is_write);
+
+        // A dirty eviction writes back into the level below (or DRAM
+        // at the last level). The writeback consumes bandwidth but
+        // does not delay this access.
+        if (res.victimDirty) {
+            if (i + 1 < _levels.size())
+                _levels[i + 1]->access(res.victimLine, true);
+            else
+                _dram.serve(cache.params().lineBytes, when, true);
+        }
+
+        if (res.hit) {
+            hit_level = int(i);
+            break;
+        }
+    }
+
+    if (hit_level == 0)
+        return MemResult{when + latency, 0};
+
+    if (hit_level < 0 && _params.prefetch.degree > 0)
+        prefetchAfter(line_addr, when);
+
+    // The miss leaves L1 only when an L1 MSHR is available; a
+    // DRAM-bound miss additionally needs a last-level MSHR.
+    Cache &l1 = *_levels.front();
+    Cache &last = *_levels.back();
+    Tick issue = std::max(when, l1.mshrFreeAt());
+    if (hit_level < 0 && _levels.size() > 1)
+        issue = std::max(issue, last.mshrFreeAt());
+    Tick stall = issue - when;
+
+    Tick complete;
+    if (hit_level > 0) {
+        complete = issue + latency;
+    } else {
+        Tick fill = _dram.serve(last.params().lineBytes, issue,
+                                false);
+        complete = std::max(fill, issue + latency);
+        if (_levels.size() > 1)
+            last.mshrReserve(line_addr, complete);
+    }
+    l1.mshrReserve(line_addr, complete, stall);
+    return MemResult{complete, hit_level};
+}
+
+void
+MemSystem::prefetchAfter(Addr line_addr, Tick when)
+{
+    // Next-N-line prefetch into the last level: consumes DRAM
+    // bandwidth and tag space but never blocks the demand miss.
+    Cache &last = *_levels.back();
+    const std::uint64_t line = last.params().lineBytes;
+    for (std::uint32_t d = 1; d <= _params.prefetch.degree; ++d) {
+        Addr target = line_addr + Addr(d) * line;
+        Tick inflight;
+        if (last.contains(target) ||
+            last.mshrLookup(target, when, inflight))
+            continue;
+        Tick fill = _dram.serve(line, when, false);
+        auto res = last.access(target, false);
+        if (res.victimDirty)
+            _dram.serve(line, when, true);
+        last.mshrReserve(target, fill);
+        ++_prefetches;
+    }
+}
+
+MemResult
+MemSystem::access(Addr addr, std::uint64_t bytes, bool is_write,
+                  Tick when)
+{
+    via_assert(bytes > 0, "zero-byte memory access");
+    const std::uint64_t line = lineBytes();
+    Addr first = addr & ~(Addr(line) - 1);
+    Addr last = (addr + bytes - 1) & ~(Addr(line) - 1);
+
+    MemResult worst{when, 0};
+    for (Addr la = first; la <= last; la += line) {
+        MemResult r = accessLine(la, is_write, when);
+        if (r.complete > worst.complete)
+            worst = r;
+    }
+    return worst;
+}
+
+void
+MemSystem::registerStats(StatSet &stats) const
+{
+    for (std::size_t i = 0; i < _levels.size(); ++i) {
+        const Cache &cache = *_levels[i];
+        const CacheStats &cs = cache.stats();
+        std::string prefix = "mem." + cache.params().name + ".";
+        stats.addScalar(prefix + "reads", "read accesses", &cs.reads);
+        stats.addScalar(prefix + "writes", "write accesses",
+                        &cs.writes);
+        stats.addScalar(prefix + "read_misses", "read misses",
+                        &cs.readMisses);
+        stats.addScalar(prefix + "write_misses", "write misses",
+                        &cs.writeMisses);
+        stats.addScalar(prefix + "writebacks", "dirty evictions",
+                        &cs.writebacks);
+        stats.addFormula(prefix + "miss_rate", "misses / accesses",
+                         [&cs] {
+                             auto acc = cs.accesses();
+                             return acc ? double(cs.misses()) / acc
+                                        : 0.0;
+                         });
+    }
+    const DramStats &ds = _dram.stats();
+    stats.addScalar("mem.dram.requests", "DRAM requests",
+                    &ds.requests);
+    stats.addScalar("mem.dram.bytes_read", "bytes read from DRAM",
+                    &ds.bytesRead);
+    stats.addScalar("mem.dram.bytes_written", "bytes written to DRAM",
+                    &ds.bytesWritten);
+    stats.addScalar("mem.dram.busy_cycles", "DRAM pipe busy cycles",
+                    &ds.busyCycles);
+    stats.addScalar("mem.dram.queue_cycles",
+                    "cycles requests waited for the DRAM pipe",
+                    &ds.queueCycles);
+    stats.addScalar("mem.prefetches",
+                    "lines fetched by the L2 prefetcher",
+                    &_prefetches);
+}
+
+} // namespace via

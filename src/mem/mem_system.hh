@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The assembled memory hierarchy: N cache levels over DRAM.
+ *
+ * MemSystem computes the completion time of each access analytically
+ * by walking the levels, charging hit latencies, reserving MSHRs on
+ * misses, and serializing on the DRAM pipe. It is deterministic and
+ * needs no event scheduling, yet reproduces the latency/bandwidth
+ * behaviour the VIA paper's results hinge on.
+ */
+
+#ifndef VIA_MEM_MEM_SYSTEM_HH
+#define VIA_MEM_MEM_SYSTEM_HH
+
+#include <memory>
+#include <vector>
+
+#include "mem/cache.hh"
+#include "mem/dram.hh"
+#include "mem/mem_types.hh"
+#include "simcore/stats.hh"
+#include "simcore/types.hh"
+
+namespace via
+{
+
+/** Parameters for the full hierarchy. */
+struct MemSystemParams
+{
+    std::vector<CacheParams> levels;
+    DramParams dram;
+    PrefetchParams prefetch;
+
+    /** A Haswell-like two-level default (Table I). */
+    static MemSystemParams defaults();
+};
+
+/** Cache levels over a DRAM pipe with analytic access timing. */
+class MemSystem
+{
+  public:
+    explicit MemSystem(const MemSystemParams &params);
+
+    /**
+     * Perform one timed access.
+     *
+     * The access is split into cache lines; the result is the
+     * completion of the slowest line. Stores complete when the line
+     * is owned in L1 (write-allocate).
+     *
+     * @param addr byte address
+     * @param bytes access size
+     * @param is_write store access
+     * @param when issue tick
+     */
+    MemResult access(Addr addr, std::uint64_t bytes, bool is_write,
+                     Tick when);
+
+    /** Line size of the first level. */
+    std::uint32_t lineBytes() const;
+
+    /** Invalidate caches and reset DRAM pipe (not statistics). */
+    void flush();
+
+    std::size_t numLevels() const { return _levels.size(); }
+    Cache &level(std::size_t i) { return *_levels.at(i); }
+    const Cache &level(std::size_t i) const { return *_levels.at(i); }
+    Dram &dram() { return _dram; }
+    const Dram &dram() const { return _dram; }
+
+    /** Register all hierarchy statistics under "mem.". */
+    void registerStats(StatSet &stats) const;
+
+    /** Lines fetched by the prefetcher (statistic). */
+    std::uint64_t prefetches() const { return _prefetches; }
+
+  private:
+    /** Timed access for one line. */
+    MemResult accessLine(Addr line_addr, bool is_write, Tick when);
+
+    /** Issue next-line prefetches after a demand miss. */
+    void prefetchAfter(Addr line_addr, Tick when);
+
+    MemSystemParams _params;
+    std::vector<std::unique_ptr<Cache>> _levels;
+    Dram _dram;
+    std::uint64_t _prefetches = 0;
+};
+
+} // namespace via
+
+#endif // VIA_MEM_MEM_SYSTEM_HH

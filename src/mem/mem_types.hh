@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Shared parameter and result types for the memory hierarchy.
+ */
+
+#ifndef VIA_MEM_MEM_TYPES_HH
+#define VIA_MEM_MEM_TYPES_HH
+
+#include <cstdint>
+#include <string>
+
+#include "simcore/types.hh"
+
+namespace via
+{
+
+/** Geometry and timing of one cache level. */
+struct CacheParams
+{
+    std::string name = "cache";
+    std::uint64_t sizeBytes = 32 * 1024;
+    std::uint32_t assoc = 8;
+    std::uint32_t lineBytes = 64;
+    Tick hitLatency = 4;       //!< cycles from access to data
+    std::uint32_t mshrs = 16;  //!< outstanding misses supported
+};
+
+/** Timing of the DRAM pipe. */
+struct DramParams
+{
+    Tick latency = 200;          //!< load-to-use cycles on an idle pipe
+    double bytesPerCycle = 12.8; //!< peak sustained bandwidth
+    std::uint32_t queueDepth = 64;
+};
+
+/**
+ * Next-N-line prefetcher at the last cache level. Disabled by
+ * default to match the paper's baseline configuration; the
+ * ablation benchmark shows how much of VIA's win survives an
+ * aggressive prefetcher.
+ */
+struct PrefetchParams
+{
+    std::uint32_t degree = 0; //!< lines fetched ahead (0 = off)
+};
+
+/** Outcome of a timed memory access. */
+struct MemResult
+{
+    Tick complete = 0;   //!< tick at which the data is available
+    int levelServed = 0; //!< 0-based cache level, or -1 for DRAM
+};
+
+} // namespace via
+
+#endif // VIA_MEM_MEM_TYPES_HH

@@ -1,0 +1,60 @@
+#include "power/area_model.hh"
+
+#include <cmath>
+
+#include "simcore/log.hh"
+
+namespace via
+{
+
+namespace
+{
+
+// Power-law fits over the paper's six synthesis points.
+constexpr double AREA_K = 0.01695;
+constexpr double AREA_SIZE_EXP = 1.06;
+constexpr double AREA_PORT_EXP = 0.68;
+
+constexpr double LEAK_K = 0.0284;
+constexpr double LEAK_SIZE_EXP = 0.92;
+constexpr double LEAK_PORT_EXP = 0.46;
+
+struct Anchor
+{
+    std::uint64_t kb;
+    std::uint32_t ports;
+    double area;
+    double leak;
+};
+
+// Table II plus the two 8 KB points from Section VI-B.
+constexpr Anchor anchors[] = {
+    {16, 4, 0.827, 0.69}, {16, 2, 0.515, 0.50},
+    {8, 4, 0.430, 0.39},  {8, 2, 0.290, 0.28},
+    {4, 4, 0.180, 0.22},  {4, 2, 0.118, 0.14},
+};
+
+} // namespace
+
+AreaEstimate
+AreaModel::estimate(std::uint64_t sspm_kb, std::uint32_t ports)
+{
+    via_assert(sspm_kb > 0 && ports > 0, "bad SSPM configuration");
+    AreaEstimate e;
+    e.areaMm2 = AREA_K * std::pow(double(sspm_kb), AREA_SIZE_EXP) *
+                std::pow(double(ports), AREA_PORT_EXP);
+    e.leakageMw = LEAK_K * std::pow(double(sspm_kb), LEAK_SIZE_EXP) *
+                  std::pow(double(ports), LEAK_PORT_EXP);
+    return e;
+}
+
+std::optional<AreaEstimate>
+AreaModel::paperAnchor(std::uint64_t sspm_kb, std::uint32_t ports)
+{
+    for (const Anchor &a : anchors)
+        if (a.kb == sspm_kb && a.ports == ports)
+            return AreaEstimate{a.area, a.leak};
+    return std::nullopt;
+}
+
+} // namespace via

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Analytic SSPM area/leakage model (paper Table II + Section VI-B).
+ *
+ * The paper synthesizes the SSPM with Cadence Genus at 22 nm/2 GHz,
+ * using the Live Value Table technique for multi-porting, and reports
+ * six (size, ports) points. We fit a power law
+ *     metric = k * sizeKB^a * ports^b
+ * to those points (max error < 10%) so any configuration in the
+ * design space can be costed. The paper's exact numbers are kept as
+ * calibration anchors and reported next to the model output by
+ * bench/table2_area.
+ */
+
+#ifndef VIA_POWER_AREA_MODEL_HH
+#define VIA_POWER_AREA_MODEL_HH
+
+#include <cstdint>
+#include <optional>
+
+#include "via/via_config.hh"
+
+namespace via
+{
+
+/** Area and leakage estimate for one SSPM configuration. */
+struct AreaEstimate
+{
+    double areaMm2 = 0.0;
+    double leakageMw = 0.0;
+};
+
+/** Fitted 22 nm synthesis model. */
+class AreaModel
+{
+  public:
+    /** Model estimate for an arbitrary configuration. */
+    static AreaEstimate estimate(std::uint64_t sspm_kb,
+                                 std::uint32_t ports);
+
+    static AreaEstimate
+    estimate(const ViaConfig &cfg)
+    {
+        return estimate(cfg.sspmBytes / 1024, cfg.ports);
+    }
+
+    /**
+     * The paper's synthesis result if this configuration is one of
+     * the six published points.
+     */
+    static std::optional<AreaEstimate>
+    paperAnchor(std::uint64_t sspm_kb, std::uint32_t ports);
+
+    /** A 22 nm Haswell core is ~17 mm^2 [32]; used for the area-% row. */
+    static constexpr double haswellCoreMm2 = 17.0;
+};
+
+} // namespace via
+
+#endif // VIA_POWER_AREA_MODEL_HH

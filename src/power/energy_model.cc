@@ -1,0 +1,45 @@
+#include "power/energy_model.hh"
+
+#include "cpu/machine.hh"
+#include "power/area_model.hh"
+
+namespace via
+{
+
+EnergyBreakdown
+computeEnergy(const Machine &m, const EnergyParams &params)
+{
+    EnergyBreakdown e;
+    const CoreStats &core = m.core().stats();
+
+    e.corePj = double(core.insts) * params.instOverheadPj +
+               double(core.scalarInsts) * params.scalarOpPj +
+               double(core.vectorInsts) * params.vectorOpPj;
+
+    const MemSystem &mem = m.memSystem();
+    for (std::size_t lvl = 0; lvl < mem.numLevels(); ++lvl) {
+        const CacheStats &cs = mem.level(lvl).stats();
+        double per = lvl == 0 ? params.l1AccessPj
+                              : params.l2AccessPj;
+        e.cachePj += double(cs.accesses()) * per;
+    }
+    const DramStats &ds = mem.dram().stats();
+    e.dramPj = double(ds.bytesRead + ds.bytesWritten) *
+               params.dramPjPerByte;
+
+    const SspmStats &ss = m.sspm().stats();
+    e.sspmPj = double(ss.elementAccesses()) * params.sspmElementPj;
+    const IndexTableStats &its = m.sspm().indexTable().stats();
+    e.sspmPj += double(its.comparisons) * params.camComparePj;
+
+    // Leakage: core + SSPM over the simulated interval.
+    double seconds = double(m.cycles()) /
+                     (params.clockGhz * 1e9);
+    double sspm_leak_mw =
+        AreaModel::estimate(m.sspm().config()).leakageMw;
+    e.leakagePj = (params.coreLeakageMw + sspm_leak_mw) * 1e-3 *
+                  seconds * 1e12;
+    return e;
+}
+
+} // namespace via

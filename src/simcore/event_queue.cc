@@ -1,0 +1,88 @@
+#include "simcore/event_queue.hh"
+
+#include "simcore/log.hh"
+
+namespace via
+{
+
+std::uint64_t
+EventQueue::schedule(Tick when, std::function<void()> action,
+                     std::string name)
+{
+    via_assert(when >= _curTick,
+               "event '", name, "' scheduled in the past: ", when,
+               " < ", _curTick);
+    via_assert(action, "event '", name, "' has no action");
+    std::uint64_t id = _nextId++;
+    _queue.push(Event{when, id, std::move(action), std::move(name)});
+    _pending.insert(id);
+    return id;
+}
+
+void
+EventQueue::cancel(std::uint64_t id)
+{
+    // Lazy cancellation: remember the id and skip it when popped.
+    // Cancelling an id that already fired (or was never scheduled)
+    // is a harmless no-op.
+    if (_pending.erase(id))
+        _cancelled.insert(id);
+}
+
+std::size_t
+EventQueue::live() const
+{
+    return _pending.size();
+}
+
+void
+EventQueue::skim()
+{
+    while (!_queue.empty()) {
+        auto it = _cancelled.find(_queue.top().id);
+        if (it == _cancelled.end())
+            return;
+        _cancelled.erase(it);
+        _queue.pop();
+    }
+}
+
+Tick
+EventQueue::nextTick()
+{
+    skim();
+    return _queue.empty() ? MAX_TICK : _queue.top().when;
+}
+
+std::size_t
+EventQueue::run(Tick limit)
+{
+    std::size_t count = 0;
+    for (;;) {
+        skim();
+        if (_queue.empty() || _queue.top().when > limit)
+            break;
+        // Move the action out before popping so the event may
+        // schedule new events (which mutate the heap) safely.
+        Event ev = _queue.top();
+        _queue.pop();
+        _pending.erase(ev.id);
+        via_assert(ev.when >= _curTick, "time went backwards");
+        _curTick = ev.when;
+        ++_executed;
+        ++count;
+        ev.action();
+    }
+    return count;
+}
+
+void
+EventQueue::advanceTo(Tick when)
+{
+    via_assert(when >= _curTick, "advanceTo(", when,
+               ") is in the past, now=", _curTick);
+    run(when);
+    _curTick = when;
+}
+
+} // namespace via

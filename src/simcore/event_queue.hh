@@ -1,0 +1,124 @@
+/**
+ * @file
+ * A deterministic tick-based event queue.
+ *
+ * The timing models in this repository are cycle-driven state machines
+ * clocked by OoOCore, but several components (DRAM controller, drain
+ * logic, statistics dumps) want to schedule work at a future tick.
+ * EventQueue provides that service with deterministic ordering:
+ * events that fire on the same tick execute in scheduling order.
+ */
+
+#ifndef VIA_SIMCORE_EVENT_QUEUE_HH
+#define VIA_SIMCORE_EVENT_QUEUE_HH
+
+#include <cstddef>
+#include <functional>
+#include <queue>
+#include <string>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "simcore/types.hh"
+
+namespace via
+{
+
+/**
+ * Deterministic priority queue of events.
+ *
+ * Invariants:
+ *  - run() never executes an event scheduled before curTick();
+ *  - two events on the same tick run in the order they were scheduled.
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time in ticks (core cycles). */
+    Tick curTick() const { return _curTick; }
+
+    /**
+     * Schedule an action at an absolute tick.
+     *
+     * @param when absolute tick; must be >= curTick()
+     * @param action callback to run
+     * @param name debug label
+     * @return an id usable with cancel()
+     */
+    std::uint64_t schedule(Tick when, std::function<void()> action,
+                           std::string name = {});
+
+    /** Schedule relative to now. */
+    std::uint64_t
+    scheduleIn(Tick delta, std::function<void()> action,
+               std::string name = {})
+    {
+        return schedule(_curTick + delta, std::move(action),
+                        std::move(name));
+    }
+
+    /** Lazily cancel a pending event; safe if it already fired. */
+    void cancel(std::uint64_t id);
+
+    /** True if no live events remain. */
+    bool empty() const { return live() == 0; }
+
+    /** Number of live (non-cancelled, pending) events. */
+    std::size_t live() const;
+
+    /** Tick of the next live event, or MAX_TICK when empty. */
+    Tick nextTick();
+
+    /**
+     * Run events until the queue is empty or the next event lies
+     * beyond @p limit. Advances curTick() to each event's time.
+     *
+     * @return number of events executed
+     */
+    std::size_t run(Tick limit = MAX_TICK);
+
+    /**
+     * Advance time to @p when, executing every event scheduled up to
+     * and including that tick. curTick() ends at exactly @p when.
+     */
+    void advanceTo(Tick when);
+
+    /** Total events ever executed (statistic). */
+    std::uint64_t executed() const { return _executed; }
+
+  private:
+    /** A scheduled callback, owned by value inside the heap. */
+    struct Event
+    {
+        Tick when = 0;
+        std::uint64_t id = 0; //!< tie-breaker: scheduling order
+        std::function<void()> action;
+        std::string name;
+
+        bool
+        operator>(const Event &o) const
+        {
+            return when != o.when ? when > o.when : id > o.id;
+        }
+    };
+
+    /** Drop cancelled events from the top of the heap. */
+    void skim();
+
+    Tick _curTick = 0;
+    std::uint64_t _nextId = 0;
+    std::uint64_t _executed = 0;
+    std::priority_queue<Event, std::vector<Event>,
+                        std::greater<Event>> _queue;
+    std::unordered_set<std::uint64_t> _pending;   //!< ids in _queue
+    std::unordered_set<std::uint64_t> _cancelled; //!< pending+dead
+};
+
+} // namespace via
+
+#endif // VIA_SIMCORE_EVENT_QUEUE_HH

@@ -1,0 +1,74 @@
+#include "simcore/resource.hh"
+
+#include <algorithm>
+
+#include "simcore/log.hh"
+
+namespace via
+{
+
+Resource::Resource(std::uint32_t units)
+    : _units(std::max<std::uint32_t>(units, 1)),
+      _counts(windowSize, 0)
+{
+}
+
+std::uint16_t &
+Resource::slot(Tick t)
+{
+    return _counts[std::size_t(t % windowSize)];
+}
+
+void
+Resource::slide(Tick when)
+{
+    if (when < _base + windowSize)
+        return;
+    // Clear the cycles that fall out of the window. Bookings there
+    // are in the past relative to every future request (dispatch is
+    // monotone), so dropping them is safe.
+    Tick new_base = when - windowSize / 2;
+    via_assert(new_base > _base, "window slide went backwards");
+    Tick clear_from = _base;
+    Tick clear_to = std::min(new_base, _base + windowSize);
+    for (Tick t = clear_from; t < clear_to; ++t)
+        slot(t) = 0;
+    _base = new_base;
+}
+
+Tick
+Resource::acquire(Tick when, Tick occupancy)
+{
+    via_assert(occupancy >= 1, "zero occupancy booking");
+    when = std::max(when, _base);
+    slide(when + occupancy);
+
+    for (;;) {
+        // Find `occupancy` consecutive cycles with spare capacity.
+        bool ok = true;
+        for (Tick o = 0; o < occupancy; ++o) {
+            if (slot(when + o) >= _units) {
+                when = when + o + 1;
+                slide(when + occupancy);
+                ok = false;
+                break;
+            }
+        }
+        if (ok)
+            break;
+    }
+    for (Tick o = 0; o < occupancy; ++o)
+        ++slot(when + o);
+    _busy += occupancy;
+    return when;
+}
+
+void
+Resource::resetTiming()
+{
+    std::fill(_counts.begin(), _counts.end(), std::uint16_t(0));
+    _base = 0;
+}
+
+
+} // namespace via

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * A bandwidth resource booked per cycle on a sliding window.
+ */
+
+#ifndef VIA_SIMCORE_RESOURCE_HH
+#define VIA_SIMCORE_RESOURCE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "simcore/types.hh"
+
+namespace via
+{
+
+/**
+ * k operations per cycle, booked on a sliding window of cycles.
+ *
+ * Unlike a "k units with next-free times" model, per-cycle booking
+ * has no head-of-line blocking: an instruction whose operands are
+ * ready far in the future books a future cycle without starving
+ * younger, already-ready instructions — exactly how issue ports and
+ * cache ports behave in an out-of-order core.
+ *
+ * Bookings before the window base (older than any live instruction's
+ * dispatch tick) can no longer occur because dispatch is monotone;
+ * the window slides forward accordingly.
+ */
+class Resource
+{
+  public:
+    explicit Resource(std::uint32_t units = 1);
+
+    /**
+     * Book @p occupancy consecutive cycles with spare capacity at or
+     * after @p when.
+     *
+     * @return the first booked cycle
+     */
+    Tick acquire(Tick when, Tick occupancy = 1);
+
+    /** Release all bookings (new kernel run). */
+    void resetTiming();
+
+    std::uint32_t units() const { return _units; }
+
+    /** Total busy slot-cycles accumulated (utilization statistic). */
+    std::uint64_t busy() const { return _busy; }
+
+  private:
+    /** Cycles tracked by the sliding window. */
+    static constexpr std::size_t windowSize = 1 << 16;
+
+    std::uint16_t &slot(Tick t);
+    void slide(Tick when);
+
+    std::uint32_t _units = 1;
+    std::vector<std::uint16_t> _counts;
+    Tick _base = 0; //!< first cycle represented by the window
+    std::uint64_t _busy = 0;
+};
+
+
+} // namespace via
+
+#endif // VIA_SIMCORE_RESOURCE_HH

@@ -1,0 +1,128 @@
+#include "simcore/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+
+#include "simcore/log.hh"
+
+namespace via
+{
+
+Distribution::Distribution(double bucket_lo, double bucket_hi,
+                           std::size_t n_buckets)
+    : _lo(bucket_lo), _hi(bucket_hi),
+      _buckets(std::max<std::size_t>(n_buckets, 1), 0)
+{
+    via_assert(bucket_hi > bucket_lo, "empty bucket range");
+}
+
+void
+Distribution::sample(double v)
+{
+    if (_count == 0) {
+        _min = _max = v;
+    } else {
+        _min = std::min(_min, v);
+        _max = std::max(_max, v);
+    }
+    ++_count;
+    _sum += v;
+
+    double width = (_hi - _lo) / double(_buckets.size());
+    auto idx = static_cast<std::int64_t>(std::floor((v - _lo) / width));
+    idx = std::clamp<std::int64_t>(idx, 0,
+                                   std::int64_t(_buckets.size()) - 1);
+    ++_buckets[std::size_t(idx)];
+}
+
+void
+Distribution::reset()
+{
+    std::fill(_buckets.begin(), _buckets.end(), 0);
+    _count = 0;
+    _sum = _min = _max = 0.0;
+}
+
+void
+StatSet::addScalar(const std::string &name, const std::string &desc,
+                   const std::uint64_t *value)
+{
+    via_assert(value, "null counter for stat ", name);
+    _entries[name] = Entry{desc,
+                           [value] { return double(*value); }};
+}
+
+void
+StatSet::addScalar(const std::string &name, const std::string &desc,
+                   const double *value)
+{
+    via_assert(value, "null counter for stat ", name);
+    _entries[name] = Entry{desc, [value] { return *value; }};
+}
+
+void
+StatSet::addFormula(const std::string &name, const std::string &desc,
+                    std::function<double()> fn)
+{
+    via_assert(fn, "null formula for stat ", name);
+    _entries[name] = Entry{desc, std::move(fn)};
+}
+
+double
+StatSet::get(const std::string &name) const
+{
+    auto it = _entries.find(name);
+    if (it == _entries.end())
+        via_fatal("unknown statistic '", name, "'");
+    return it->second.eval();
+}
+
+bool
+StatSet::has(const std::string &name) const
+{
+    return _entries.count(name) != 0;
+}
+
+std::vector<std::string>
+StatSet::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(_entries.size());
+    for (const auto &kv : _entries)
+        out.push_back(kv.first);
+    return out;
+}
+
+void
+StatSet::dumpJson(std::ostream &os) const
+{
+    os << "{";
+    bool first = true;
+    for (const auto &kv : _entries) {
+        if (!first)
+            os << ",";
+        first = false;
+        double v = kv.second.eval();
+        os << "\n  \"" << kv.first << "\": ";
+        if (std::isfinite(v))
+            os << v;
+        else
+            os << "null";
+    }
+    os << "\n}\n";
+}
+
+void
+StatSet::dump(std::ostream &os) const
+{
+    for (const auto &kv : _entries) {
+        os << std::left << std::setw(40) << kv.first << ' '
+           << std::right << std::setw(16) << kv.second.eval();
+        if (!kv.second.desc.empty())
+            os << "  # " << kv.second.desc;
+        os << '\n';
+    }
+}
+
+} // namespace via

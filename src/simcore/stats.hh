@@ -1,0 +1,113 @@
+/**
+ * @file
+ * A small statistics framework in the spirit of gem5's Stats package.
+ *
+ * Components own plain counters and register named views of them in a
+ * StatSet. The set can be dumped as a human-readable table or queried
+ * programmatically by the benchmark harnesses.
+ */
+
+#ifndef VIA_SIMCORE_STATS_HH
+#define VIA_SIMCORE_STATS_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace via
+{
+
+/**
+ * An online distribution: count, sum, min, max, mean and a fixed
+ * bucket histogram.
+ */
+class Distribution
+{
+  public:
+    /**
+     * @param bucket_lo inclusive lower bound of the first bucket
+     * @param bucket_hi exclusive upper bound of the last bucket
+     * @param n_buckets number of equal-width buckets
+     */
+    Distribution(double bucket_lo = 0.0, double bucket_hi = 1.0,
+                 std::size_t n_buckets = 10);
+
+    /** Record one sample. */
+    void sample(double v);
+
+    /** Remove all samples. */
+    void reset();
+
+    std::uint64_t count() const { return _count; }
+    double sum() const { return _sum; }
+    double min() const { return _min; }
+    double max() const { return _max; }
+    double mean() const { return _count ? _sum / _count : 0.0; }
+
+    /** Bucket counters; out-of-range samples land in the end buckets. */
+    const std::vector<std::uint64_t> &buckets() const { return _buckets; }
+    double bucketLo() const { return _lo; }
+    double bucketHi() const { return _hi; }
+
+  private:
+    double _lo, _hi;
+    std::vector<std::uint64_t> _buckets;
+    std::uint64_t _count = 0;
+    double _sum = 0.0;
+    double _min = 0.0;
+    double _max = 0.0;
+};
+
+/**
+ * A named collection of statistic views.
+ *
+ * Views are non-owning: the registering component guarantees the
+ * referenced counter outlives the StatSet (both usually live in the
+ * same Machine).
+ */
+class StatSet
+{
+  public:
+    /** Register a view over an integer counter. */
+    void addScalar(const std::string &name, const std::string &desc,
+                   const std::uint64_t *value);
+
+    /** Register a view over a floating-point value. */
+    void addScalar(const std::string &name, const std::string &desc,
+                   const double *value);
+
+    /** Register a derived quantity computed on demand. */
+    void addFormula(const std::string &name, const std::string &desc,
+                    std::function<double()> fn);
+
+    /** Look up a statistic by name; fatal() if absent. */
+    double get(const std::string &name) const;
+
+    /** True if a statistic with this name exists. */
+    bool has(const std::string &name) const;
+
+    /** All registered names, sorted. */
+    std::vector<std::string> names() const;
+
+    /** Print "name  value  # desc" rows, sorted by name. */
+    void dump(std::ostream &os) const;
+
+    /** Print the statistics as a flat JSON object. */
+    void dumpJson(std::ostream &os) const;
+
+  private:
+    struct Entry
+    {
+        std::string desc;
+        std::function<double()> eval;
+    };
+
+    std::map<std::string, Entry> _entries;
+};
+
+} // namespace via
+
+#endif // VIA_SIMCORE_STATS_HH

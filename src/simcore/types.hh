@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Fundamental simulator-wide type aliases.
+ */
+
+#ifndef VIA_SIMCORE_TYPES_HH
+#define VIA_SIMCORE_TYPES_HH
+
+#include <cstdint>
+
+namespace via
+{
+
+/** Simulated time, measured in core clock cycles. */
+using Tick = std::uint64_t;
+
+/** A simulated physical address. */
+using Addr = std::uint64_t;
+
+/** A per-instruction sequence number (program order). */
+using SeqNum = std::uint64_t;
+
+/** Sentinel for "no tick" / "not scheduled". */
+constexpr Tick MAX_TICK = ~Tick(0);
+
+} // namespace via
+
+#endif // VIA_SIMCORE_TYPES_HH

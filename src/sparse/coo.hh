@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Coordinate-list (triplet) sparse matrix — the construction format
+ * all generators emit and all compressed formats build from.
+ */
+
+#ifndef VIA_SPARSE_COO_HH
+#define VIA_SPARSE_COO_HH
+
+#include <vector>
+
+#include "sparse/sparse_types.hh"
+
+namespace via
+{
+
+/** One non-zero element. */
+struct Triplet
+{
+    Index row = 0;
+    Index col = 0;
+    Value value = 0;
+
+    bool
+    operator==(const Triplet &o) const
+    {
+        return row == o.row && col == o.col && value == o.value;
+    }
+};
+
+/** Triplet-form sparse matrix. */
+class Coo
+{
+  public:
+    Coo() = default;
+    Coo(Index rows, Index cols);
+
+    Index rows() const { return _rows; }
+    Index cols() const { return _cols; }
+    std::size_t nnz() const { return _elems.size(); }
+
+    /** Append one element (bounds-checked). */
+    void add(Index row, Index col, Value value);
+
+    /**
+     * Sort by (row, col) and combine duplicates by addition.
+     * Elements that sum to exactly zero are kept (structural nnz).
+     */
+    void canonicalize();
+
+    /** True if sorted by (row, col) with no duplicates. */
+    bool isCanonical() const;
+
+    const std::vector<Triplet> &elems() const { return _elems; }
+    std::vector<Triplet> &elems() { return _elems; }
+
+    /** Fraction of positions that are non-zero. */
+    double density() const;
+
+  private:
+    Index _rows = 0;
+    Index _cols = 0;
+    std::vector<Triplet> _elems;
+};
+
+} // namespace via
+
+#endif // VIA_SPARSE_COO_HH

@@ -1,0 +1,156 @@
+#include "sparse/csb.hh"
+
+#include <algorithm>
+#include <bit>
+
+#include "simcore/log.hh"
+
+namespace via
+{
+
+Csb
+Csb::fromCsr(const Csr &csr, Index beta)
+{
+    via_assert(beta > 0 && (beta & (beta - 1)) == 0,
+               "CSB block side must be a power of two, got ", beta);
+    Csb m;
+    m._rows = csr.rows();
+    m._cols = csr.cols();
+    m._beta = beta;
+    m._colBits = std::uint32_t(std::countr_zero(std::uint32_t(beta)));
+
+    Index brows = m.blockRows();
+    Index bcols = m.blockCols();
+    std::size_t nblocks = std::size_t(brows) * std::size_t(bcols);
+
+    // Count elements per block, prefix-sum, then scatter in order.
+    std::vector<Index> counts(nblocks, 0);
+    Coo coo = csr.toCoo();
+    for (const Triplet &t : coo.elems()) {
+        std::size_t b = std::size_t(t.row / beta) *
+                            std::size_t(bcols) +
+                        std::size_t(t.col / beta);
+        ++counts[b];
+    }
+    m._blockPtr.assign(nblocks + 1, 0);
+    for (std::size_t b = 0; b < nblocks; ++b)
+        m._blockPtr[b + 1] = m._blockPtr[b] + counts[b];
+
+    m._packedIdx.assign(coo.nnz(), 0);
+    m._values.assign(coo.nnz(), Value(0));
+    std::vector<Index> cursor(m._blockPtr.begin(),
+                              m._blockPtr.end() - 1);
+    for (const Triplet &t : coo.elems()) {
+        std::size_t b = std::size_t(t.row / beta) *
+                            std::size_t(bcols) +
+                        std::size_t(t.col / beta);
+        auto slot = std::size_t(cursor[b]++);
+        Index in_row = t.row % beta;
+        Index in_col = t.col % beta;
+        m._packedIdx[slot] = (in_row << m._colBits) | in_col;
+        m._values[slot] = t.value;
+    }
+    m.validate();
+    return m;
+}
+
+Index
+Csb::blockRows() const
+{
+    return (_rows + _beta - 1) / _beta;
+}
+
+Index
+Csb::blockCols() const
+{
+    return (_cols + _beta - 1) / _beta;
+}
+
+Index
+Csb::numBlocks() const
+{
+    return blockRows() * blockCols();
+}
+
+Index
+Csb::blockId(Index block_row, Index block_col) const
+{
+    via_assert(block_row >= 0 && block_row < blockRows() &&
+                   block_col >= 0 && block_col < blockCols(),
+               "block (", block_row, ",", block_col,
+               ") outside grid");
+    return block_row * blockCols() + block_col;
+}
+
+Index
+Csb::blockNnz(Index block_row, Index block_col) const
+{
+    auto b = std::size_t(blockId(block_row, block_col));
+    return _blockPtr[b + 1] - _blockPtr[b];
+}
+
+double
+Csb::blockDensity(Index block_row, Index block_col) const
+{
+    return double(blockNnz(block_row, block_col)) /
+           (double(_beta) * double(_beta));
+}
+
+double
+Csb::meanNnzPerNonEmptyBlock() const
+{
+    std::size_t nonempty = 0;
+    for (std::size_t b = 0; b + 1 < _blockPtr.size(); ++b)
+        if (_blockPtr[b + 1] > _blockPtr[b])
+            ++nonempty;
+    return nonempty ? double(nnz()) / double(nonempty) : 0.0;
+}
+
+Coo
+Csb::toCoo() const
+{
+    Coo coo(_rows, _cols);
+    Index bcols = blockCols();
+    for (Index b = 0; b < numBlocks(); ++b) {
+        Index base_row = (b / bcols) * _beta;
+        Index base_col = (b % bcols) * _beta;
+        for (Index k = _blockPtr[std::size_t(b)];
+             k < _blockPtr[std::size_t(b) + 1]; ++k) {
+            Index packed = _packedIdx[std::size_t(k)];
+            Index in_col = packed & (_beta - 1);
+            Index in_row = packed >> _colBits;
+            coo.add(base_row + in_row, base_col + in_col,
+                    _values[std::size_t(k)]);
+        }
+    }
+    return coo;
+}
+
+void
+Csb::validate() const
+{
+    via_assert(_blockPtr.size() ==
+                   std::size_t(numBlocks()) + 1,
+               "block_ptr size mismatch");
+    via_assert(_packedIdx.size() == _values.size(),
+               "index / data length mismatch");
+    via_assert(std::size_t(_blockPtr.back()) == _values.size(),
+               "block_ptr end does not match nnz");
+    Index bcols = blockCols();
+    for (Index b = 0; b < numBlocks(); ++b) {
+        Index base_row = (b / bcols) * _beta;
+        Index base_col = (b % bcols) * _beta;
+        for (Index k = _blockPtr[std::size_t(b)];
+             k < _blockPtr[std::size_t(b) + 1]; ++k) {
+            Index packed = _packedIdx[std::size_t(k)];
+            Index in_col = packed & (_beta - 1);
+            Index in_row = packed >> _colBits;
+            via_assert(base_row + in_row < _rows &&
+                           base_col + in_col < _cols,
+                       "packed index escapes the matrix in block ",
+                       b);
+        }
+    }
+}
+
+} // namespace via

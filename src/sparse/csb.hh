@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Compressed Sparse Block format (paper Figure 1.b/1.d; Buluc et
+ * al.). The matrix is tiled into beta x beta blocks; each non-zero
+ * stores a single merged in-block index (row << colBits | col) plus
+ * its value, and block_ptr delimits the elements of each block in
+ * block-row-major order.
+ *
+ * The VIA CSB SpMV kernel tunes beta so that one block's column
+ * range (input vector chunk) plus its row range (output accumulator
+ * chunk) fill the SSPM — beta = sramEntries / 2 (Section V-B).
+ */
+
+#ifndef VIA_SPARSE_CSB_HH
+#define VIA_SPARSE_CSB_HH
+
+#include <vector>
+
+#include "sparse/coo.hh"
+#include "sparse/csr.hh"
+#include "sparse/sparse_types.hh"
+
+namespace via
+{
+
+/** CSB sparse matrix with merged in-block indices. */
+class Csb
+{
+  public:
+    Csb() = default;
+
+    /**
+     * Tile @p csr into beta x beta blocks.
+     * @param beta block side; must be a power of two
+     */
+    static Csb fromCsr(const Csr &csr, Index beta);
+
+    Index rows() const { return _rows; }
+    Index cols() const { return _cols; }
+    Index beta() const { return _beta; }
+    std::size_t nnz() const { return _values.size(); }
+
+    /** Bits used for the column part of a packed index. */
+    std::uint32_t colBits() const { return _colBits; }
+
+    Index blockRows() const; //!< blocks per column of the grid
+    Index blockCols() const; //!< blocks per row of the grid
+    Index numBlocks() const;
+
+    const std::vector<Index> &blockPtr() const { return _blockPtr; }
+    const std::vector<Index> &packedIdx() const { return _packedIdx; }
+    const std::vector<Value> &values() const { return _values; }
+
+    /** Elements in block (block_row, block_col). */
+    Index blockNnz(Index block_row, Index block_col) const;
+
+    /** Linear block id of (block_row, block_col). */
+    Index blockId(Index block_row, Index block_col) const;
+
+    /** Density of a block: nnz / beta^2. */
+    double blockDensity(Index block_row, Index block_col) const;
+
+    /** Mean non-zeros over non-empty blocks (Fig 10's x-axis). */
+    double meanNnzPerNonEmptyBlock() const;
+
+    Coo toCoo() const;
+    void validate() const;
+
+  private:
+    Index _rows = 0;
+    Index _cols = 0;
+    Index _beta = 0;
+    std::uint32_t _colBits = 0;
+    std::vector<Index> _blockPtr;
+    std::vector<Index> _packedIdx;
+    std::vector<Value> _values;
+};
+
+} // namespace via
+
+#endif // VIA_SPARSE_CSB_HH

@@ -1,0 +1,95 @@
+#include "sparse/csc.hh"
+
+#include <algorithm>
+
+#include "simcore/log.hh"
+
+namespace via
+{
+
+Csc
+Csc::fromCoo(Coo coo)
+{
+    // Canonical CSC order is column-major: sort by (col, row).
+    std::sort(coo.elems().begin(), coo.elems().end(),
+              [](const Triplet &a, const Triplet &b) {
+                  return a.col != b.col ? a.col < b.col
+                                        : a.row < b.row;
+              });
+    Csc m;
+    m._rows = coo.rows();
+    m._cols = coo.cols();
+    m._colPtr.assign(std::size_t(coo.cols()) + 1, 0);
+    m._rowIdx.reserve(coo.nnz());
+    m._values.reserve(coo.nnz());
+    for (const Triplet &t : coo.elems()) {
+        ++m._colPtr[std::size_t(t.col) + 1];
+        m._rowIdx.push_back(t.row);
+        m._values.push_back(t.value);
+    }
+    for (std::size_t c = 1; c < m._colPtr.size(); ++c)
+        m._colPtr[c] += m._colPtr[c - 1];
+    m.validate();
+    return m;
+}
+
+Csc
+Csc::fromCsr(const Csr &csr)
+{
+    return fromCoo(csr.toCoo());
+}
+
+Index
+Csc::colNnz(Index c) const
+{
+    via_assert(c >= 0 && c < _cols, "column ", c, " out of range");
+    return _colPtr[std::size_t(c) + 1] - _colPtr[std::size_t(c)];
+}
+
+Index
+Csc::maxColNnz() const
+{
+    Index best = 0;
+    for (Index c = 0; c < _cols; ++c)
+        best = std::max(best, colNnz(c));
+    return best;
+}
+
+Coo
+Csc::toCoo() const
+{
+    Coo coo(_rows, _cols);
+    for (Index c = 0; c < _cols; ++c)
+        for (Index k = _colPtr[std::size_t(c)];
+             k < _colPtr[std::size_t(c) + 1]; ++k)
+            coo.add(_rowIdx[std::size_t(k)], c,
+                    _values[std::size_t(k)]);
+    return coo;
+}
+
+void
+Csc::validate() const
+{
+    via_assert(_colPtr.size() == std::size_t(_cols) + 1,
+               "col_ptr has ", _colPtr.size(), " entries for ",
+               _cols, " cols");
+    via_assert(_rowIdx.size() == _values.size(),
+               "row_idx / data length mismatch");
+    via_assert(_colPtr.front() == 0, "col_ptr must start at 0");
+    via_assert(std::size_t(_colPtr.back()) == _values.size(),
+               "col_ptr end does not match nnz");
+    for (Index c = 0; c < _cols; ++c) {
+        for (Index k = _colPtr[std::size_t(c)];
+             k < _colPtr[std::size_t(c) + 1]; ++k) {
+            Index r = _rowIdx[std::size_t(k)];
+            via_assert(r >= 0 && r < _rows, "row ", r,
+                       " out of range in column ", c);
+            if (k > _colPtr[std::size_t(c)])
+                via_assert(_rowIdx[std::size_t(k) - 1] < r,
+                           "rows not strictly increasing in col ",
+                           c);
+        }
+    }
+}
+
+} // namespace via

@@ -1,0 +1,128 @@
+#include "sparse/csr.hh"
+
+#include <algorithm>
+
+#include "simcore/log.hh"
+
+namespace via
+{
+
+Csr
+Csr::fromCoo(Coo coo)
+{
+    coo.canonicalize();
+    Csr m;
+    m._rows = coo.rows();
+    m._cols = coo.cols();
+    m._rowPtr.assign(std::size_t(coo.rows()) + 1, 0);
+    m._colIdx.reserve(coo.nnz());
+    m._values.reserve(coo.nnz());
+
+    for (const Triplet &t : coo.elems()) {
+        ++m._rowPtr[std::size_t(t.row) + 1];
+        m._colIdx.push_back(t.col);
+        m._values.push_back(t.value);
+    }
+    for (std::size_t r = 1; r < m._rowPtr.size(); ++r)
+        m._rowPtr[r] += m._rowPtr[r - 1];
+    m.validate();
+    return m;
+}
+
+Csr
+Csr::fromParts(Index rows, Index cols, std::vector<Index> row_ptr,
+               std::vector<Index> col_idx, std::vector<Value> values)
+{
+    Csr m;
+    m._rows = rows;
+    m._cols = cols;
+    m._rowPtr = std::move(row_ptr);
+    m._colIdx = std::move(col_idx);
+    m._values = std::move(values);
+    m.validate();
+    return m;
+}
+
+Index
+Csr::rowNnz(Index r) const
+{
+    via_assert(r >= 0 && r < _rows, "row ", r, " out of range");
+    return _rowPtr[std::size_t(r) + 1] - _rowPtr[std::size_t(r)];
+}
+
+Index
+Csr::maxRowNnz() const
+{
+    Index best = 0;
+    for (Index r = 0; r < _rows; ++r)
+        best = std::max(best, rowNnz(r));
+    return best;
+}
+
+DenseVector
+Csr::multiply(const DenseVector &x) const
+{
+    via_assert(Index(x.size()) == _cols, "SpMV shape mismatch: ",
+               _cols, " cols vs vector of ", x.size());
+    DenseVector y(std::size_t(_rows), Value(0));
+    for (Index r = 0; r < _rows; ++r) {
+        double acc = 0.0;
+        for (Index k = _rowPtr[std::size_t(r)];
+             k < _rowPtr[std::size_t(r) + 1]; ++k) {
+            acc += double(_values[std::size_t(k)]) *
+                   double(x[std::size_t(_colIdx[std::size_t(k)])]);
+        }
+        y[std::size_t(r)] = Value(acc);
+    }
+    return y;
+}
+
+Coo
+Csr::toCoo() const
+{
+    Coo coo(_rows, _cols);
+    for (Index r = 0; r < _rows; ++r)
+        for (Index k = _rowPtr[std::size_t(r)];
+             k < _rowPtr[std::size_t(r) + 1]; ++k)
+            coo.add(r, _colIdx[std::size_t(k)],
+                    _values[std::size_t(k)]);
+    return coo;
+}
+
+bool
+Csr::operator==(const Csr &o) const
+{
+    return _rows == o._rows && _cols == o._cols &&
+           _rowPtr == o._rowPtr && _colIdx == o._colIdx &&
+           _values == o._values;
+}
+
+void
+Csr::validate() const
+{
+    via_assert(_rowPtr.size() == std::size_t(_rows) + 1,
+               "row_ptr has ", _rowPtr.size(), " entries for ",
+               _rows, " rows");
+    via_assert(_colIdx.size() == _values.size(),
+               "col_idx / data length mismatch");
+    via_assert(_rowPtr.front() == 0, "row_ptr must start at 0");
+    via_assert(std::size_t(_rowPtr.back()) == _values.size(),
+               "row_ptr end does not match nnz");
+    for (std::size_t r = 1; r < _rowPtr.size(); ++r)
+        via_assert(_rowPtr[r] >= _rowPtr[r - 1],
+                   "row_ptr not monotone at row ", r);
+    for (Index r = 0; r < _rows; ++r) {
+        for (Index k = _rowPtr[std::size_t(r)];
+             k < _rowPtr[std::size_t(r) + 1]; ++k) {
+            Index c = _colIdx[std::size_t(k)];
+            via_assert(c >= 0 && c < _cols, "column ", c,
+                       " out of range in row ", r);
+            if (k > _rowPtr[std::size_t(r)])
+                via_assert(_colIdx[std::size_t(k) - 1] < c,
+                           "columns not strictly increasing in row ",
+                           r);
+        }
+    }
+}
+
+} // namespace via

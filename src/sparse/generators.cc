@@ -1,0 +1,148 @@
+#include "sparse/generators.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "simcore/log.hh"
+
+namespace via
+{
+
+namespace
+{
+
+Value
+randValue(Rng &rng)
+{
+    return Value(rng.uniform() * 2.0 - 1.0);
+}
+
+} // namespace
+
+void
+randomizeValues(Coo &coo, Rng &rng)
+{
+    for (Triplet &t : coo.elems())
+        t.value = randValue(rng);
+}
+
+Csr
+genBanded(Index n, Index bandwidth, double fill, Rng &rng)
+{
+    via_assert(n > 0 && bandwidth >= 0, "bad band parameters");
+    Coo coo(n, n);
+    for (Index r = 0; r < n; ++r) {
+        Index lo = std::max<Index>(0, r - bandwidth);
+        Index hi = std::min<Index>(n - 1, r + bandwidth);
+        for (Index c = lo; c <= hi; ++c) {
+            if (c == r || rng.chance(fill))
+                coo.add(r, c, randValue(rng));
+        }
+    }
+    return Csr::fromCoo(std::move(coo));
+}
+
+Csr
+genUniform(Index rows, Index cols, double density, Rng &rng)
+{
+    via_assert(rows > 0 && cols > 0, "bad shape");
+    via_assert(density > 0.0 && density <= 1.0, "bad density ",
+               density);
+    // Sample nnz positions without materializing the dense grid:
+    // geometric skipping over the linearized index space.
+    Coo coo(rows, cols);
+    double total = double(rows) * double(cols);
+    auto target = std::size_t(total * density);
+    double skip_mean = total / double(std::max<std::size_t>(target,
+                                                            1));
+    double pos = 0.0;
+    while (true) {
+        // Exponential gap with mean skip_mean.
+        double u = std::max(rng.uniform(), 1e-12);
+        pos += -std::log(u) * skip_mean;
+        if (pos >= total)
+            break;
+        auto linear = std::uint64_t(pos);
+        coo.add(Index(linear / std::uint64_t(cols)),
+                Index(linear % std::uint64_t(cols)),
+                randValue(rng));
+    }
+    return Csr::fromCoo(std::move(coo));
+}
+
+Csr
+genRmat(Index n, std::size_t nnz_target, Rng &rng)
+{
+    via_assert(n > 0 && (n & (n - 1)) == 0,
+               "RMAT needs a power-of-two size, got ", n);
+    const double a = 0.57, b = 0.19, c = 0.19; // d = 0.05
+    Coo coo(n, n);
+    for (std::size_t e = 0; e < nnz_target; ++e) {
+        Index row = 0, col = 0;
+        for (Index bit = n >> 1; bit > 0; bit >>= 1) {
+            double p = rng.uniform();
+            if (p < a) {
+                // top-left: nothing to add
+            } else if (p < a + b) {
+                col |= bit;
+            } else if (p < a + b + c) {
+                row |= bit;
+            } else {
+                row |= bit;
+                col |= bit;
+            }
+        }
+        coo.add(row, col, randValue(rng));
+    }
+    coo.canonicalize();
+    return Csr::fromCoo(std::move(coo));
+}
+
+Csr
+genBlocked(Index n, Index block_side, double block_fill,
+           double inner_fill, Rng &rng)
+{
+    via_assert(block_side > 0 && block_side <= n,
+               "bad block side ", block_side);
+    Coo coo(n, n);
+    Index grid = (n + block_side - 1) / block_side;
+    for (Index br = 0; br < grid; ++br) {
+        for (Index bc = 0; bc < grid; ++bc) {
+            // Keep the diagonal blocks so no row is empty-ish.
+            if (br != bc && !rng.chance(block_fill))
+                continue;
+            Index rlo = br * block_side;
+            Index clo = bc * block_side;
+            Index rhi = std::min(rlo + block_side, n);
+            Index chi = std::min(clo + block_side, n);
+            for (Index r = rlo; r < rhi; ++r)
+                for (Index c = clo; c < chi; ++c)
+                    if (rng.chance(inner_fill))
+                        coo.add(r, c, randValue(rng));
+        }
+    }
+    return Csr::fromCoo(std::move(coo));
+}
+
+Csr
+genDiagHeavy(Index n, double off_diag, Rng &rng)
+{
+    via_assert(n > 0, "bad size");
+    Coo coo(n, n);
+    for (Index r = 0; r < n; ++r) {
+        coo.add(r, r, Value(2.0 + rng.uniform()));
+        // Poisson(off_diag) off-diagonal entries via thinning.
+        auto extras = std::size_t(off_diag);
+        if (rng.chance(off_diag - double(extras)))
+            ++extras;
+        for (std::size_t e = 0; e < extras; ++e) {
+            auto c = Index(rng.below(std::uint64_t(n)));
+            if (c != r)
+                coo.add(r, c, randValue(rng));
+        }
+    }
+    coo.canonicalize();
+    return Csr::fromCoo(std::move(coo));
+}
+
+} // namespace via

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Synthetic sparse-matrix generators.
+ *
+ * These stand in for the University of Florida collection (see
+ * DESIGN.md): each family mirrors a structural class that dominates
+ * real applications — banded FEM/stencil operators, block-clustered
+ * engineering matrices, power-law graphs, and unstructured random
+ * matrices. All generators are deterministic given the Rng.
+ */
+
+#ifndef VIA_SPARSE_GENERATORS_HH
+#define VIA_SPARSE_GENERATORS_HH
+
+#include "simcore/rng.hh"
+#include "sparse/coo.hh"
+#include "sparse/csr.hh"
+
+namespace via
+{
+
+/**
+ * Band matrix: non-zeros only within `bandwidth` of the diagonal,
+ * present with probability `fill`. Models FEM/stencil operators.
+ */
+Csr genBanded(Index n, Index bandwidth, double fill, Rng &rng);
+
+/** Uniformly random: each position non-zero with prob `density`. */
+Csr genUniform(Index rows, Index cols, double density, Rng &rng);
+
+/**
+ * RMAT-style power-law graph adjacency matrix (a=0.57, b=c=0.19),
+ * the structure of social/web graphs. Duplicate edges merge.
+ */
+Csr genRmat(Index n, std::size_t nnz_target, Rng &rng);
+
+/**
+ * Block-clustered: a grid of `blockSide` blocks where each block is
+ * dense-ish (`innerFill`) with probability `blockFill`, else empty.
+ * Models multiphysics/circuit matrices with natural sub-blocks.
+ */
+Csr genBlocked(Index n, Index block_side, double block_fill,
+               double inner_fill, Rng &rng);
+
+/**
+ * Diagonally dominant with a few random off-diagonals per row
+ * (Poisson-like mean `off_diag`). Models iterative-solver inputs.
+ */
+Csr genDiagHeavy(Index n, double off_diag, Rng &rng);
+
+/** Assign a uniform random value in [-1,1) to every element. */
+void randomizeValues(Coo &coo, Rng &rng);
+
+} // namespace via
+
+#endif // VIA_SPARSE_GENERATORS_HH

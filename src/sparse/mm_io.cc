@@ -1,0 +1,120 @@
+#include "sparse/mm_io.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "simcore/log.hh"
+
+namespace via
+{
+
+namespace
+{
+
+std::string
+lower(std::string s)
+{
+    std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+        return char(std::tolower(c));
+    });
+    return s;
+}
+
+} // namespace
+
+Csr
+readMatrixMarketStream(std::istream &in, const std::string &what)
+{
+    std::string line;
+    if (!std::getline(in, line))
+        via_fatal(what, ": empty Matrix Market input");
+
+    std::istringstream header(line);
+    std::string banner, object, format, field, symmetry;
+    header >> banner >> object >> format >> field >> symmetry;
+    if (banner != "%%MatrixMarket")
+        via_fatal(what, ": missing %%MatrixMarket banner");
+    object = lower(object);
+    format = lower(format);
+    field = lower(field);
+    symmetry = lower(symmetry);
+    if (object != "matrix" || format != "coordinate")
+        via_fatal(what, ": only coordinate matrices are supported");
+    if (field != "real" && field != "integer" && field != "pattern")
+        via_fatal(what, ": unsupported field '", field, "'");
+    if (symmetry != "general" && symmetry != "symmetric")
+        via_fatal(what, ": unsupported symmetry '", symmetry, "'");
+
+    // Skip comments.
+    while (std::getline(in, line)) {
+        if (!line.empty() && line[0] != '%')
+            break;
+    }
+    std::istringstream sizes(line);
+    long rows = 0, cols = 0, entries = 0;
+    sizes >> rows >> cols >> entries;
+    if (rows <= 0 || cols <= 0 || entries < 0)
+        via_fatal(what, ": bad size line '", line, "'");
+
+    Coo coo(static_cast<Index>(rows), static_cast<Index>(cols));
+    for (long e = 0; e < entries; ++e) {
+        if (!std::getline(in, line))
+            via_fatal(what, ": truncated after ", e, " of ",
+                      entries, " entries");
+        if (line.empty() || line[0] == '%') {
+            --e;
+            continue;
+        }
+        std::istringstream ls(line);
+        long r = 0, c = 0;
+        double v = 1.0;
+        ls >> r >> c;
+        if (field != "pattern")
+            ls >> v;
+        if (ls.fail() || r < 1 || r > rows || c < 1 || c > cols)
+            via_fatal(what, ": bad entry line '", line, "'");
+        coo.add(Index(r - 1), Index(c - 1), Value(v));
+        if (symmetry == "symmetric" && r != c)
+            coo.add(Index(c - 1), Index(r - 1), Value(v));
+    }
+    return Csr::fromCoo(std::move(coo));
+}
+
+Csr
+readMatrixMarket(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        via_fatal("cannot open '", path, "'");
+    return readMatrixMarketStream(in, path);
+}
+
+void
+writeMatrixMarket(const Csr &matrix, std::ostream &out)
+{
+    out << "%%MatrixMarket matrix coordinate real general\n";
+    out << "% written by the VIA reproduction library\n";
+    out << matrix.rows() << ' ' << matrix.cols() << ' '
+        << matrix.nnz() << '\n';
+    const auto &row_ptr = matrix.rowPtr();
+    const auto &col_idx = matrix.colIdx();
+    const auto &values = matrix.values();
+    for (Index r = 0; r < matrix.rows(); ++r)
+        for (Index k = row_ptr[std::size_t(r)];
+             k < row_ptr[std::size_t(r) + 1]; ++k)
+            out << (r + 1) << ' ' << (col_idx[std::size_t(k)] + 1)
+                << ' ' << values[std::size_t(k)] << '\n';
+}
+
+void
+writeMatrixMarket(const Csr &matrix, const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        via_fatal("cannot open '", path, "' for writing");
+    writeMatrixMarket(matrix, out);
+}
+
+} // namespace via

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Matrix Market I/O so the real University of Florida collection can
+ * be dropped in place of the synthetic corpus.
+ *
+ * Supported: `%%MatrixMarket matrix coordinate (real|integer|pattern)
+ * (general|symmetric)`. Pattern entries read as 1.0; symmetric
+ * matrices are expanded to general on load.
+ */
+
+#ifndef VIA_SPARSE_MM_IO_HH
+#define VIA_SPARSE_MM_IO_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "sparse/csr.hh"
+
+namespace via
+{
+
+/** Parse a Matrix Market stream; fatal() on malformed input. */
+Csr readMatrixMarketStream(std::istream &in,
+                           const std::string &what = "<stream>");
+
+/** Read a .mtx file. */
+Csr readMatrixMarket(const std::string &path);
+
+/** Write coordinate/real/general .mtx. */
+void writeMatrixMarket(const Csr &matrix, std::ostream &out);
+void writeMatrixMarket(const Csr &matrix, const std::string &path);
+
+} // namespace via
+
+#endif // VIA_SPARSE_MM_IO_HH

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Element types shared by all sparse formats.
+ *
+ * Values are 32-bit floats: the SSPM stores 4-byte blocks (paper
+ * Section IV-A) and the AVX2-like vector unit then works with 8
+ * lanes. Indices are 32-bit, which covers the paper's input set
+ * (matrices up to 20k rows).
+ */
+
+#ifndef VIA_SPARSE_SPARSE_TYPES_HH
+#define VIA_SPARSE_SPARSE_TYPES_HH
+
+#include <cstdint>
+
+namespace via
+{
+
+/** Matrix value type. */
+using Value = float;
+
+/** Row/column index type. */
+using Index = std::int32_t;
+
+} // namespace via
+
+#endif // VIA_SPARSE_SPARSE_TYPES_HH

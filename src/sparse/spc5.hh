@@ -1,0 +1,76 @@
+/**
+ * @file
+ * SPC5-like masked row-block format (Bramas & Kus), the second SpMV
+ * baseline of Figure 10.
+ *
+ * Each block covers one row and a window of VL consecutive columns;
+ * a bitmask says which columns inside the window are present and the
+ * values are packed without zero padding. The vectorized kernel
+ * loads x[firstCol .. firstCol+VL) unit-stride, expands the packed
+ * values by the mask, and FMAs — no gather on x.
+ */
+
+#ifndef VIA_SPARSE_SPC5_HH
+#define VIA_SPARSE_SPC5_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sparse/csr.hh"
+#include "sparse/sparse_types.hh"
+
+namespace via
+{
+
+/** beta(1, VL) SPC5-style matrix. */
+class Spc5
+{
+  public:
+    Spc5() = default;
+
+    /**
+     * @param window block width in columns (the vector length)
+     */
+    static Spc5 fromCsr(const Csr &csr, Index window);
+
+    Index rows() const { return _rows; }
+    Index cols() const { return _cols; }
+    Index window() const { return _window; }
+    std::size_t nnz() const { return _values.size(); }
+    std::size_t numBlocks() const { return _blockRow.size(); }
+
+    /** Row of each block (blocks sorted by row, then column). */
+    const std::vector<Index> &blockRow() const { return _blockRow; }
+    /** First column of each block's window. */
+    const std::vector<Index> &blockCol() const { return _blockCol; }
+    /** Presence mask over the window's columns. */
+    const std::vector<std::uint32_t> &blockMask() const
+    {
+        return _blockMask;
+    }
+    /** Offset of each block's packed values (numBlocks+1). */
+    const std::vector<Index> &blockPtr() const { return _blockPtr; }
+    const std::vector<Value> &values() const { return _values; }
+
+    /** Mean packed values per block (vector utilization proxy). */
+    double meanBlockFill() const;
+
+    /** Host-side golden multiply. */
+    DenseVector multiply(const DenseVector &x) const;
+
+    void validate() const;
+
+  private:
+    Index _rows = 0;
+    Index _cols = 0;
+    Index _window = 0;
+    std::vector<Index> _blockRow;
+    std::vector<Index> _blockCol;
+    std::vector<std::uint32_t> _blockMask;
+    std::vector<Index> _blockPtr;
+    std::vector<Value> _values;
+};
+
+} // namespace via
+
+#endif // VIA_SPARSE_SPC5_HH

@@ -1,0 +1,48 @@
+#include "sparse/structure_stats.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "simcore/log.hh"
+#include "sparse/csb.hh"
+
+namespace via
+{
+
+StructureStats
+computeStructure(const Csr &matrix, Index beta)
+{
+    StructureStats s;
+    s.rows = matrix.rows();
+    s.cols = matrix.cols();
+    s.nnz = matrix.nnz();
+    s.density = s.rows && s.cols
+                    ? double(s.nnz) / (double(s.rows) *
+                                       double(s.cols))
+                    : 0.0;
+    s.meanRowNnz = s.rows ? double(s.nnz) / double(s.rows) : 0.0;
+    s.maxRowNnz = matrix.rows() ? matrix.maxRowNnz() : 0;
+    Csb csb = Csb::fromCsr(matrix, beta);
+    s.nnzPerBlock = csb.meanNnzPerNonEmptyBlock();
+    return s;
+}
+
+std::vector<std::size_t>
+evenBuckets(const std::vector<double> &keys, std::size_t buckets)
+{
+    via_assert(buckets > 0, "need at least one bucket");
+    std::vector<std::size_t> order(keys.size());
+    std::iota(order.begin(), order.end(), std::size_t(0));
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                         return keys[a] < keys[b];
+                     });
+    std::vector<std::size_t> bucket(keys.size(), 0);
+    for (std::size_t pos = 0; pos < order.size(); ++pos) {
+        bucket[order[pos]] = std::min(buckets - 1,
+                                      pos * buckets / order.size());
+    }
+    return bucket;
+}
+
+} // namespace via

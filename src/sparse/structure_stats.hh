@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Structural statistics used to bucket matrices the way the paper's
+ * figures do (block density for Fig 10, nnz for Fig 11).
+ */
+
+#ifndef VIA_SPARSE_STRUCTURE_STATS_HH
+#define VIA_SPARSE_STRUCTURE_STATS_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "sparse/csr.hh"
+
+namespace via
+{
+
+/** Summary of one matrix's structure. */
+struct StructureStats
+{
+    Index rows = 0;
+    Index cols = 0;
+    std::size_t nnz = 0;
+    double density = 0.0;
+    double meanRowNnz = 0.0;
+    Index maxRowNnz = 0;
+    /** Mean nnz per non-empty beta x beta block (CSB density). */
+    double nnzPerBlock = 0.0;
+};
+
+/** Compute structure statistics; beta is the CSB block side. */
+StructureStats computeStructure(const Csr &matrix, Index beta);
+
+/**
+ * Split items into `buckets` near-equal categories after sorting by
+ * key ascending (the paper sorts matrices by block density / nnz and
+ * splits evenly into four).
+ *
+ * @return bucket id (0..buckets-1) per item, aligned with items
+ */
+std::vector<std::size_t> evenBuckets(const std::vector<double> &keys,
+                                     std::size_t buckets);
+
+} // namespace via
+
+#endif // VIA_SPARSE_STRUCTURE_STATS_HH

@@ -1,0 +1,50 @@
+#include "via/fivu.hh"
+
+#include <algorithm>
+
+#include "simcore/log.hh"
+
+namespace via
+{
+
+Tick
+Fivu::bookPorts(Tick when, std::uint32_t elems)
+{
+    // Element moves share the SSPM ports; consecutive VIA
+    // instructions pipeline through the pre/post-processing stages,
+    // so the ports behave as a bandwidth resource, not a lock.
+    Tick last = when;
+    for (std::uint32_t e = 0; e < elems; ++e)
+        last = _ports.acquire(when + e / _config.ports);
+    return last + 1;
+}
+
+Fivu::Timing
+Fivu::dispatch(const Inst &inst, Tick ready_at, const OpLatencies &lat)
+{
+    via_assert(inst.isVia(), "non-VIA inst dispatched to the FIVU: ",
+               mnemonic(inst.op));
+
+    Tick exec = lat.latencyOf(inst.op);
+
+    // One VIA instruction enters the FIVU per cycle (issue stage);
+    // its SSPM phases contend for ports with its neighbours.
+    Tick start = std::max(ready_at, _nextFree);
+    _nextFree = start + 1;
+
+    Tick read_done = inst.sspmReads
+                         ? bookPorts(start, inst.sspmReads)
+                         : start + 1;
+    Tick exec_done = read_done + exec;
+    Tick complete = inst.sspmWrites
+                        ? bookPorts(exec_done, inst.sspmWrites)
+                        : exec_done;
+
+    ++_stats.viaInsts;
+    _stats.busyCycles += complete - start;
+    _stats.sspmReadCycles += portCycles(inst.sspmReads);
+    _stats.sspmWriteCycles += portCycles(inst.sspmWrites);
+    return Timing{start, complete};
+}
+
+} // namespace via

@@ -1,0 +1,78 @@
+#include "via/index_table.hh"
+
+#include "simcore/log.hh"
+
+namespace via
+{
+
+IndexTable::IndexTable(std::uint32_t capacity,
+                       std::uint32_t bank_entries)
+    : _capacity(capacity), _bankEntries(bank_entries)
+{
+    via_assert(capacity > 0, "index table needs capacity");
+    via_assert(bank_entries > 0, "bank size must be positive");
+    _keys.reserve(capacity);
+}
+
+void
+IndexTable::accountSearch()
+{
+    ++_stats.searches;
+    // Only banks containing tracked indices are searched; the rest
+    // are clock-gated using the element count register.
+    std::uint64_t live = count();
+    std::uint64_t banks = (live + _bankEntries - 1) / _bankEntries;
+    _stats.banksSearched += banks;
+    _stats.comparisons += banks * _bankEntries;
+}
+
+std::int32_t
+IndexTable::search(std::int64_t key)
+{
+    accountSearch();
+    auto it = _lookup.find(key);
+    if (it == _lookup.end())
+        return NO_SLOT;
+    ++_stats.hits;
+    return it->second;
+}
+
+std::int32_t
+IndexTable::findOrInsert(std::int64_t key, bool &inserted)
+{
+    inserted = false;
+    accountSearch();
+    auto it = _lookup.find(key);
+    if (it != _lookup.end()) {
+        ++_stats.hits;
+        return it->second;
+    }
+    if (full()) {
+        ++_stats.overflows;
+        return NO_SLOT;
+    }
+    auto slot = std::int32_t(_keys.size());
+    _keys.push_back(key);
+    _lookup.emplace(key, slot);
+    ++_stats.inserts;
+    inserted = true;
+    return slot;
+}
+
+std::int64_t
+IndexTable::keyAt(std::uint32_t slot) const
+{
+    via_assert(slot < _keys.size(), "keyAt(", slot,
+               ") beyond element count ", _keys.size());
+    return _keys[slot];
+}
+
+void
+IndexTable::clear()
+{
+    _keys.clear();
+    _lookup.clear();
+    ++_stats.clears;
+}
+
+} // namespace via

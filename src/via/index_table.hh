@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The SSPM's index-tracking logic (paper Section IV-A).
+ *
+ * A CAM over 32-bit indices, organized in banks of eight entries so
+ * banks beyond the element count can be clock-gated. Insertion is
+ * strictly in order (the next free slot), which is the paper's area
+ * optimization over a fully general CAM. A shadow hash map provides
+ * O(1) functional lookups while the bank arithmetic charges the
+ * energy/comparison cost a real parallel search would incur.
+ */
+
+#ifndef VIA_VIA_INDEX_TABLE_HH
+#define VIA_VIA_INDEX_TABLE_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "simcore/types.hh"
+
+namespace via
+{
+
+/** Statistics for the index-tracking logic. */
+struct IndexTableStats
+{
+    std::uint64_t searches = 0;     //!< CAM search operations
+    std::uint64_t comparisons = 0;  //!< entry comparators activated
+    std::uint64_t banksSearched = 0;//!< banks not clock-gated
+    std::uint64_t inserts = 0;
+    std::uint64_t hits = 0;         //!< searches that matched
+    std::uint64_t overflows = 0;    //!< inserts rejected: table full
+    std::uint64_t clears = 0;
+};
+
+/** In-order-insert CAM with banked search accounting. */
+class IndexTable
+{
+  public:
+    /**
+     * @param capacity total entries
+     * @param bank_entries entries per clock-gated bank
+     */
+    IndexTable(std::uint32_t capacity, std::uint32_t bank_entries);
+
+    /** Sentinel returned when a key is absent / table is full. */
+    static constexpr std::int32_t NO_SLOT = -1;
+
+    /**
+     * CAM search: slot holding @p key, or NO_SLOT.
+     * Accounts one parallel search over the live banks.
+     */
+    std::int32_t search(std::int64_t key);
+
+    /**
+     * Search and, if absent, insert in the next free slot.
+     *
+     * @param key the index to track
+     * @param inserted out: true if a new slot was allocated
+     * @return the slot, or NO_SLOT if absent and the table is full
+     */
+    std::int32_t findOrInsert(std::int64_t key, bool &inserted);
+
+    /** Key stored at @p slot (for vidx.keys extraction). */
+    std::int64_t keyAt(std::uint32_t slot) const;
+
+    /** Element count register. */
+    std::uint32_t count() const { return std::uint32_t(_keys.size()); }
+
+    std::uint32_t capacity() const { return _capacity; }
+
+    /** True when no further insert can succeed. */
+    bool full() const { return count() >= _capacity; }
+
+    /** Flash clear: index table and element count. */
+    void clear();
+
+    IndexTableStats &stats() { return _stats; }
+    const IndexTableStats &stats() const { return _stats; }
+
+  private:
+    /** Charge one parallel search against the live banks. */
+    void accountSearch();
+
+    std::uint32_t _capacity;
+    std::uint32_t _bankEntries;
+    std::vector<std::int64_t> _keys; //!< slot -> key, insertion order
+    std::unordered_map<std::int64_t, std::int32_t> _lookup;
+    IndexTableStats _stats;
+};
+
+} // namespace via
+
+#endif // VIA_VIA_INDEX_TABLE_HH

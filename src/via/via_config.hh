@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Sizing parameters for the VIA hardware (paper Table I / Section VI).
+ */
+
+#ifndef VIA_VIA_VIA_CONFIG_HH
+#define VIA_VIA_VIA_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "simcore/types.hh"
+
+namespace via
+{
+
+/** SSPM + FIVU configuration. Names like "16_2p" follow the paper. */
+struct ViaConfig
+{
+    std::uint64_t sspmBytes = 16 * 1024; //!< SRAM capacity
+    std::uint32_t ports = 2;             //!< SSPM read/write ports
+    std::uint64_t camBytes = 4 * 1024;   //!< index table capacity
+    std::uint32_t valueBytes = 4;        //!< SRAM block granularity
+    std::uint32_t keyBytes = 4;          //!< index width in the CAM
+    std::uint32_t bankEntries = 8;       //!< CAM bank size (clock gate)
+
+    /** Entries in the direct-mapped SRAM. */
+    std::uint64_t
+    sramEntries() const
+    {
+        return sspmBytes / valueBytes;
+    }
+
+    /** Entries in the CAM index table. */
+    std::uint64_t
+    camEntries() const
+    {
+        return camBytes / keyBytes;
+    }
+
+    /** The paper's configuration label, e.g. "16_2p". */
+    std::string name() const;
+
+    /** Named configurations from Table I. */
+    static ViaConfig make(std::uint64_t sspm_kb, std::uint32_t ports);
+};
+
+} // namespace via
+
+#endif // VIA_VIA_VIA_CONFIG_HH

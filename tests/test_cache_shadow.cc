@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Property test: the Cache tag array against a reference LRU shadow
+ * model over a random access stream.
+ */
+
+#include <gtest/gtest.h>
+
+#include <list>
+#include <map>
+
+#include "mem/cache.hh"
+#include "simcore/rng.hh"
+
+namespace via
+{
+namespace
+{
+
+/** Straightforward per-set LRU list model. */
+class ShadowCache
+{
+  public:
+    ShadowCache(std::size_t sets, std::size_t ways,
+                std::uint64_t line)
+        : _sets(sets), _ways(ways), _line(line)
+    {
+    }
+
+    bool
+    access(Addr line_addr)
+    {
+        auto set = (line_addr / _line) % _sets;
+        auto &lru = _lru[set];
+        for (auto it = lru.begin(); it != lru.end(); ++it) {
+            if (*it == line_addr) {
+                lru.erase(it);
+                lru.push_front(line_addr);
+                return true;
+            }
+        }
+        lru.push_front(line_addr);
+        if (lru.size() > _ways)
+            lru.pop_back();
+        return false;
+    }
+
+  private:
+    std::size_t _sets, _ways;
+    std::uint64_t _line;
+    std::map<std::uint64_t, std::list<Addr>> _lru;
+};
+
+TEST(CacheShadow, RandomStreamMatchesReferenceLru)
+{
+    CacheParams params;
+    params.sizeBytes = 4096; // 64 lines
+    params.assoc = 4;
+    params.lineBytes = 64;
+    Cache cache(params);
+    ShadowCache shadow(16, 4, 64);
+
+    Rng rng(77);
+    std::uint64_t hits = 0;
+    for (int i = 0; i < 20000; ++i) {
+        // Mix of hot lines (locality) and cold lines.
+        Addr line = rng.chance(0.7)
+                        ? Addr(rng.below(32)) * 64
+                        : Addr(rng.below(4096)) * 64;
+        bool want_hit = shadow.access(line);
+        bool got_hit = cache.access(line, rng.chance(0.3)).hit;
+        ASSERT_EQ(got_hit, want_hit) << "access " << i;
+        hits += got_hit;
+    }
+    // The hot set fits: hit rate must be substantial.
+    EXPECT_GT(hits, 10000u);
+    EXPECT_EQ(cache.stats().accesses(), 20000u);
+    EXPECT_EQ(cache.stats().misses(), 20000u - hits);
+}
+
+TEST(CacheShadow, WritebackCountMatchesDirtyEvictions)
+{
+    CacheParams params;
+    params.sizeBytes = 1024; // 16 lines
+    params.assoc = 2;
+    params.lineBytes = 64;
+    Cache cache(params);
+
+    Rng rng(78);
+    std::uint64_t dirty_evictions = 0;
+    for (int i = 0; i < 5000; ++i) {
+        Addr line = Addr(rng.below(256)) * 64;
+        auto res = cache.access(line, rng.chance(0.5));
+        dirty_evictions += res.victimDirty;
+    }
+    EXPECT_EQ(cache.stats().writebacks, dirty_evictions);
+    EXPECT_GT(dirty_evictions, 0u);
+}
+
+} // namespace
+} // namespace via

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Unit tests for the deterministic event queue.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "simcore/event_queue.hh"
+
+namespace via
+{
+namespace
+{
+
+TEST(EventQueue, StartsEmptyAtTickZero)
+{
+    EventQueue q;
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.curTick(), 0u);
+    EXPECT_EQ(q.nextTick(), MAX_TICK);
+}
+
+TEST(EventQueue, RunsEventsInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&] { order.push_back(3); });
+    q.schedule(10, [&] { order.push_back(1); });
+    q.schedule(20, [&] { order.push_back(2); });
+    EXPECT_EQ(q.run(), 3u);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.curTick(), 30u);
+}
+
+TEST(EventQueue, SameTickRunsInScheduleOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 8; ++i)
+        q.schedule(5, [&order, i] { order.push_back(i); });
+    q.run();
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(order[std::size_t(i)], i);
+}
+
+TEST(EventQueue, RunRespectsLimit)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(10, [&] { ++fired; });
+    q.schedule(20, [&] { ++fired; });
+    EXPECT_EQ(q.run(15), 1u);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(q.nextTick(), 20u);
+}
+
+TEST(EventQueue, CancelPreventsExecution)
+{
+    EventQueue q;
+    int fired = 0;
+    auto id = q.schedule(10, [&] { ++fired; });
+    q.schedule(11, [&] { ++fired; });
+    q.cancel(id);
+    EXPECT_EQ(q.live(), 1u);
+    q.run();
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, CancelOfFiredEventIsNoOp)
+{
+    EventQueue q;
+    auto id = q.schedule(1, [] {});
+    q.run();
+    q.cancel(id); // must not crash or corrupt counts
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, EventsMayScheduleEvents)
+{
+    EventQueue q;
+    int depth = 0;
+    std::function<void()> chain = [&] {
+        if (++depth < 5)
+            q.scheduleIn(2, chain);
+    };
+    q.schedule(0, chain);
+    q.run();
+    EXPECT_EQ(depth, 5);
+    EXPECT_EQ(q.curTick(), 8u);
+}
+
+TEST(EventQueue, AdvanceToMovesTimeWithoutEvents)
+{
+    EventQueue q;
+    q.advanceTo(100);
+    EXPECT_EQ(q.curTick(), 100u);
+}
+
+TEST(EventQueue, AdvanceToExecutesDueEvents)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(50, [&] { ++fired; });
+    q.schedule(150, [&] { ++fired; });
+    q.advanceTo(100);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(q.curTick(), 100u);
+}
+
+TEST(EventQueueDeathTest, SchedulingInThePastPanics)
+{
+    EventQueue q;
+    q.schedule(10, [] {});
+    q.run();
+    EXPECT_DEATH(q.schedule(5, [] {}), "scheduled in the past");
+}
+
+} // namespace
+} // namespace via

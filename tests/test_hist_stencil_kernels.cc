@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Functional tests for the histogram and stencil kernels.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/machine.hh"
+#include "kernels/histogram.hh"
+#include "kernels/reference.hh"
+#include "kernels/stencil.hh"
+#include "simcore/rng.hh"
+
+namespace via
+{
+namespace
+{
+
+MachineParams
+defaultParams()
+{
+    return MachineParams{};
+}
+
+std::vector<Index>
+uniformKeys(std::size_t count, Index buckets, Rng &rng)
+{
+    std::vector<Index> keys(count);
+    for (auto &k : keys)
+        k = Index(rng.below(std::uint64_t(buckets)));
+    return keys;
+}
+
+std::vector<Index>
+skewedKeys(std::size_t count, Index buckets, Rng &rng)
+{
+    // 80% of keys hit 10% of buckets: the store-load forwarding
+    // stress case.
+    std::vector<Index> keys(count);
+    Index hot = std::max<Index>(buckets / 10, 1);
+    for (auto &k : keys) {
+        if (rng.chance(0.8))
+            k = Index(rng.below(std::uint64_t(hot)));
+        else
+            k = Index(rng.below(std::uint64_t(buckets)));
+    }
+    return keys;
+}
+
+bool
+histMatches(const std::vector<Value> &got,
+            const std::vector<Value> &want)
+{
+    if (got.size() != want.size())
+        return false;
+    for (std::size_t i = 0; i < got.size(); ++i)
+        if (got[i] != want[i])
+            return false;
+    return true;
+}
+
+TEST(HistogramKernels, AllVariantsMatchReference)
+{
+    Rng rng(21);
+    const Index buckets = 256;
+    for (auto maker : {&uniformKeys, &skewedKeys}) {
+        auto keys = maker(1000, buckets, rng);
+        auto want = kernels::refHistogram(keys, buckets);
+
+        Machine m1(defaultParams());
+        EXPECT_TRUE(histMatches(
+            kernels::histScalar(m1, keys, buckets).hist, want));
+        Machine m2(defaultParams());
+        EXPECT_TRUE(histMatches(
+            kernels::histVector(m2, keys, buckets).hist, want));
+        Machine m3(defaultParams());
+        EXPECT_TRUE(histMatches(
+            kernels::histVia(m3, keys, buckets).hist, want));
+    }
+}
+
+TEST(HistogramKernels, DuplicateHeavyChunksStayExact)
+{
+    // Whole chunks of identical keys: worst case for conflict
+    // handling in both the vector baseline and VIA.
+    std::vector<Index> keys(64, 5);
+    keys.push_back(9);
+    auto want = kernels::refHistogram(keys, 16);
+    Machine m1(defaultParams());
+    EXPECT_TRUE(histMatches(
+        kernels::histVector(m1, keys, 16).hist, want));
+    Machine m2(defaultParams());
+    EXPECT_TRUE(
+        histMatches(kernels::histVia(m2, keys, 16).hist, want));
+}
+
+TEST(HistogramKernels, ViaBeatsVectorBaseline)
+{
+    Rng rng(22);
+    auto keys = skewedKeys(4000, 1024, rng);
+    Machine m1(defaultParams()), m2(defaultParams());
+    auto vec = kernels::histVector(m1, keys, 1024);
+    auto viak = kernels::histVia(m2, keys, 1024);
+    EXPECT_LT(viak.cycles, vec.cycles);
+}
+
+bool
+matClose(const DenseMatrix &a, const DenseMatrix &b)
+{
+    if (a.rows() != b.rows() || a.cols() != b.cols())
+        return false;
+    for (Index y = 0; y < a.rows(); ++y)
+        for (Index x = 0; x < a.cols(); ++x)
+            if (std::abs(a.at(y, x) - b.at(y, x)) > 1e-3f)
+                return false;
+    return true;
+}
+
+DenseMatrix
+randomImage(Index rows, Index cols, Rng &rng)
+{
+    DenseMatrix img(rows, cols);
+    for (auto &p : img.data())
+        p = Value(rng.uniform() * 255.0);
+    return img;
+}
+
+TEST(StencilKernels, VectorMatchesReference)
+{
+    Rng rng(31);
+    DenseMatrix img = randomImage(16, 24, rng);
+    Machine m(defaultParams());
+    auto res = kernels::stencilVector(m, img);
+    EXPECT_TRUE(matClose(res.out, kernels::refConvolve4x4(img)));
+}
+
+TEST(StencilKernels, ViaMatchesReference)
+{
+    Rng rng(32);
+    DenseMatrix img = randomImage(16, 24, rng);
+    Machine m(defaultParams());
+    auto res = kernels::stencilVia(m, img);
+    EXPECT_TRUE(matClose(res.out, kernels::refConvolve4x4(img)));
+}
+
+TEST(StencilKernels, ViaSegmentationCoversTallImages)
+{
+    // Image taller than one SSPM segment: forces multi-segment
+    // staging with halo rows.
+    Rng rng(33);
+    DenseMatrix img = randomImage(200, 96, rng);
+    Machine m(defaultParams());
+    ASSERT_LT(m.sspm().config().sramEntries() / 96, 200u);
+    auto res = kernels::stencilVia(m, img);
+    EXPECT_TRUE(matClose(res.out, kernels::refConvolve4x4(img)));
+}
+
+TEST(StencilKernels, ViaBeatsVectorBaseline)
+{
+    Rng rng(34);
+    DenseMatrix img = randomImage(64, 64, rng);
+    Machine m1(defaultParams()), m2(defaultParams());
+    auto vec = kernels::stencilVector(m1, img);
+    auto viak = kernels::stencilVia(m2, img);
+    EXPECT_LT(viak.cycles, vec.cycles);
+}
+
+} // namespace
+} // namespace via

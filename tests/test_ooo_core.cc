@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Timing properties of the out-of-order core model: dependencies,
+ * widths, windows, branch prediction, memory ordering, and the VIA
+ * eligibility rules.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/machine.hh"
+
+namespace via
+{
+namespace
+{
+
+MachineParams
+params()
+{
+    return MachineParams{};
+}
+
+TEST(OoOCore, IndependentOpsOverlap)
+{
+    // N independent scalar ALU ops retire at ~dispatch bandwidth.
+    Machine m(params());
+    const int n = 400;
+    for (int i = 0; i < n; ++i)
+        m.simm(SReg{i % 8}, i);
+    // 4-wide dispatch: ~n/4 cycles, allow generous slack.
+    EXPECT_LT(m.cycles(), Tick(n));
+}
+
+TEST(OoOCore, DependentChainSerializes)
+{
+    Machine m(params());
+    const int n = 400;
+    m.simm(SReg{0}, 0);
+    for (int i = 0; i < n; ++i)
+        m.salu(SReg{0}, i, SReg{0});
+    // 1-cycle ALU chain: at least n cycles.
+    EXPECT_GE(m.cycles(), Tick(n));
+}
+
+TEST(OoOCore, WiderDispatchIsFaster)
+{
+    auto run = [](std::uint32_t width) {
+        MachineParams p;
+        p.core.dispatchWidth = width;
+        p.core.commitWidth = width;
+        Machine m(p);
+        for (int i = 0; i < 1000; ++i)
+            m.simm(SReg{i % 8}, i);
+        return m.cycles();
+    };
+    EXPECT_LT(run(8), run(1));
+}
+
+TEST(OoOCore, RobBoundsRunahead)
+{
+    // A load-latency-bound loop with a tiny ROB is slower than with
+    // a big one (less memory-level parallelism).
+    auto run = [](std::uint32_t rob) {
+        MachineParams p;
+        p.core.robSize = rob;
+        Machine m(p);
+        Addr a = m.mem().alloc(64 * 1024);
+        for (int i = 0; i < 256; ++i) {
+            m.sload(SReg{1}, a + Addr(i) * 64, 4);
+            m.salu(SReg{2}, i, SReg{1});
+        }
+        return m.cycles();
+    };
+    EXPECT_GT(run(8), run(192));
+}
+
+TEST(OoOCore, LoadQueueBoundsMlp)
+{
+    auto run = [](std::uint32_t lq) {
+        MachineParams p;
+        p.core.lqEntries = lq;
+        Machine m(p);
+        Addr a = m.mem().alloc(64 * 1024);
+        for (int i = 0; i < 256; ++i)
+            m.sload(SReg{1}, a + Addr(i) * 64, 4);
+        return m.cycles();
+    };
+    EXPECT_GT(run(2), run(72));
+}
+
+TEST(OoOCore, MispredictsSlowDataDependentBranches)
+{
+    auto run = [](bool alternate) {
+        Machine m(params());
+        for (int i = 0; i < 500; ++i) {
+            m.salu(SReg{0}, i);
+            // Either a well-predicted pattern (always taken) or an
+            // alternating one the 2-bit counter keeps missing.
+            m.sbranchData(SReg{0}, 1,
+                          alternate ? (i % 2 == 0) : true);
+        }
+        return m.cycles();
+    };
+    EXPECT_GT(run(true), run(false) + 500);
+}
+
+TEST(OoOCore, PredictorLearnsBiasedBranches)
+{
+    Machine m(params());
+    for (int i = 0; i < 100; ++i) {
+        m.salu(SReg{0}, i);
+        m.sbranchData(SReg{0}, 7, true);
+    }
+    // After warmup, an always-taken branch mispredicts at most once.
+    EXPECT_LE(m.core().stats().mispredicts, 1u);
+    EXPECT_EQ(m.core().stats().branches, 100u);
+}
+
+TEST(OoOCore, StoreForwardingStallsDependentLoad)
+{
+    // load after store to the same address is slower than to a
+    // different (cached) address.
+    auto run = [](bool same_addr) {
+        Machine m(params());
+        Addr a = m.mem().alloc(128);
+        m.sload(SReg{1}, a, 4);      // warm the line
+        m.sload(SReg{1}, a + 64, 4);
+        Tick warm = m.cycles();
+        for (int i = 0; i < 50; ++i) {
+            m.sstore(a, SReg{1}, 4);
+            m.sload(SReg{2}, same_addr ? a : a + 64, 4);
+        }
+        return m.cycles() - warm;
+    };
+    EXPECT_GT(run(true), run(false));
+}
+
+TEST(OoOCore, GatherCostsMoreThanUnitStrideLoad)
+{
+    auto run = [](bool gather) {
+        Machine m(params());
+        std::vector<float> table(4096, 1.0f);
+        Addr a = m.mem().allocArray(table);
+        VReg v0{0}, v1{1};
+        m.viotaI(v1, 0);
+        // Warm up the lines.
+        for (int i = 0; i < 8; ++i)
+            m.vload(v0, a + Addr(i) * 32, ElemType::F32);
+        Tick warm = m.cycles();
+        for (int i = 0; i < 200; ++i) {
+            if (gather)
+                m.vgather(v0, a, v1, ElemType::F32);
+            else
+                m.vload(v0, a, ElemType::F32);
+        }
+        return m.cycles() - warm;
+    };
+    EXPECT_GT(run(true), 2 * run(false));
+}
+
+TEST(OoOCore, ViaAtCommitIsSlowerThanBranchSafe)
+{
+    auto run = [](bool at_commit) {
+        MachineParams p;
+        p.core.viaAtCommit = at_commit;
+        Machine m(p);
+        VReg v0{0}, v1{1};
+        m.viotaI(v1, 0);
+        m.vbroadcastF(v0, 1.0);
+        m.vidxClear();
+        Addr a = m.mem().alloc(64 * 1024);
+        for (int i = 0; i < 200; ++i) {
+            // A slow load in front keeps commit behind; the
+            // branch-safe VIA op may run ahead of it.
+            m.sload(SReg{1}, a + Addr(i) * 64, 4);
+            m.vidxLoadD(v0, v1);
+        }
+        return m.cycles();
+    };
+    EXPECT_GT(run(true), run(false));
+}
+
+TEST(OoOCore, ViaInstsAreCountedAndOrdered)
+{
+    Machine m(params());
+    VReg v0{0}, v1{1};
+    m.viotaI(v1, 0);
+    m.vbroadcastF(v0, 2.0);
+    m.vidxClear();
+    m.vidxLoadD(v0, v1);
+    m.vidxMov(v0, v1);
+    EXPECT_EQ(m.core().stats().viaInsts, 3u);
+    EXPECT_EQ(m.fivu().stats().viaInsts, 3u);
+}
+
+TEST(OoOCore, ResetTimingRestartsTheClock)
+{
+    Machine m(params());
+    for (int i = 0; i < 100; ++i)
+        m.simm(SReg{0}, i);
+    EXPECT_GT(m.cycles(), 0u);
+    m.core().resetTiming();
+    EXPECT_EQ(m.cycles(), 0u);
+    m.simm(SReg{0}, 1);
+    EXPECT_LT(m.cycles(), 10u);
+}
+
+TEST(OoOCore, IpcNeverExceedsDispatchWidth)
+{
+    Machine m(params());
+    for (int i = 0; i < 2000; ++i)
+        m.simm(SReg{i % 8}, i);
+    double ipc = double(m.core().stats().insts) / double(m.cycles());
+    EXPECT_LE(ipc, double(m.core().params().dispatchWidth) + 0.01);
+}
+
+} // namespace
+} // namespace via

@@ -1,0 +1,329 @@
+/**
+ * @file
+ * via_sim — command-line driver for the VIA simulator.
+ *
+ * Runs one kernel on one matrix (synthetic or a Matrix Market file)
+ * on a configured machine, with and without VIA, and dumps the
+ * statistics. This is the "try it on your own matrix" entry point.
+ *
+ * Usage:
+ *   via_sim <kernel> [key=value ...]
+ *
+ * Kernels: spmv | spma | spmm | histogram | stencil
+ *
+ * Common keys:
+ *   mtx=PATH        load a Matrix Market file (else synthetic)
+ *   rows=N          synthetic matrix size         (default 512)
+ *   density=D       synthetic matrix density      (default 0.01)
+ *   family=F        banded|uniform|rmat|blocked|diag (default uniform)
+ *   seed=S          generator seed                (default 1)
+ *   sspm_kb=K       SSPM size in KB               (default 16)
+ *   ports=P         SSPM ports                    (default 2)
+ *   format=FMT      spmv only: csr|spc5|sell|csb  (default csb)
+ *   keys=N          histogram input size          (default 16384)
+ *   buckets=B       histogram buckets             (default 1024)
+ *   px=N            stencil image side            (default 256)
+ *   stats=1         dump the full statistics tables
+ *   json=1          dump statistics as JSON instead
+ *   timeline=C      (spmv) sample IPC every C simulated cycles
+ *   trace=1         per-instruction debug trace to stderr
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "cpu/machine.hh"
+#include "cpu/machine_config.hh"
+#include "kernels/histogram.hh"
+#include "kernels/reference.hh"
+#include "kernels/runner.hh"
+#include "kernels/spma.hh"
+#include "kernels/spmm.hh"
+#include "kernels/spmv.hh"
+#include "kernels/stencil.hh"
+#include "simcore/config.hh"
+#include "simcore/log.hh"
+#include "simcore/rng.hh"
+#include "sparse/convert.hh"
+#include "sparse/generators.hh"
+#include "sparse/mm_io.hh"
+
+using namespace via;
+
+namespace
+{
+
+Csr
+loadMatrix(const Config &cfg, Rng &rng)
+{
+    if (cfg.has("mtx"))
+        return readMatrixMarket(cfg.getString("mtx", ""));
+    auto n = Index(cfg.getUInt("rows", 512));
+    double density = cfg.getDouble("density", 0.01);
+    std::string family = cfg.getString("family", "uniform");
+    if (family == "banded")
+        return genBanded(n, std::max<Index>(1, n / 32),
+                         std::min(1.0, density * n / 16.0), rng);
+    if (family == "rmat") {
+        Index n2 = 1;
+        while (2 * n2 <= n)
+            n2 *= 2;
+        return genRmat(n2, std::size_t(density * double(n2) *
+                                       double(n2)),
+                       rng);
+    }
+    if (family == "blocked")
+        return genBlocked(n, 16, std::sqrt(density),
+                          std::min(0.8, 8 * std::sqrt(density)),
+                          rng);
+    if (family == "diag")
+        return genDiagHeavy(n, std::max(1.0, density * n), rng);
+    if (family != "uniform")
+        via_fatal("unknown family '", family, "'");
+    return genUniform(n, n, density, rng);
+}
+
+void
+report(const char *name, const Machine &m, Tick baseline_cycles)
+{
+    auto metrics = kernels::collectMetrics(m);
+    std::printf("%-18s %12llu cycles", name,
+                static_cast<unsigned long long>(metrics.cycles));
+    if (baseline_cycles)
+        std::printf("  (%5.2fx)", double(baseline_cycles) /
+                                      double(metrics.cycles));
+    std::printf("  ipc %.2f  dram %.1f MB  energy %.1f uJ\n",
+                metrics.ipc, double(metrics.dramBytes()) / 1e6,
+                metrics.energy.totalPj() / 1e6);
+}
+
+/**
+ * Periodic IPC sampling through the machine's simulated-time event
+ * queue (timeline=CYCLES): prints instructions retired per window.
+ */
+struct Timeline
+{
+    struct Sample
+    {
+        Tick tick;
+        std::uint64_t insts;
+    };
+
+    void
+    install(Machine &m, Tick window)
+    {
+        if (window == 0)
+            return;
+        auto tick_fn = std::make_shared<std::function<void()>>();
+        *tick_fn = [this, &m, window, tick_fn] {
+            samples.push_back(
+                Sample{m.events().curTick(),
+                       m.core().stats().insts});
+            m.events().scheduleIn(window, *tick_fn, "timeline");
+        };
+        m.events().scheduleIn(window, *tick_fn, "timeline");
+    }
+
+    void
+    print() const
+    {
+        if (samples.empty())
+            return;
+        std::printf("timeline (IPC per window):\n");
+        std::uint64_t prev_i = 0;
+        Tick prev_t = 0;
+        for (const Sample &s : samples) {
+            std::printf("  @%-10llu ipc %.2f\n",
+                        static_cast<unsigned long long>(s.tick),
+                        double(s.insts - prev_i) /
+                            double(s.tick - prev_t));
+            prev_i = s.insts;
+            prev_t = s.tick;
+        }
+    }
+
+    std::vector<Sample> samples;
+};
+
+int
+runSpmv(const Config &cfg, const MachineParams &params, Rng &rng)
+{
+    Csr a = loadMatrix(cfg, rng);
+    DenseVector x = randomVector(a.cols(), rng);
+    std::printf("SpMV: %dx%d, %zu nnz\n", a.rows(), a.cols(),
+                a.nnz());
+
+    Machine base(params);
+    auto bres = kernels::spmvVectorCsr(base, a, x);
+    report("vector CSR", base, 0);
+
+    std::string fmt = cfg.getString("format", "csb");
+    Machine viam(params);
+    Timeline timeline;
+    timeline.install(viam, Tick(cfg.getUInt("timeline", 0)));
+    kernels::SpmvResult vres;
+    if (fmt == "csb") {
+        Csb csb = Csb::fromCsr(a, kernels::viaCsbBeta(viam));
+        vres = kernels::spmvViaCsb(viam, csb, x);
+    } else if (fmt == "csr") {
+        vres = kernels::spmvViaCsr(viam, a, x);
+    } else if (fmt == "spc5") {
+        Spc5 s = Spc5::fromCsr(a, Index(viam.vl()));
+        vres = kernels::spmvViaSpc5(viam, s, x);
+    } else if (fmt == "sell") {
+        auto vl = Index(viam.vl());
+        SellCSigma s = SellCSigma::fromCsr(a, vl, 4 * vl);
+        vres = kernels::spmvViaSell(viam, s, x);
+    } else {
+        via_fatal("unknown format '", fmt, "'");
+    }
+    report(("VIA " + fmt).c_str(), viam, bres.cycles);
+    timeline.print();
+
+    bool ok = allClose(vres.y, a.multiply(x));
+    std::printf("result check: %s\n", ok ? "ok" : "MISMATCH");
+    if (cfg.getBool("json", false))
+        viam.stats().dumpJson(std::cout);
+    else if (cfg.getBool("stats", false))
+        viam.stats().dump(std::cout);
+    return ok ? 0 : 1;
+}
+
+int
+runSpma(const Config &cfg, const MachineParams &params, Rng &rng)
+{
+    Csr a = loadMatrix(cfg, rng);
+    Csr b = loadMatrix(cfg, rng);
+    std::printf("SpMA: %dx%d, %zu + %zu nnz\n", a.rows(), a.cols(),
+                a.nnz(), b.nnz());
+
+    Machine base(params);
+    auto bres = kernels::spmaScalarCsr(base, a, b);
+    report("scalar merge", base, 0);
+
+    Machine viam(params);
+    auto vres = kernels::spmaViaCsr(viam, a, b);
+    report("VIA CAM", viam, bres.cycles);
+
+    bool ok = closeElements(vres.c, addCsr(a, b), 1e-3);
+    std::printf("result check: %s\n", ok ? "ok" : "MISMATCH");
+    if (cfg.getBool("stats", false))
+        viam.stats().dump(std::cout);
+    return ok ? 0 : 1;
+}
+
+int
+runSpmm(const Config &cfg, const MachineParams &params, Rng &rng)
+{
+    Config small = cfg;
+    if (!cfg.has("rows") && !cfg.has("mtx"))
+        small.set("rows", "160");
+    Csr a = loadMatrix(small, rng);
+    Csr b_csr = loadMatrix(small, rng);
+    Csc b = Csc::fromCsr(b_csr);
+    std::printf("SpMM: %dx%d (%zu nnz) * %dx%d (%zu nnz)\n",
+                a.rows(), a.cols(), a.nnz(), b.rows(), b.cols(),
+                b.nnz());
+
+    Machine base(params);
+    auto bres = kernels::spmmScalarInner(base, a, b);
+    report("scalar inner", base, 0);
+
+    Machine viam(params);
+    auto vres = kernels::spmmViaInner(viam, a, b);
+    report("VIA CAM", viam, bres.cycles);
+
+    bool ok = closeElements(vres.c, mulCsr(a, b_csr), 1e-2);
+    std::printf("result check: %s\n", ok ? "ok" : "MISMATCH");
+    if (cfg.getBool("stats", false))
+        viam.stats().dump(std::cout);
+    return ok ? 0 : 1;
+}
+
+int
+runHistogram(const Config &cfg, const MachineParams &params,
+             Rng &rng)
+{
+    auto count = std::size_t(cfg.getUInt("keys", 16384));
+    auto buckets = Index(cfg.getUInt("buckets", 1024));
+    std::vector<Index> keys(count);
+    for (auto &k : keys)
+        k = Index(rng.below(std::uint64_t(buckets)));
+    std::printf("histogram: %zu keys, %d buckets\n", count, buckets);
+
+    Machine m1(params), m2(params), m3(params);
+    auto sres = kernels::histScalar(m1, keys, buckets);
+    report("scalar", m1, 0);
+    kernels::histVector(m2, keys, buckets);
+    report("vector CD", m2, sres.cycles);
+    auto vres = kernels::histVia(m3, keys, buckets);
+    report("VIA", m3, sres.cycles);
+
+    bool ok = vres.hist == kernels::refHistogram(keys, buckets);
+    std::printf("result check: %s\n", ok ? "ok" : "MISMATCH");
+    if (cfg.getBool("stats", false))
+        m3.stats().dump(std::cout);
+    return ok ? 0 : 1;
+}
+
+int
+runStencil(const Config &cfg, const MachineParams &params, Rng &rng)
+{
+    auto side = Index(cfg.getUInt("px", 256));
+    DenseMatrix img(side, side);
+    for (auto &p : img.data())
+        p = Value(rng.uniform() * 255.0);
+    std::printf("stencil: 4x4 Gaussian on %dx%d px\n", side, side);
+
+    Machine base(params);
+    auto bres = kernels::stencilVector(base, img);
+    report("vector", base, 0);
+
+    Machine viam(params);
+    kernels::stencilVia(viam, img);
+    report("VIA", viam, bres.cycles);
+
+    if (cfg.getBool("stats", false))
+        viam.stats().dump(std::cout);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::fprintf(stderr,
+                     "usage: via_sim <spmv|spma|spmm|histogram|"
+                     "stencil> [key=value ...]\n");
+        return 2;
+    }
+    std::string kernel = argv[1];
+    std::vector<std::string> args;
+    for (int i = 2; i < argc; ++i)
+        args.emplace_back(argv[i]);
+    Config cfg = Config::fromArgs(args);
+
+    if (cfg.getBool("trace", false))
+        setLogLevel(LogLevel::Debug);
+    MachineParams params = machineParamsFrom(cfg);
+    Rng rng(cfg.getUInt("seed", 1));
+
+    if (kernel == "spmv")
+        return runSpmv(cfg, params, rng);
+    if (kernel == "spma")
+        return runSpma(cfg, params, rng);
+    if (kernel == "spmm")
+        return runSpmm(cfg, params, rng);
+    if (kernel == "histogram")
+        return runHistogram(cfg, params, rng);
+    if (kernel == "stencil")
+        return runStencil(cfg, params, rng);
+    std::fprintf(stderr, "unknown kernel '%s'\n", kernel.c_str());
+    return 2;
+}

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cam_banks.dir/ablation_cam_banks.cc.o"
+  "CMakeFiles/ablation_cam_banks.dir/ablation_cam_banks.cc.o.d"
+  "ablation_cam_banks"
+  "ablation_cam_banks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cam_banks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_commit_mode.dir/ablation_commit_mode.cc.o"
+  "CMakeFiles/ablation_commit_mode.dir/ablation_commit_mode.cc.o.d"
+  "ablation_commit_mode"
+  "ablation_commit_mode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_commit_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

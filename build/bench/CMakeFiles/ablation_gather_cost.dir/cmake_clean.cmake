@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_gather_cost.dir/ablation_gather_cost.cc.o"
+  "CMakeFiles/ablation_gather_cost.dir/ablation_gather_cost.cc.o.d"
+  "ablation_gather_cost"
+  "ablation_gather_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_gather_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sspm_ports.dir/ablation_sspm_ports.cc.o"
+  "CMakeFiles/ablation_sspm_ports.dir/ablation_sspm_ports.cc.o.d"
+  "ablation_sspm_ports"
+  "ablation_sspm_ports.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sspm_ports.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

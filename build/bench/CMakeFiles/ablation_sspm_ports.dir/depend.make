@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_sspm_ports.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/energy_bw.dir/energy_bw.cc.o"
+  "CMakeFiles/energy_bw.dir/energy_bw.cc.o.d"
+  "energy_bw"
+  "energy_bw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/energy_bw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_spmv.dir/fig10_spmv.cc.o"
+  "CMakeFiles/fig10_spmv.dir/fig10_spmv.cc.o.d"
+  "fig10_spmv"
+  "fig10_spmv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_spmv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_spma.dir/fig11_spma.cc.o"
+  "CMakeFiles/fig11_spma.dir/fig11_spma.cc.o.d"
+  "fig11_spma"
+  "fig11_spma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_spma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11b_spmm.dir/fig11b_spmm.cc.o"
+  "CMakeFiles/fig11b_spmm.dir/fig11b_spmm.cc.o.d"
+  "fig11b_spmm"
+  "fig11b_spmm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11b_spmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12a_histogram.dir/fig12a_histogram.cc.o"
+  "CMakeFiles/fig12a_histogram.dir/fig12a_histogram.cc.o.d"
+  "fig12a_histogram"
+  "fig12a_histogram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12a_histogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

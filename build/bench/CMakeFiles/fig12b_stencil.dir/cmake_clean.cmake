@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12b_stencil.dir/fig12b_stencil.cc.o"
+  "CMakeFiles/fig12b_stencil.dir/fig12b_stencil.cc.o.d"
+  "fig12b_stencil"
+  "fig12b_stencil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12b_stencil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

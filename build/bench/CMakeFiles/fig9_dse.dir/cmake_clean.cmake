@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_dse.dir/fig9_dse.cc.o"
+  "CMakeFiles/fig9_dse.dir/fig9_dse.cc.o.d"
+  "fig9_dse"
+  "fig9_dse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_dse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

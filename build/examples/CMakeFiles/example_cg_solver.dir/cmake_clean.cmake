@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_cg_solver.dir/cg_solver.cpp.o"
+  "CMakeFiles/example_cg_solver.dir/cg_solver.cpp.o.d"
+  "example_cg_solver"
+  "example_cg_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_cg_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_db_histogram.dir/db_histogram.cpp.o"
+  "CMakeFiles/example_db_histogram.dir/db_histogram.cpp.o.d"
+  "example_db_histogram"
+  "example_db_histogram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_db_histogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_image_filter.dir/image_filter.cpp.o"
+  "CMakeFiles/example_image_filter.dir/image_filter.cpp.o.d"
+  "example_image_filter"
+  "example_image_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_image_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

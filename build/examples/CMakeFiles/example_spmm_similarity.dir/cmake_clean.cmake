@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_spmm_similarity.dir/spmm_similarity.cpp.o"
+  "CMakeFiles/example_spmm_similarity.dir/spmm_similarity.cpp.o.d"
+  "example_spmm_similarity"
+  "example_spmm_similarity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_spmm_similarity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpu/core_params.cc" "src/CMakeFiles/via.dir/cpu/core_params.cc.o" "gcc" "src/CMakeFiles/via.dir/cpu/core_params.cc.o.d"
+  "/root/repo/src/cpu/fu_pool.cc" "src/CMakeFiles/via.dir/cpu/fu_pool.cc.o" "gcc" "src/CMakeFiles/via.dir/cpu/fu_pool.cc.o.d"
+  "/root/repo/src/cpu/lsq.cc" "src/CMakeFiles/via.dir/cpu/lsq.cc.o" "gcc" "src/CMakeFiles/via.dir/cpu/lsq.cc.o.d"
+  "/root/repo/src/cpu/machine.cc" "src/CMakeFiles/via.dir/cpu/machine.cc.o" "gcc" "src/CMakeFiles/via.dir/cpu/machine.cc.o.d"
+  "/root/repo/src/cpu/machine_config.cc" "src/CMakeFiles/via.dir/cpu/machine_config.cc.o" "gcc" "src/CMakeFiles/via.dir/cpu/machine_config.cc.o.d"
+  "/root/repo/src/cpu/ooo_core.cc" "src/CMakeFiles/via.dir/cpu/ooo_core.cc.o" "gcc" "src/CMakeFiles/via.dir/cpu/ooo_core.cc.o.d"
+  "/root/repo/src/cpu/rob.cc" "src/CMakeFiles/via.dir/cpu/rob.cc.o" "gcc" "src/CMakeFiles/via.dir/cpu/rob.cc.o.d"
+  "/root/repo/src/isa/inst.cc" "src/CMakeFiles/via.dir/isa/inst.cc.o" "gcc" "src/CMakeFiles/via.dir/isa/inst.cc.o.d"
+  "/root/repo/src/isa/opcodes.cc" "src/CMakeFiles/via.dir/isa/opcodes.cc.o" "gcc" "src/CMakeFiles/via.dir/isa/opcodes.cc.o.d"
+  "/root/repo/src/kernels/histogram.cc" "src/CMakeFiles/via.dir/kernels/histogram.cc.o" "gcc" "src/CMakeFiles/via.dir/kernels/histogram.cc.o.d"
+  "/root/repo/src/kernels/reference.cc" "src/CMakeFiles/via.dir/kernels/reference.cc.o" "gcc" "src/CMakeFiles/via.dir/kernels/reference.cc.o.d"
+  "/root/repo/src/kernels/runner.cc" "src/CMakeFiles/via.dir/kernels/runner.cc.o" "gcc" "src/CMakeFiles/via.dir/kernels/runner.cc.o.d"
+  "/root/repo/src/kernels/spma.cc" "src/CMakeFiles/via.dir/kernels/spma.cc.o" "gcc" "src/CMakeFiles/via.dir/kernels/spma.cc.o.d"
+  "/root/repo/src/kernels/spmm.cc" "src/CMakeFiles/via.dir/kernels/spmm.cc.o" "gcc" "src/CMakeFiles/via.dir/kernels/spmm.cc.o.d"
+  "/root/repo/src/kernels/spmv.cc" "src/CMakeFiles/via.dir/kernels/spmv.cc.o" "gcc" "src/CMakeFiles/via.dir/kernels/spmv.cc.o.d"
+  "/root/repo/src/kernels/stencil.cc" "src/CMakeFiles/via.dir/kernels/stencil.cc.o" "gcc" "src/CMakeFiles/via.dir/kernels/stencil.cc.o.d"
+  "/root/repo/src/mem/backing_store.cc" "src/CMakeFiles/via.dir/mem/backing_store.cc.o" "gcc" "src/CMakeFiles/via.dir/mem/backing_store.cc.o.d"
+  "/root/repo/src/mem/cache.cc" "src/CMakeFiles/via.dir/mem/cache.cc.o" "gcc" "src/CMakeFiles/via.dir/mem/cache.cc.o.d"
+  "/root/repo/src/mem/dram.cc" "src/CMakeFiles/via.dir/mem/dram.cc.o" "gcc" "src/CMakeFiles/via.dir/mem/dram.cc.o.d"
+  "/root/repo/src/mem/mem_system.cc" "src/CMakeFiles/via.dir/mem/mem_system.cc.o" "gcc" "src/CMakeFiles/via.dir/mem/mem_system.cc.o.d"
+  "/root/repo/src/power/area_model.cc" "src/CMakeFiles/via.dir/power/area_model.cc.o" "gcc" "src/CMakeFiles/via.dir/power/area_model.cc.o.d"
+  "/root/repo/src/power/energy_model.cc" "src/CMakeFiles/via.dir/power/energy_model.cc.o" "gcc" "src/CMakeFiles/via.dir/power/energy_model.cc.o.d"
+  "/root/repo/src/simcore/config.cc" "src/CMakeFiles/via.dir/simcore/config.cc.o" "gcc" "src/CMakeFiles/via.dir/simcore/config.cc.o.d"
+  "/root/repo/src/simcore/event_queue.cc" "src/CMakeFiles/via.dir/simcore/event_queue.cc.o" "gcc" "src/CMakeFiles/via.dir/simcore/event_queue.cc.o.d"
+  "/root/repo/src/simcore/log.cc" "src/CMakeFiles/via.dir/simcore/log.cc.o" "gcc" "src/CMakeFiles/via.dir/simcore/log.cc.o.d"
+  "/root/repo/src/simcore/resource.cc" "src/CMakeFiles/via.dir/simcore/resource.cc.o" "gcc" "src/CMakeFiles/via.dir/simcore/resource.cc.o.d"
+  "/root/repo/src/simcore/stats.cc" "src/CMakeFiles/via.dir/simcore/stats.cc.o" "gcc" "src/CMakeFiles/via.dir/simcore/stats.cc.o.d"
+  "/root/repo/src/sparse/convert.cc" "src/CMakeFiles/via.dir/sparse/convert.cc.o" "gcc" "src/CMakeFiles/via.dir/sparse/convert.cc.o.d"
+  "/root/repo/src/sparse/coo.cc" "src/CMakeFiles/via.dir/sparse/coo.cc.o" "gcc" "src/CMakeFiles/via.dir/sparse/coo.cc.o.d"
+  "/root/repo/src/sparse/corpus.cc" "src/CMakeFiles/via.dir/sparse/corpus.cc.o" "gcc" "src/CMakeFiles/via.dir/sparse/corpus.cc.o.d"
+  "/root/repo/src/sparse/csb.cc" "src/CMakeFiles/via.dir/sparse/csb.cc.o" "gcc" "src/CMakeFiles/via.dir/sparse/csb.cc.o.d"
+  "/root/repo/src/sparse/csc.cc" "src/CMakeFiles/via.dir/sparse/csc.cc.o" "gcc" "src/CMakeFiles/via.dir/sparse/csc.cc.o.d"
+  "/root/repo/src/sparse/csr.cc" "src/CMakeFiles/via.dir/sparse/csr.cc.o" "gcc" "src/CMakeFiles/via.dir/sparse/csr.cc.o.d"
+  "/root/repo/src/sparse/dense.cc" "src/CMakeFiles/via.dir/sparse/dense.cc.o" "gcc" "src/CMakeFiles/via.dir/sparse/dense.cc.o.d"
+  "/root/repo/src/sparse/generators.cc" "src/CMakeFiles/via.dir/sparse/generators.cc.o" "gcc" "src/CMakeFiles/via.dir/sparse/generators.cc.o.d"
+  "/root/repo/src/sparse/mm_io.cc" "src/CMakeFiles/via.dir/sparse/mm_io.cc.o" "gcc" "src/CMakeFiles/via.dir/sparse/mm_io.cc.o.d"
+  "/root/repo/src/sparse/sell_c_sigma.cc" "src/CMakeFiles/via.dir/sparse/sell_c_sigma.cc.o" "gcc" "src/CMakeFiles/via.dir/sparse/sell_c_sigma.cc.o.d"
+  "/root/repo/src/sparse/spc5.cc" "src/CMakeFiles/via.dir/sparse/spc5.cc.o" "gcc" "src/CMakeFiles/via.dir/sparse/spc5.cc.o.d"
+  "/root/repo/src/sparse/structure_stats.cc" "src/CMakeFiles/via.dir/sparse/structure_stats.cc.o" "gcc" "src/CMakeFiles/via.dir/sparse/structure_stats.cc.o.d"
+  "/root/repo/src/via/fivu.cc" "src/CMakeFiles/via.dir/via/fivu.cc.o" "gcc" "src/CMakeFiles/via.dir/via/fivu.cc.o.d"
+  "/root/repo/src/via/index_table.cc" "src/CMakeFiles/via.dir/via/index_table.cc.o" "gcc" "src/CMakeFiles/via.dir/via/index_table.cc.o.d"
+  "/root/repo/src/via/sspm.cc" "src/CMakeFiles/via.dir/via/sspm.cc.o" "gcc" "src/CMakeFiles/via.dir/via/sspm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_cache_shadow.cc" "tests/CMakeFiles/via_tests.dir/test_cache_shadow.cc.o" "gcc" "tests/CMakeFiles/via_tests.dir/test_cache_shadow.cc.o.d"
+  "/root/repo/tests/test_event_queue.cc" "tests/CMakeFiles/via_tests.dir/test_event_queue.cc.o" "gcc" "tests/CMakeFiles/via_tests.dir/test_event_queue.cc.o.d"
+  "/root/repo/tests/test_events_integration.cc" "tests/CMakeFiles/via_tests.dir/test_events_integration.cc.o" "gcc" "tests/CMakeFiles/via_tests.dir/test_events_integration.cc.o.d"
+  "/root/repo/tests/test_format_properties.cc" "tests/CMakeFiles/via_tests.dir/test_format_properties.cc.o" "gcc" "tests/CMakeFiles/via_tests.dir/test_format_properties.cc.o.d"
+  "/root/repo/tests/test_hist_stencil_kernels.cc" "tests/CMakeFiles/via_tests.dir/test_hist_stencil_kernels.cc.o" "gcc" "tests/CMakeFiles/via_tests.dir/test_hist_stencil_kernels.cc.o.d"
+  "/root/repo/tests/test_histogram_tiling.cc" "tests/CMakeFiles/via_tests.dir/test_histogram_tiling.cc.o" "gcc" "tests/CMakeFiles/via_tests.dir/test_histogram_tiling.cc.o.d"
+  "/root/repo/tests/test_io_and_corpus.cc" "tests/CMakeFiles/via_tests.dir/test_io_and_corpus.cc.o" "gcc" "tests/CMakeFiles/via_tests.dir/test_io_and_corpus.cc.o.d"
+  "/root/repo/tests/test_kernel_configs.cc" "tests/CMakeFiles/via_tests.dir/test_kernel_configs.cc.o" "gcc" "tests/CMakeFiles/via_tests.dir/test_kernel_configs.cc.o.d"
+  "/root/repo/tests/test_kernel_invariants.cc" "tests/CMakeFiles/via_tests.dir/test_kernel_invariants.cc.o" "gcc" "tests/CMakeFiles/via_tests.dir/test_kernel_invariants.cc.o.d"
+  "/root/repo/tests/test_kernel_properties.cc" "tests/CMakeFiles/via_tests.dir/test_kernel_properties.cc.o" "gcc" "tests/CMakeFiles/via_tests.dir/test_kernel_properties.cc.o.d"
+  "/root/repo/tests/test_machine_config.cc" "tests/CMakeFiles/via_tests.dir/test_machine_config.cc.o" "gcc" "tests/CMakeFiles/via_tests.dir/test_machine_config.cc.o.d"
+  "/root/repo/tests/test_machine_isa.cc" "tests/CMakeFiles/via_tests.dir/test_machine_isa.cc.o" "gcc" "tests/CMakeFiles/via_tests.dir/test_machine_isa.cc.o.d"
+  "/root/repo/tests/test_mem.cc" "tests/CMakeFiles/via_tests.dir/test_mem.cc.o" "gcc" "tests/CMakeFiles/via_tests.dir/test_mem.cc.o.d"
+  "/root/repo/tests/test_misc_units.cc" "tests/CMakeFiles/via_tests.dir/test_misc_units.cc.o" "gcc" "tests/CMakeFiles/via_tests.dir/test_misc_units.cc.o.d"
+  "/root/repo/tests/test_ooo_core.cc" "tests/CMakeFiles/via_tests.dir/test_ooo_core.cc.o" "gcc" "tests/CMakeFiles/via_tests.dir/test_ooo_core.cc.o.d"
+  "/root/repo/tests/test_power.cc" "tests/CMakeFiles/via_tests.dir/test_power.cc.o" "gcc" "tests/CMakeFiles/via_tests.dir/test_power.cc.o.d"
+  "/root/repo/tests/test_resource.cc" "tests/CMakeFiles/via_tests.dir/test_resource.cc.o" "gcc" "tests/CMakeFiles/via_tests.dir/test_resource.cc.o.d"
+  "/root/repo/tests/test_simcore.cc" "tests/CMakeFiles/via_tests.dir/test_simcore.cc.o" "gcc" "tests/CMakeFiles/via_tests.dir/test_simcore.cc.o.d"
+  "/root/repo/tests/test_sparse_formats.cc" "tests/CMakeFiles/via_tests.dir/test_sparse_formats.cc.o" "gcc" "tests/CMakeFiles/via_tests.dir/test_sparse_formats.cc.o.d"
+  "/root/repo/tests/test_sparse_sparse_properties.cc" "tests/CMakeFiles/via_tests.dir/test_sparse_sparse_properties.cc.o" "gcc" "tests/CMakeFiles/via_tests.dir/test_sparse_sparse_properties.cc.o.d"
+  "/root/repo/tests/test_spma_spmm_kernels.cc" "tests/CMakeFiles/via_tests.dir/test_spma_spmm_kernels.cc.o" "gcc" "tests/CMakeFiles/via_tests.dir/test_spma_spmm_kernels.cc.o.d"
+  "/root/repo/tests/test_spmv_kernels.cc" "tests/CMakeFiles/via_tests.dir/test_spmv_kernels.cc.o" "gcc" "tests/CMakeFiles/via_tests.dir/test_spmv_kernels.cc.o.d"
+  "/root/repo/tests/test_via_hw.cc" "tests/CMakeFiles/via_tests.dir/test_via_hw.cc.o" "gcc" "tests/CMakeFiles/via_tests.dir/test_via_hw.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/via.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/via_sim.dir/via_sim.cc.o"
+  "CMakeFiles/via_sim.dir/via_sim.cc.o.d"
+  "via_sim"
+  "via_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/via_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

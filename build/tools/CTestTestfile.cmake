@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(via_sim_spmv "/root/repo/build/tools/via_sim" "spmv" "rows=128" "density=0.03")
+set_tests_properties(via_sim_spmv PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(via_sim_spma "/root/repo/build/tools/via_sim" "spma" "rows=96" "density=0.04")
+set_tests_properties(via_sim_spma PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(via_sim_spmm "/root/repo/build/tools/via_sim" "spmm" "rows=64" "density=0.06")
+set_tests_properties(via_sim_spmm PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(via_sim_histogram "/root/repo/build/tools/via_sim" "histogram" "keys=2000" "buckets=512")
+set_tests_properties(via_sim_histogram PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(via_sim_stencil "/root/repo/build/tools/via_sim" "stencil" "px=48")
+set_tests_properties(via_sim_stencil PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")

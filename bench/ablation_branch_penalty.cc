@@ -7,7 +7,7 @@
  * compare branches; this sweep shows how the VIA speedup scales
  * with the modelled front-end redirect cost (0 = oracle predictor).
  *
- * Usage: ablation_branch_penalty [count=N] [seed=S]
+ * Usage: ablation_branch_penalty [count=N] [seed=S] [threads=T]
  */
 
 #include <cstdio>
@@ -35,23 +35,42 @@ main(int argc, char **argv)
 
     std::printf("== Ablation: mispredict penalty vs SpMA speedup "
                 "==\n");
-    std::vector<std::vector<std::string>> rows;
-    for (Tick penalty : {Tick(0), Tick(7), Tick(14), Tick(20)}) {
-        MachineParams params;
-        params.core.latencies.mispredictPenalty = penalty;
-        std::vector<double> sp;
+    // Siblings are drawn once (seed 31, as the serial sweep did per
+    // penalty) so every penalty point sees identical inputs.
+    std::vector<Csr> siblings;
+    {
         Rng rng(31);
-        for (const auto &entry : corpus) {
-            const Csr &a = entry.matrix;
-            Csr b = bench::makeSibling(a, rng);
+        for (const auto &entry : corpus)
+            siblings.push_back(bench::makeSibling(entry.matrix,
+                                                  rng));
+    }
+
+    const Tick penalties[] = {Tick(0), Tick(7), Tick(14), Tick(20)};
+    const std::size_t n_pen = std::size(penalties);
+    SweepExecutor exec = bench::makeExecutor(cfg);
+    auto speedups =
+        exec.run(n_pen * corpus.size(), [&](std::size_t p) {
+            std::size_t pen = p / corpus.size();
+            std::size_t i = p % corpus.size();
+            MachineParams params;
+            params.core.latencies.mispredictPenalty =
+                penalties[pen];
+            const Csr &a = corpus[i].matrix;
+            const Csr &b = siblings[i];
             Machine m1(params), m2(params);
-            double base = double(
-                kernels::spmaScalarCsr(m1, a, b).cycles);
+            double base =
+                double(kernels::spmaScalarCsr(m1, a, b).cycles);
             double viac =
                 double(kernels::spmaViaCsr(m2, a, b).cycles);
-            sp.push_back(base / viac);
-        }
-        rows.push_back({std::to_string(penalty) + " cycles",
+            return base / viac;
+        });
+
+    std::vector<std::vector<std::string>> rows;
+    for (std::size_t pen = 0; pen < n_pen; ++pen) {
+        std::vector<double> sp(
+            speedups.begin() + pen * corpus.size(),
+            speedups.begin() + (pen + 1) * corpus.size());
+        rows.push_back({std::to_string(penalties[pen]) + " cycles",
                         bench::fmt(bench::geomean(sp)) + "x"});
     }
     bench::printTable({"penalty", "VIA-SpMA speedup"}, rows);

@@ -34,23 +34,35 @@ main(int argc, char **argv)
 
     std::printf("== Ablation: CAM bank size (SpMM, %dx%d) ==\n", n,
                 n);
+    const std::uint32_t banks[] = {1u, 4u, 8u, 16u, 64u, 1024u};
+    SweepExecutor exec = bench::makeExecutor(cfg);
+    struct Counts
+    {
+        double searches = 0.0;
+        double comparisons = 0.0;
+    };
+    auto counts =
+        exec.run(std::size(banks), [&](std::size_t i) {
+            MachineParams params;
+            params.via.bankEntries = banks[i];
+            Machine m(params);
+            kernels::spmmViaInner(m, a, b);
+            return Counts{m.stats().get("cam.searches"),
+                          m.stats().get("cam.comparisons")};
+        });
+
     std::vector<std::vector<std::string>> rows;
-    double base_comparisons = 0.0;
-    for (std::uint32_t bank : {1u, 4u, 8u, 16u, 64u, 1024u}) {
-        MachineParams params;
-        params.via.bankEntries = bank;
-        Machine m(params);
-        kernels::spmmViaInner(m, a, b);
-        double comparisons = m.stats().get("cam.comparisons");
-        double searches = m.stats().get("cam.searches");
+    double base_comparisons = counts[0].comparisons;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
         EnergyParams ep;
-        double cam_pj = comparisons * ep.camComparePj;
-        if (bank == 1)
-            base_comparisons = comparisons;
+        double cam_pj = counts[i].comparisons * ep.camComparePj;
         rows.push_back(
-            {std::to_string(bank), bench::fmt(searches, 0),
-             bench::fmt(comparisons, 0),
-             bench::fmt(comparisons / base_comparisons, 2) + "x",
+            {std::to_string(banks[i]),
+             bench::fmt(counts[i].searches, 0),
+             bench::fmt(counts[i].comparisons, 0),
+             bench::fmt(counts[i].comparisons / base_comparisons,
+                        2) +
+                 "x",
              bench::fmt(cam_pj / 1e3, 1) + " nJ"});
     }
     bench::printTable({"bank entries", "searches", "comparisons",

@@ -10,6 +10,7 @@
  * to show what that serialization would cost.
  *
  * Usage: ablation_commit_mode [count=N] [seed=S] [max_rows=R]
+ *        [threads=T]
  */
 
 #include <cstdio>
@@ -34,11 +35,22 @@ main(int argc, char **argv)
     spec.seed = cfg.getUInt("seed", 1);
     auto corpus = buildCorpus(spec);
 
+    // Inputs first (serially, seed 66 as before), then every matrix
+    // is an independent point on the executor.
     Rng rng(66);
-    std::vector<double> spmv_cost, spma_cost;
-    for (const auto &entry : corpus) {
-        const Csr &a = entry.matrix;
-        DenseVector x = randomVector(a.cols(), rng);
+    std::vector<DenseVector> xs;
+    for (const auto &entry : corpus)
+        xs.push_back(randomVector(entry.matrix.cols(), rng));
+
+    SweepExecutor exec = bench::makeExecutor(cfg);
+    struct Cost
+    {
+        double spmv = 0.0;
+        double spma = 0.0;
+    };
+    auto costs = exec.run(corpus.size(), [&](std::size_t i) {
+        const Csr &a = corpus[i].matrix;
+        const DenseVector &x = xs[i];
 
         MachineParams fast, strict;
         strict.core.viaAtCommit = true;
@@ -47,12 +59,17 @@ main(int argc, char **argv)
         Csb csb = Csb::fromCsr(a, kernels::viaCsbBeta(mf));
         double f = double(kernels::spmvViaCsb(mf, csb, x).cycles);
         double s = double(kernels::spmvViaCsb(ms, csb, x).cycles);
-        spmv_cost.push_back(s / f);
 
         Machine mf2(fast), ms2(strict);
         double f2 = double(kernels::spmaViaCsr(mf2, a, a).cycles);
         double s2 = double(kernels::spmaViaCsr(ms2, a, a).cycles);
-        spma_cost.push_back(s2 / f2);
+        return Cost{s / f, s2 / f2};
+    });
+
+    std::vector<double> spmv_cost, spma_cost;
+    for (const Cost &c : costs) {
+        spmv_cost.push_back(c.spmv);
+        spma_cost.push_back(c.spma);
     }
 
     std::printf("== Ablation: commit-time vs branch-safe VIA "

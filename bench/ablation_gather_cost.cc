@@ -10,6 +10,7 @@
  * result the gather model accounts for.
  *
  * Usage: ablation_gather_cost [count=N] [seed=S] [max_rows=R]
+ *        [threads=T]
  */
 
 #include <cstdio>
@@ -41,31 +42,48 @@ main(int argc, char **argv)
     const Point points[] = {{0, 1}, {8, 1}, {18, 1}, {18, 2},
                             {30, 2}};
 
-    Rng rng(44);
     std::printf("== Ablation: gather cost vs VIA-CSB speedup ==\n");
-    std::vector<std::vector<std::string>> rows;
-    for (const Point &pt : points) {
-        MachineParams params;
-        params.core.latencies.gatherOverhead = pt.overhead;
-        params.core.latencies.gatherPortFactor = pt.port_factor;
+    // The serial sweep re-seeded Rng(44) per cost point; drawing
+    // the vectors once preserves identical inputs at every point.
+    std::vector<DenseVector> xs;
+    {
+        Rng rng(44);
+        for (const auto &entry : corpus)
+            xs.push_back(randomVector(entry.matrix.cols(), rng));
+    }
 
-        std::vector<double> sp;
-        Rng local(44);
-        for (const auto &entry : corpus) {
-            const Csr &a = entry.matrix;
-            DenseVector x = randomVector(a.cols(), local);
+    const std::size_t n_points = std::size(points);
+    SweepExecutor exec = bench::makeExecutor(cfg);
+    auto speedups =
+        exec.run(n_points * corpus.size(), [&](std::size_t p) {
+            const Point &pt = points[p / corpus.size()];
+            std::size_t i = p % corpus.size();
+            MachineParams params;
+            params.core.latencies.gatherOverhead = pt.overhead;
+            params.core.latencies.gatherPortFactor =
+                pt.port_factor;
+
+            const Csr &a = corpus[i].matrix;
             Machine m1(params), m2(params);
             Csb csb = Csb::fromCsr(a, kernels::viaCsbBeta(m1));
             double base =
-                double(kernels::spmvVectorCsb(m1, csb, x).cycles);
+                double(kernels::spmvVectorCsb(m1, csb,
+                                              xs[i]).cycles);
             double viac =
-                double(kernels::spmvViaCsb(m2, csb, x).cycles);
-            sp.push_back(base / viac);
-        }
-        rows.push_back({std::to_string(pt.overhead) + " cycles",
-                        std::to_string(pt.port_factor),
+                double(kernels::spmvViaCsb(m2, csb,
+                                           xs[i]).cycles);
+            return base / viac;
+        });
+
+    std::vector<std::vector<std::string>> rows;
+    for (std::size_t pn = 0; pn < n_points; ++pn) {
+        std::vector<double> sp(
+            speedups.begin() + pn * corpus.size(),
+            speedups.begin() + (pn + 1) * corpus.size());
+        rows.push_back({std::to_string(points[pn].overhead) +
+                            " cycles",
+                        std::to_string(points[pn].port_factor),
                         bench::fmt(bench::geomean(sp)) + "x"});
-        (void)rng;
     }
     bench::printTable({"gather overhead", "port slots/elem",
                        "VIA-CSB speedup"},

@@ -7,6 +7,7 @@
  * advantage is mere latency hiding.
  *
  * Usage: ablation_prefetch [count=N] [seed=S] [max_rows=R]
+ *        [threads=T]
  */
 
 #include <cstdio>
@@ -33,27 +34,45 @@ main(int argc, char **argv)
     auto corpus = buildCorpus(spec);
 
     std::printf("== Ablation: L2 next-N-line prefetcher ==\n");
-    std::vector<std::vector<std::string>> rows;
-    for (std::uint32_t degree : {0u, 2u, 4u, 8u}) {
-        MachineParams params;
-        params.mem.prefetch.degree = degree;
-
+    // The serial sweep re-seeded Rng(21) per degree; draw once so
+    // every degree point sees identical vectors.
+    std::vector<DenseVector> xs;
+    {
         Rng rng(21);
-        std::vector<double> sp;
-        for (const auto &entry : corpus) {
-            const Csr &a = entry.matrix;
-            DenseVector x = randomVector(a.cols(), rng);
+        for (const auto &entry : corpus)
+            xs.push_back(randomVector(entry.matrix.cols(), rng));
+    }
+
+    const std::uint32_t degrees[] = {0u, 2u, 4u, 8u};
+    const std::size_t n_deg = std::size(degrees);
+    SweepExecutor exec = bench::makeExecutor(cfg);
+    auto speedups =
+        exec.run(n_deg * corpus.size(), [&](std::size_t p) {
+            MachineParams params;
+            params.mem.prefetch.degree = degrees[p / corpus.size()];
+            std::size_t i = p % corpus.size();
+
+            const Csr &a = corpus[i].matrix;
             Machine m1(params), m2(params);
             Csb csb = Csb::fromCsr(a, kernels::viaCsbBeta(m1));
             double base =
-                double(kernels::spmvVectorCsb(m1, csb, x).cycles);
+                double(kernels::spmvVectorCsb(m1, csb,
+                                              xs[i]).cycles);
             double viac =
-                double(kernels::spmvViaCsb(m2, csb, x).cycles);
-            sp.push_back(base / viac);
-        }
-        rows.push_back({degree == 0 ? "off"
-                                    : std::to_string(degree) +
-                                          " lines",
+                double(kernels::spmvViaCsb(m2, csb,
+                                           xs[i]).cycles);
+            return base / viac;
+        });
+
+    std::vector<std::vector<std::string>> rows;
+    for (std::size_t d = 0; d < n_deg; ++d) {
+        std::vector<double> sp(
+            speedups.begin() + d * corpus.size(),
+            speedups.begin() + (d + 1) * corpus.size());
+        rows.push_back({degrees[d] == 0
+                            ? "off"
+                            : std::to_string(degrees[d]) +
+                                  " lines",
                         bench::fmt(bench::geomean(sp)) + "x"});
     }
     bench::printTable({"prefetch", "VIA-CSB speedup"}, rows);

@@ -8,6 +8,7 @@
  * saturates later than the 1-element vidx ops).
  *
  * Usage: ablation_sspm_ports [count=N] [seed=S] [max_rows=R]
+ *        [threads=T]
  */
 
 #include <cstdio>
@@ -44,34 +45,37 @@ main(int argc, char **argv)
     }();
 
     std::printf("== Ablation: SSPM port sweep (16 KB) ==\n");
-    std::vector<std::vector<std::string>> rows;
-    std::vector<double> base_spmv, base_hist;
-    for (std::uint32_t ports : {1u, 2u, 4u, 8u}) {
-        MachineParams params;
-        params.via = ViaConfig::make(16, ports);
-
-        std::vector<double> spmv;
-        for (std::size_t i = 0; i < corpus.size(); ++i) {
+    const std::uint32_t port_counts[] = {1u, 2u, 4u, 8u};
+    const std::size_t n_ports = std::size(port_counts);
+    // Per port count: one point per matrix plus one histogram run.
+    const std::size_t per_cfg = corpus.size() + 1;
+    SweepExecutor exec = bench::makeExecutor(cfg);
+    auto cycles =
+        exec.run(n_ports * per_cfg, [&](std::size_t p) {
+            MachineParams params;
+            params.via =
+                ViaConfig::make(16, port_counts[p / per_cfg]);
+            std::size_t i = p % per_cfg;
             Machine m(params);
+            if (i == corpus.size())
+                return double(
+                    kernels::histVia(m, keys, 2048).cycles);
             Csb csb = Csb::fromCsr(corpus[i].matrix,
                                    kernels::viaCsbBeta(m));
-            spmv.push_back(double(
-                kernels::spmvViaCsb(m, csb, xs[i]).cycles));
-        }
-        Machine mh(params);
-        double hist =
-            double(kernels::histVia(mh, keys, 2048).cycles);
+            return double(
+                kernels::spmvViaCsb(m, csb, xs[i]).cycles);
+        });
 
-        if (ports == 1) {
-            base_spmv = spmv;
-            base_hist = {hist};
-        }
+    std::vector<std::vector<std::string>> rows;
+    for (std::size_t c = 0; c < n_ports; ++c) {
         std::vector<double> sp;
-        for (std::size_t i = 0; i < spmv.size(); ++i)
-            sp.push_back(base_spmv[i] / spmv[i]);
-        rows.push_back({std::to_string(ports),
+        for (std::size_t i = 0; i < corpus.size(); ++i)
+            sp.push_back(cycles[i] / cycles[c * per_cfg + i]);
+        double hist_sp = cycles[corpus.size()] /
+                         cycles[c * per_cfg + corpus.size()];
+        rows.push_back({std::to_string(port_counts[c]),
                         bench::fmt(bench::geomean(sp)) + "x",
-                        bench::fmt(base_hist[0] / hist) + "x"});
+                        bench::fmt(hist_sp) + "x"});
     }
     bench::printTable({"ports", "SpMV-CSB vs 1p", "hist vs 1p"},
                       rows);

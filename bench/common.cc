@@ -36,6 +36,12 @@ parseArgs(int argc, char **argv)
     return Config::fromArgs(args);
 }
 
+SweepExecutor
+makeExecutor(const Config &cfg)
+{
+    return SweepExecutor(unsigned(cfg.getUInt("threads", 0)));
+}
+
 void
 printTable(const std::vector<std::string> &header,
            const std::vector<std::vector<std::string>> &rows)

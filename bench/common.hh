@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "simcore/config.hh"
+#include "simcore/parallel.hh"
 #include "simcore/rng.hh"
 #include "sparse/csr.hh"
 
@@ -26,6 +27,13 @@ Csr makeSibling(const Csr &a, Rng &rng);
 
 /** Parse argv into a Config of key=value overrides. */
 Config parseArgs(int argc, char **argv);
+
+/**
+ * The sweep executor for a harness: honors the shared threads=N
+ * key (default 0 = hardware concurrency). Output is bit-identical
+ * at every thread count; threads=1 recovers serial execution.
+ */
+SweepExecutor makeExecutor(const Config &cfg);
 
 /** Print an aligned table: header row + data rows. */
 void printTable(const std::vector<std::string> &header,

@@ -8,8 +8,13 @@
  * and split evenly into four categories; the x-axis label is the
  * median nnz/block of each category.
  *
+ * Matrices are independent simulation points: each runs on its own
+ * worker thread (threads=N, default hardware concurrency) with a
+ * per-matrix RNG seed, and rows print in submission order, so the
+ * output is bit-identical at any thread count.
+ *
  * Usage: fig10_spmv [count=N] [seed=S] [max_rows=R] [sspm_kb=K]
- *                   [ports=P] [corpus_dir=PATH]
+ *                   [ports=P] [corpus_dir=PATH] [threads=T]
  */
 
 #include <cstdio>
@@ -37,6 +42,7 @@ struct PerMatrix
     double spSell = 0.0;
     double spCsb = 0.0;       //!< vs the vectorized CSB kernel
     double spCsbScalar = 0.0; //!< vs the scalar CSB reference
+    std::string line;         //!< per-matrix report, printed in order
 };
 
 MachineParams
@@ -64,12 +70,13 @@ main(int argc, char **argv)
         corpus = buildCorpus(spec);
     }
 
-    Rng rng(1234);
-    std::vector<PerMatrix> results;
-    results.reserve(corpus.size());
+    SweepExecutor exec = bench::makeExecutor(cfg);
+    std::uint64_t vec_seed = cfg.getUInt("vec_seed", 1234);
 
-    for (const auto &entry : corpus) {
+    auto results = exec.run(corpus.size(), [&](std::size_t i) {
+        const auto &entry = corpus[i];
         const Csr &a = entry.matrix;
+        Rng rng(SweepExecutor::pointSeed(vec_seed, i));
         DenseVector x = randomVector(a.cols(), rng);
         PerMatrix pm;
 
@@ -99,13 +106,20 @@ main(int argc, char **argv)
         pm.spCsb = run(kernels::spmvVectorCsb, csb) / via_csb;
         pm.spCsbScalar =
             run(kernels::spmvScalarCsb, csb) / via_csb;
-        results.push_back(pm);
-        std::printf("  %-28s nnz/blk %8.1f  csr %5.2fx  spc5 %5.2fx"
-                    "  sell %5.2fx  csb %5.2fx (%5.2fx vs scalar)\n",
-                    entry.name.c_str(), pm.nnzPerBlock, pm.spCsr,
-                    pm.spSpc5, pm.spSell, pm.spCsb,
-                    pm.spCsbScalar);
-    }
+
+        char buf[160];
+        std::snprintf(buf, sizeof(buf),
+                      "  %-28s nnz/blk %8.1f  csr %5.2fx  spc5 "
+                      "%5.2fx  sell %5.2fx  csb %5.2fx (%5.2fx vs "
+                      "scalar)",
+                      entry.name.c_str(), pm.nnzPerBlock, pm.spCsr,
+                      pm.spSpc5, pm.spSell, pm.spCsb,
+                      pm.spCsbScalar);
+        pm.line = buf;
+        return pm;
+    });
+    for (const PerMatrix &pm : results)
+        std::printf("%s\n", pm.line.c_str());
 
     // Bucket by block density as the paper does.
     std::vector<double> keys;

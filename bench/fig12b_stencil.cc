@@ -3,7 +3,11 @@
  * Figure 12.b — 4x4 Gaussian filter speedup on 128/256/512 px
  * images. Paper average: 3.39x over the vector baseline.
  *
- * Usage: fig12b_stencil [seed=S] [sspm_kb=K] [ports=P]
+ * Images are drawn serially up front; the three sizes then run as
+ * independent points on a SweepExecutor (threads=N), bit-identical
+ * at any thread count.
+ *
+ * Usage: fig12b_stencil [seed=S] [sspm_kb=K] [ports=P] [threads=T]
  */
 
 #include <cstdio>
@@ -40,18 +44,33 @@ main(int argc, char **argv)
     MachineParams params = machineParamsFrom(cfg);
 
     std::printf("== Figure 12.b: 4x4 Gaussian filter ==\n");
+    const Index sides[] = {128, 256, 512};
+    std::vector<DenseMatrix> images;
+    for (Index side : sides)
+        images.push_back(randomImage(side, rng));
+
+    SweepExecutor exec = bench::makeExecutor(cfg);
+    struct Point
+    {
+        Tick vecCycles = 0;
+        Tick viaCycles = 0;
+    };
+    auto results = exec.run(images.size(), [&](std::size_t i) {
+        Machine m1(params), m2(params);
+        auto vec = kernels::stencilVector(m1, images[i]);
+        auto viak = kernels::stencilVia(m2, images[i]);
+        return Point{vec.cycles, viak.cycles};
+    });
+
     std::vector<std::vector<std::string>> rows;
     std::vector<double> speedups;
-    for (Index side : {128, 256, 512}) {
-        DenseMatrix img = randomImage(side, rng);
-        Machine m1(params), m2(params);
-        auto vec = kernels::stencilVector(m1, img);
-        auto viak = kernels::stencilVia(m2, img);
-        double sp = double(vec.cycles) / double(viak.cycles);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        double sp = double(results[i].vecCycles) /
+                    double(results[i].viaCycles);
         speedups.push_back(sp);
-        rows.push_back({std::to_string(side) + "px",
-                        std::to_string(vec.cycles),
-                        std::to_string(viak.cycles),
+        rows.push_back({std::to_string(sides[i]) + "px",
+                        std::to_string(results[i].vecCycles),
+                        std::to_string(results[i].viaCycles),
                         bench::fmt(sp)});
     }
     rows.push_back({"average", "-", "-",

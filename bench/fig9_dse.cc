@@ -9,7 +9,14 @@
  * Paper: SpMV +2% (4_4p), +26% (16_2p), +33% (16_4p);
  *        SpMA +4%, +16%, +20%;  SpMM +8%, +5%, +11%.
  *
+ * Every (config, matrix, kernel) point is independent, so the sweep
+ * fans out over a SweepExecutor; results are collected in
+ * submission order, making the table bit-identical at any thread
+ * count. Dense vectors are drawn per matrix (pointSeed) so every
+ * configuration sees the same input.
+ *
  * Usage: fig9_dse [count=N] [seed=S] [max_rows=R] [spmm_rows=R2]
+ *                 [threads=T]
  */
 
 #include <cstdio>
@@ -42,6 +49,8 @@ const Cfg configs[] = {
     {"16_4p", 16, 4},
 };
 
+constexpr std::size_t NUM_CFGS = 4;
+
 MachineParams
 paramsFor(const Cfg &cfg)
 {
@@ -50,12 +59,22 @@ paramsFor(const Cfg &cfg)
     return p;
 }
 
+enum Kernel { KSpmv, KSpma, KSpmm };
+
+struct Point
+{
+    Kernel kernel;
+    std::size_t cfg;
+    std::size_t idx;
+};
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     Config cfg = bench::parseArgs(argc, argv);
+    SweepExecutor exec = bench::makeExecutor(cfg);
 
     CorpusSpec spec;
     spec.count = cfg.getUInt("count", 8);
@@ -81,40 +100,72 @@ main(int argc, char **argv)
     mm_spec.count = std::min<std::size_t>(spec.count, 6);
     auto mm_corpus = buildCorpus(mm_spec);
 
-    Rng rng(99);
+    // One x per matrix, identical across configurations so the
+    // speedup ratios compare like with like.
+    std::vector<DenseVector> xs;
+    xs.reserve(corpus.size());
+    for (std::size_t i = 0; i < corpus.size(); ++i) {
+        Rng rng(SweepExecutor::pointSeed(99, i));
+        xs.push_back(randomVector(corpus[i].matrix.cols(), rng));
+    }
+
+    // Matrices whose densest row exceeds a configuration's CAM are
+    // excluded for *all* configurations (smallest CAM in the sweep)
+    // so the per-config cycle vectors stay aligned.
+    std::uint64_t min_cam = paramsFor(configs[0]).via.camEntries();
+    for (const Cfg &c : configs)
+        min_cam = std::min(min_cam, paramsFor(c).via.camEntries());
+    std::vector<std::size_t> mm_ok;
+    for (std::size_t i = 0; i < mm_corpus.size(); ++i)
+        if (mm_corpus[i].matrix.maxRowNnz() <= Index(min_cam))
+            mm_ok.push_back(i);
+
+    std::vector<Point> points;
+    for (std::size_t c = 0; c < NUM_CFGS; ++c) {
+        for (std::size_t i = 0; i < corpus.size(); ++i)
+            points.push_back({KSpmv, c, i});
+        for (std::size_t i = 0; i < add_corpus.size(); ++i)
+            points.push_back({KSpma, c, i});
+        for (std::size_t i = 0; i < mm_ok.size(); ++i)
+            points.push_back({KSpmm, c, mm_ok[i]});
+    }
+
+    // Progress goes to stderr so stdout stays byte-identical
+    // across thread counts.
+    std::fprintf(stderr, "running %zu points on %u threads\n",
+                 points.size(), exec.threads());
+    auto cycles = exec.run(points.size(), [&](std::size_t p) {
+        const Point &pt = points[p];
+        MachineParams params = paramsFor(configs[pt.cfg]);
+        Machine m(params);
+        switch (pt.kernel) {
+          case KSpmv: {
+            const Csr &a = corpus[pt.idx].matrix;
+            Csb csb = Csb::fromCsr(a, kernels::viaCsbBeta(m));
+            return double(
+                kernels::spmvViaCsb(m, csb, xs[pt.idx]).cycles);
+          }
+          case KSpma: {
+            const Csr &a = add_corpus[pt.idx].matrix;
+            return double(kernels::spmaViaCsr(m, a, a).cycles);
+          }
+          default: {
+            const Csr &a = mm_corpus[pt.idx].matrix;
+            Csc b = Csc::fromCsr(a);
+            return double(kernels::spmmViaInner(m, a, b).cycles);
+          }
+        }
+    });
 
     // cycles[kernel][config] accumulated as geomean inputs.
-    std::vector<double> spmv[4], spma[4], spmm[4];
-
-    for (std::size_t c = 0; c < 4; ++c) {
-        MachineParams params = paramsFor(configs[c]);
-        for (const auto &entry : corpus) {
-            const Csr &a = entry.matrix;
-            DenseVector x = randomVector(a.cols(), rng);
-            {
-                Machine m(params);
-                Csb csb = Csb::fromCsr(a, kernels::viaCsbBeta(m));
-                spmv[c].push_back(double(
-                    kernels::spmvViaCsb(m, csb, x).cycles));
-            }
-        }
-        for (const auto &entry : add_corpus) {
-            Machine m(params);
-            spma[c].push_back(double(
-                kernels::spmaViaCsr(m, entry.matrix,
-                                    entry.matrix).cycles));
-        }
-        for (const auto &entry : mm_corpus) {
-            const Csr &a = entry.matrix;
-            Machine m(params);
-            if (a.maxRowNnz() >
-                Index(m.sspm().config().camEntries()))
-                continue;
-            Csc b = Csc::fromCsr(a);
-            spmm[c].push_back(double(
-                kernels::spmmViaInner(m, a, b).cycles));
-        }
-        std::printf("finished config %s\n", configs[c].name);
+    std::vector<double> spmv[NUM_CFGS], spma[NUM_CFGS],
+        spmm[NUM_CFGS];
+    for (std::size_t p = 0; p < points.size(); ++p) {
+        const Point &pt = points[p];
+        auto &bucket = pt.kernel == KSpmv   ? spmv[pt.cfg]
+                       : pt.kernel == KSpma ? spma[pt.cfg]
+                                            : spmm[pt.cfg];
+        bucket.push_back(cycles[p]);
     }
 
     auto norm = [](std::vector<double> *cyc, std::size_t c) {
@@ -131,7 +182,7 @@ main(int argc, char **argv)
     const double paper_spmv[] = {1.00, 1.02, 1.26, 1.33};
     const double paper_spma[] = {1.00, 1.04, 1.16, 1.20};
     const double paper_spmm[] = {1.00, 1.08, 1.05, 1.11};
-    for (std::size_t c = 0; c < 4; ++c) {
+    for (std::size_t c = 0; c < NUM_CFGS; ++c) {
         rows.push_back(
             {configs[c].name, bench::fmt(norm(spmv, c)),
              bench::fmt(paper_spmv[c]), bench::fmt(norm(spma, c)),

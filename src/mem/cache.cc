@@ -97,12 +97,12 @@ Cache::flush()
 bool
 Cache::mshrLookup(Addr line_addr, Tick when, Tick &complete) const
 {
+    // An entry whose completion is in the past is a fill that
+    // already landed, not an in-flight miss. It is reclaimed by the
+    // horizon sweep in mshrReserve; a const lookup never mutates.
     auto it = _inflight.find(line_addr);
-    if (it == _inflight.end() || it->second <= when) {
-        if (it != _inflight.end())
-            _inflight.erase(it); // stale entry: miss already filled
+    if (it == _inflight.end() || it->second <= when)
         return false;
-    }
     complete = it->second;
     return true;
 }
@@ -123,14 +123,18 @@ Cache::mshrReserve(Addr line_addr, Tick complete, Tick stall)
     _inflight[line_addr] = complete;
     _stats.mshrStallCycles += stall;
     // Bound the inflight map: drop entries that completed long ago.
-    if (_inflight.size() > 4 * _mshrBusyUntil.size()) {
-        Tick horizon = mshrFreeAt();
-        for (auto it = _inflight.begin(); it != _inflight.end();) {
-            if (it->second <= horizon)
-                it = _inflight.erase(it);
-            else
-                ++it;
-        }
+    if (_inflight.size() > 4 * _mshrBusyUntil.size())
+        pruneInflight(mshrFreeAt());
+}
+
+void
+Cache::pruneInflight(Tick horizon)
+{
+    for (auto it = _inflight.begin(); it != _inflight.end();) {
+        if (it->second <= horizon)
+            it = _inflight.erase(it);
+        else
+            ++it;
     }
 }
 

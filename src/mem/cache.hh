@@ -98,6 +98,9 @@ class Cache
 
     std::size_t setIndex(Addr line_addr) const;
 
+    /** Drop in-flight entries whose fills completed by @p horizon. */
+    void pruneInflight(Tick horizon);
+
     CacheParams _params;
     std::size_t _numSets;
     std::vector<Line> _lines; //!< numSets * assoc, row-major by set
@@ -105,7 +108,7 @@ class Cache
     CacheStats _stats;
 
     /** Outstanding miss completion times, by line address. */
-    mutable std::unordered_map<Addr, Tick> _inflight;
+    std::unordered_map<Addr, Tick> _inflight;
     /** Completion times occupying MSHR slots (unordered). */
     std::vector<Tick> _mshrBusyUntil;
 };

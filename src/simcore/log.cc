@@ -1,5 +1,6 @@
 #include "simcore/log.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <stdexcept>
 
@@ -8,19 +9,22 @@ namespace via
 
 namespace
 {
-LogLevel g_level = LogLevel::Warn;
+// Atomic so concurrent sweep workers (simcore/parallel.hh) can read
+// the level while another thread configures it; relaxed is enough
+// because the level carries no other data.
+std::atomic<LogLevel> g_level{LogLevel::Warn};
 } // namespace
 
 void
 setLogLevel(LogLevel level)
 {
-    g_level = level;
+    g_level.store(level, std::memory_order_relaxed);
 }
 
 LogLevel
 logLevel()
 {
-    return g_level;
+    return g_level.load(std::memory_order_relaxed);
 }
 
 namespace detail
@@ -47,21 +51,21 @@ fatalImpl(const char *file, int line, const std::string &msg)
 void
 warnImpl(const std::string &msg)
 {
-    if (g_level >= LogLevel::Warn)
+    if (logLevel() >= LogLevel::Warn)
         std::fprintf(stderr, "warn: %s\n", msg.c_str());
 }
 
 void
 informImpl(const std::string &msg)
 {
-    if (g_level >= LogLevel::Inform)
+    if (logLevel() >= LogLevel::Inform)
         std::fprintf(stderr, "info: %s\n", msg.c_str());
 }
 
 void
 debugImpl(const std::string &msg)
 {
-    if (g_level >= LogLevel::Debug)
+    if (logLevel() >= LogLevel::Debug)
         std::fprintf(stderr, "debug: %s\n", msg.c_str());
 }
 

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * SweepExecutor — deterministic parallel execution of independent
+ * simulation points.
+ *
+ * Every benchmark figure is a sweep of (machine configuration x
+ * input x kernel) points that share no simulator state: each point
+ * builds its own Machine and draws its randomness from a per-point
+ * Rng seeded with pointSeed(base, index). The executor fans the
+ * points out over a thread pool and collects results in submission
+ * order, so a run with threads=N prints output bit-identical to a
+ * serial threads=1 run.
+ *
+ * Point functions must be self-contained: no writes to global
+ * mutable state (the simulator's only global, the log level, is
+ * atomic but should only be set before the sweep starts) and no
+ * printing from inside a point — formatting belongs after
+ * collection, in submission order.
+ */
+
+#ifndef VIA_SIMCORE_PARALLEL_HH
+#define VIA_SIMCORE_PARALLEL_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <type_traits>
+#include <vector>
+
+namespace via
+{
+
+/** A fixed-width pool that runs indexed jobs in submission order. */
+class SweepExecutor
+{
+  public:
+    /** @param threads worker count; 0 means hardware concurrency. */
+    explicit SweepExecutor(unsigned threads = 0);
+
+    /** Resolved worker count (never 0). */
+    unsigned threads() const { return _threads; }
+
+    /** Worker count used for threads=0 (at least 1). */
+    static unsigned hardwareThreads();
+
+    /**
+     * The RNG seed for point @p index of a sweep with base seed
+     * @p base: a splitmix64 mix so neighbouring indices get
+     * decorrelated streams. Depends only on (base, index) — never
+     * on thread identity or scheduling — so a sweep is reproducible
+     * at any thread count.
+     */
+    static std::uint64_t pointSeed(std::uint64_t base,
+                                   std::size_t index);
+
+    /**
+     * Evaluate fn(0) .. fn(count-1) across the pool and return the
+     * results indexed by point, regardless of completion order.
+     * The result type must be default-constructible and movable.
+     * The first exception a point throws is rethrown here after the
+     * remaining workers drain.
+     */
+    template <typename Fn>
+    auto
+    run(std::size_t count, Fn &&fn) const
+        -> std::vector<std::invoke_result_t<Fn &, std::size_t>>
+    {
+        using R = std::invoke_result_t<Fn &, std::size_t>;
+        // vector<bool> packs bits; concurrent writes to distinct
+        // points would race. Return a struct or int instead.
+        static_assert(!std::is_same_v<R, bool>,
+                      "SweepExecutor::run cannot collect bool");
+        std::vector<R> out(count);
+        forEach(count, [&](std::size_t i) { out[i] = fn(i); });
+        return out;
+    }
+
+    /** Run fn(i) for i in [0, count) with no result collection. */
+    void forEach(std::size_t count,
+                 const std::function<void(std::size_t)> &fn) const;
+
+  private:
+    unsigned _threads;
+};
+
+} // namespace via
+
+#endif // VIA_SIMCORE_PARALLEL_HH

@@ -5,6 +5,8 @@
  * Runs one kernel on one matrix (synthetic or a Matrix Market file)
  * on a configured machine, with and without VIA, and dumps the
  * statistics. This is the "try it on your own matrix" entry point.
+ * With sweep=1 the same kernel and input instead run across a grid
+ * of SSPM configurations in parallel (see below).
  *
  * Usage:
  *   via_sim <kernel> [key=value ...]
@@ -27,6 +29,20 @@
  *   json=1          dump statistics as JSON instead
  *   timeline=C      (spmv) sample IPC every C simulated cycles
  *   trace=1         per-instruction debug trace to stderr
+ *
+ * Sweep mode (design-space exploration over one input):
+ *   sweep=1         run the VIA kernel across sweep_kb x sweep_ports
+ *   sweep_kb=LIST   SSPM sizes in KB              (default 4,8,16)
+ *   sweep_ports=LIST SSPM port counts             (default 2,4)
+ *   threads=N       sweep worker threads (0 = hardware concurrency)
+ *
+ * Every sweep point runs on its own Machine; results are collected
+ * in submission order, so sweep output is bit-identical at any
+ * thread count. Each point self-checks against the host reference
+ * and the exit code is nonzero on any mismatch.
+ *
+ * Testing hook: inject_error=1 (stencil) perturbs the VIA result
+ * before the reference check to exercise the failure path.
  */
 
 #include <cmath>
@@ -34,6 +50,7 @@
 #include <functional>
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <string>
 
 #include "cpu/machine.hh"
@@ -42,11 +59,12 @@
 #include "kernels/reference.hh"
 #include "kernels/runner.hh"
 #include "kernels/spma.hh"
+#include "kernels/stencil.hh"
 #include "kernels/spmm.hh"
 #include "kernels/spmv.hh"
-#include "kernels/stencil.hh"
 #include "simcore/config.hh"
 #include "simcore/log.hh"
+#include "simcore/parallel.hh"
 #include "simcore/rng.hh"
 #include "sparse/convert.hh"
 #include "sparse/generators.hh"
@@ -101,6 +119,16 @@ report(const char *name, const Machine &m, Tick baseline_cycles)
                 metrics.energy.totalPj() / 1e6);
 }
 
+/** json=1/stats=1 statistics dump, uniform across all kernels. */
+void
+dumpStats(const Config &cfg, Machine &m)
+{
+    if (cfg.getBool("json", false))
+        m.stats().dumpJson(std::cout);
+    else if (cfg.getBool("stats", false))
+        m.stats().dump(std::cout);
+}
+
 /**
  * Periodic IPC sampling through the machine's simulated-time event
  * queue (timeline=CYCLES): prints instructions retired per window.
@@ -137,6 +165,10 @@ struct Timeline
         std::uint64_t prev_i = 0;
         Tick prev_t = 0;
         for (const Sample &s : samples) {
+            // A duplicate sample at the same tick would divide by
+            // zero; fold it into the next nonzero-width window.
+            if (s.tick == prev_t)
+                continue;
             std::printf("  @%-10llu ipc %.2f\n",
                         static_cast<unsigned long long>(s.tick),
                         double(s.insts - prev_i) /
@@ -148,6 +180,29 @@ struct Timeline
 
     std::vector<Sample> samples;
 };
+
+/** The format dispatch shared by runSpmv and the sweep mode. */
+kernels::SpmvResult
+spmvWithFormat(Machine &m, const Csr &a, const DenseVector &x,
+               const std::string &fmt)
+{
+    if (fmt == "csb") {
+        Csb csb = Csb::fromCsr(a, kernels::viaCsbBeta(m));
+        return kernels::spmvViaCsb(m, csb, x);
+    }
+    if (fmt == "csr")
+        return kernels::spmvViaCsr(m, a, x);
+    if (fmt == "spc5") {
+        Spc5 s = Spc5::fromCsr(a, Index(m.vl()));
+        return kernels::spmvViaSpc5(m, s, x);
+    }
+    if (fmt == "sell") {
+        auto vl = Index(m.vl());
+        SellCSigma s = SellCSigma::fromCsr(a, vl, 4 * vl);
+        return kernels::spmvViaSell(m, s, x);
+    }
+    via_fatal("unknown format '", fmt, "'");
+}
 
 int
 runSpmv(const Config &cfg, const MachineParams &params, Rng &rng)
@@ -165,31 +220,13 @@ runSpmv(const Config &cfg, const MachineParams &params, Rng &rng)
     Machine viam(params);
     Timeline timeline;
     timeline.install(viam, Tick(cfg.getUInt("timeline", 0)));
-    kernels::SpmvResult vres;
-    if (fmt == "csb") {
-        Csb csb = Csb::fromCsr(a, kernels::viaCsbBeta(viam));
-        vres = kernels::spmvViaCsb(viam, csb, x);
-    } else if (fmt == "csr") {
-        vres = kernels::spmvViaCsr(viam, a, x);
-    } else if (fmt == "spc5") {
-        Spc5 s = Spc5::fromCsr(a, Index(viam.vl()));
-        vres = kernels::spmvViaSpc5(viam, s, x);
-    } else if (fmt == "sell") {
-        auto vl = Index(viam.vl());
-        SellCSigma s = SellCSigma::fromCsr(a, vl, 4 * vl);
-        vres = kernels::spmvViaSell(viam, s, x);
-    } else {
-        via_fatal("unknown format '", fmt, "'");
-    }
+    kernels::SpmvResult vres = spmvWithFormat(viam, a, x, fmt);
     report(("VIA " + fmt).c_str(), viam, bres.cycles);
     timeline.print();
 
     bool ok = allClose(vres.y, a.multiply(x));
     std::printf("result check: %s\n", ok ? "ok" : "MISMATCH");
-    if (cfg.getBool("json", false))
-        viam.stats().dumpJson(std::cout);
-    else if (cfg.getBool("stats", false))
-        viam.stats().dump(std::cout);
+    dumpStats(cfg, viam);
     return ok ? 0 : 1;
 }
 
@@ -211,8 +248,7 @@ runSpma(const Config &cfg, const MachineParams &params, Rng &rng)
 
     bool ok = closeElements(vres.c, addCsr(a, b), 1e-3);
     std::printf("result check: %s\n", ok ? "ok" : "MISMATCH");
-    if (cfg.getBool("stats", false))
-        viam.stats().dump(std::cout);
+    dumpStats(cfg, viam);
     return ok ? 0 : 1;
 }
 
@@ -239,8 +275,7 @@ runSpmm(const Config &cfg, const MachineParams &params, Rng &rng)
 
     bool ok = closeElements(vres.c, mulCsr(a, b_csr), 1e-2);
     std::printf("result check: %s\n", ok ? "ok" : "MISMATCH");
-    if (cfg.getBool("stats", false))
-        viam.stats().dump(std::cout);
+    dumpStats(cfg, viam);
     return ok ? 0 : 1;
 }
 
@@ -265,8 +300,7 @@ runHistogram(const Config &cfg, const MachineParams &params,
 
     bool ok = vres.hist == kernels::refHistogram(keys, buckets);
     std::printf("result check: %s\n", ok ? "ok" : "MISMATCH");
-    if (cfg.getBool("stats", false))
-        m3.stats().dump(std::cout);
+    dumpStats(cfg, m3);
     return ok ? 0 : 1;
 }
 
@@ -284,12 +318,197 @@ runStencil(const Config &cfg, const MachineParams &params, Rng &rng)
     report("vector", base, 0);
 
     Machine viam(params);
-    kernels::stencilVia(viam, img);
+    auto vres = kernels::stencilVia(viam, img);
     report("VIA", viam, bres.cycles);
 
-    if (cfg.getBool("stats", false))
-        viam.stats().dump(std::cout);
-    return 0;
+    if (cfg.getBool("inject_error", false))
+        vres.out.at(0, 0) += Value(1.0);
+
+    DenseMatrix ref = kernels::refConvolve4x4(img);
+    bool ok = allClose(vres.out.data(), ref.data());
+    std::printf("result check: %s\n", ok ? "ok" : "MISMATCH");
+    dumpStats(cfg, viam);
+    return ok ? 0 : 1;
+}
+
+// ==================================================================
+// sweep=1: one kernel, one input, a grid of SSPM configurations.
+// ==================================================================
+
+/** Outcome of one sweep point. */
+struct SweepPoint
+{
+    Tick cycles = 0;
+    bool ok = false;
+    bool skipped = false; //!< input does not fit this configuration
+};
+
+std::vector<std::uint64_t>
+parseU64List(const std::string &text, const char *what)
+{
+    std::vector<std::uint64_t> out;
+    std::stringstream ss(text);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+        if (item.empty())
+            continue;
+        try {
+            out.push_back(std::stoull(item));
+        } catch (const std::exception &) {
+            via_fatal("bad ", what, " entry '", item, "'");
+        }
+    }
+    if (out.empty())
+        via_fatal("empty list for ", what);
+    return out;
+}
+
+int
+runSweep(const std::string &kernel, const Config &cfg, Rng &rng)
+{
+    using PointFn = std::function<SweepPoint(const MachineParams &)>;
+    PointFn point;
+
+    // Build the kernel input once; points share it read-only.
+    if (kernel == "spmv") {
+        auto a = std::make_shared<Csr>(loadMatrix(cfg, rng));
+        auto x = std::make_shared<DenseVector>(
+            randomVector(a->cols(), rng));
+        auto y = std::make_shared<DenseVector>(a->multiply(*x));
+        std::string fmt = cfg.getString("format", "csb");
+        std::printf("sweep SpMV (%s): %dx%d, %zu nnz\n",
+                    fmt.c_str(), a->rows(), a->cols(), a->nnz());
+        point = [a, x, y, fmt](const MachineParams &params) {
+            Machine m(params);
+            auto res = spmvWithFormat(m, *a, *x, fmt);
+            return SweepPoint{res.cycles, allClose(res.y, *y),
+                              false};
+        };
+    } else if (kernel == "spma") {
+        auto a = std::make_shared<Csr>(loadMatrix(cfg, rng));
+        auto b = std::make_shared<Csr>(loadMatrix(cfg, rng));
+        auto golden = std::make_shared<Csr>(addCsr(*a, *b));
+        std::printf("sweep SpMA: %dx%d, %zu + %zu nnz\n", a->rows(),
+                    a->cols(), a->nnz(), b->nnz());
+        point = [a, b, golden](const MachineParams &params) {
+            Machine m(params);
+            auto res = kernels::spmaViaCsr(m, *a, *b);
+            return SweepPoint{res.cycles,
+                              closeElements(res.c, *golden, 1e-3),
+                              false};
+        };
+    } else if (kernel == "spmm") {
+        Config small = cfg;
+        if (!cfg.has("rows") && !cfg.has("mtx"))
+            small.set("rows", "160");
+        auto a = std::make_shared<Csr>(loadMatrix(small, rng));
+        auto b_csr = std::make_shared<Csr>(loadMatrix(small, rng));
+        auto b = std::make_shared<Csc>(Csc::fromCsr(*b_csr));
+        auto golden = std::make_shared<Csr>(mulCsr(*a, *b_csr));
+        std::printf("sweep SpMM: %dx%d (%zu nnz) * %dx%d (%zu "
+                    "nnz)\n",
+                    a->rows(), a->cols(), a->nnz(), b->rows(),
+                    b->cols(), b->nnz());
+        point = [a, b, golden](const MachineParams &params) {
+            if (a->maxRowNnz() > Index(params.via.camEntries()))
+                return SweepPoint{0, true, true};
+            Machine m(params);
+            auto res = kernels::spmmViaInner(m, *a, *b);
+            return SweepPoint{res.cycles,
+                              closeElements(res.c, *golden, 1e-2),
+                              false};
+        };
+    } else if (kernel == "histogram") {
+        auto count = std::size_t(cfg.getUInt("keys", 16384));
+        auto buckets = Index(cfg.getUInt("buckets", 1024));
+        auto keys =
+            std::make_shared<std::vector<Index>>(count);
+        for (auto &k : *keys)
+            k = Index(rng.below(std::uint64_t(buckets)));
+        auto golden = std::make_shared<std::vector<Value>>(
+            kernels::refHistogram(*keys, buckets));
+        std::printf("sweep histogram: %zu keys, %d buckets\n",
+                    count, buckets);
+        point = [keys, buckets, golden](
+                    const MachineParams &params) {
+            Machine m(params);
+            auto res = kernels::histVia(m, *keys, buckets);
+            return SweepPoint{res.cycles, res.hist == *golden,
+                              false};
+        };
+    } else if (kernel == "stencil") {
+        auto side = Index(cfg.getUInt("px", 256));
+        auto img = std::make_shared<DenseMatrix>(side, side);
+        for (auto &p : img->data())
+            p = Value(rng.uniform() * 255.0);
+        auto golden = std::make_shared<DenseMatrix>(
+            kernels::refConvolve4x4(*img));
+        std::printf("sweep stencil: 4x4 Gaussian on %dx%d px\n",
+                    side, side);
+        point = [img, golden](const MachineParams &params) {
+            Machine m(params);
+            auto res = kernels::stencilVia(m, *img);
+            return SweepPoint{res.cycles,
+                              allClose(res.out.data(),
+                                       golden->data()),
+                              false};
+        };
+    } else {
+        via_fatal("unknown kernel '", kernel, "'");
+    }
+
+    auto kbs = parseU64List(cfg.getString("sweep_kb", "4,8,16"),
+                            "sweep_kb");
+    auto port_list = parseU64List(
+        cfg.getString("sweep_ports", "2,4"), "sweep_ports");
+
+    struct GridCfg
+    {
+        std::uint64_t kb;
+        std::uint32_t ports;
+    };
+    std::vector<GridCfg> grid;
+    for (std::uint64_t kb : kbs)
+        for (std::uint64_t p : port_list)
+            grid.push_back({kb, std::uint32_t(p)});
+
+    SweepExecutor exec(unsigned(cfg.getUInt("threads", 0)));
+    std::fprintf(stderr, "sweeping %zu configs on %u threads\n",
+                 grid.size(), exec.threads());
+    auto results = exec.run(grid.size(), [&](std::size_t i) {
+        Config pc = cfg;
+        pc.set("sspm_kb", std::to_string(grid[i].kb));
+        pc.set("ports", std::to_string(grid[i].ports));
+        return point(machineParamsFrom(pc));
+    });
+
+    // First non-skipped config is the normalization baseline.
+    double base_cycles = 0.0;
+    for (const SweepPoint &r : results)
+        if (!r.skipped) {
+            base_cycles = double(r.cycles);
+            break;
+        }
+
+    std::printf("%-10s %14s %9s  %s\n", "config", "cycles",
+                "speedup", "check");
+    bool all_ok = true;
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        std::string name = std::to_string(grid[i].kb) + "_" +
+                           std::to_string(grid[i].ports) + "p";
+        if (results[i].skipped) {
+            std::printf("%-10s %14s %9s  %s\n", name.c_str(), "-",
+                        "-", "skipped (exceeds CAM)");
+            continue;
+        }
+        all_ok = all_ok && results[i].ok;
+        std::printf("%-10s %14llu %8.2fx  %s\n", name.c_str(),
+                    static_cast<unsigned long long>(
+                        results[i].cycles),
+                    base_cycles / double(results[i].cycles),
+                    results[i].ok ? "ok" : "MISMATCH");
+    }
+    return all_ok ? 0 : 1;
 }
 
 } // namespace
@@ -311,9 +530,12 @@ main(int argc, char **argv)
 
     if (cfg.getBool("trace", false))
         setLogLevel(LogLevel::Debug);
-    MachineParams params = machineParamsFrom(cfg);
     Rng rng(cfg.getUInt("seed", 1));
 
+    if (cfg.getBool("sweep", false))
+        return runSweep(kernel, cfg, rng);
+
+    MachineParams params = machineParamsFrom(cfg);
     if (kernel == "spmv")
         return runSpmv(cfg, params, rng);
     if (kernel == "spma")

@@ -42,6 +42,20 @@ makeExecutor(const Config &cfg)
     return SweepExecutor(unsigned(cfg.getUInt("threads", 0)));
 }
 
+TraceOptions
+traceOptions(const Config &cfg)
+{
+    TraceOptions opts = TraceOptions::fromConfig(cfg);
+    if (opts.summary && cfg.getUInt("threads", 0) != 1) {
+        std::fprintf(stderr,
+                     "trace_summary=1 requires threads=1 in the "
+                     "bench harnesses (the roll-up would interleave "
+                     "across workers); ignoring\n");
+        opts.summary = false;
+    }
+    return opts;
+}
+
 void
 printTable(const std::vector<std::string> &header,
            const std::vector<std::vector<std::string>> &rows)

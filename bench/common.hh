@@ -14,6 +14,7 @@
 #include "simcore/parallel.hh"
 #include "simcore/rng.hh"
 #include "sparse/csr.hh"
+#include "trace/trace_io.hh"
 
 namespace via::bench
 {
@@ -34,6 +35,16 @@ Config parseArgs(int argc, char **argv);
  * at every thread count; threads=1 recovers serial execution.
  */
 SweepExecutor makeExecutor(const Config &cfg);
+
+/**
+ * The shared tracing knobs (trace=, trace_format=, trace_limit=,
+ * trace_summary=), parsed once per harness. Harness points run on
+ * worker threads, so each traced Machine writes its own file (the
+ * harness passes a per-point suffix to finishTracing); the stdout
+ * roll-up is only honored with threads=1, where output stays
+ * deterministic.
+ */
+TraceOptions traceOptions(const Config &cfg);
 
 /** Print an aligned table: header row + data rows. */
 void printTable(const std::vector<std::string> &header,

@@ -15,6 +15,12 @@
  *
  * Usage: fig10_spmv [count=N] [seed=S] [max_rows=R] [sspm_kb=K]
  *                   [ports=P] [corpus_dir=PATH] [threads=T]
+ *                   [trace=PATH] [trace_format=perfetto|konata]
+ *                   [trace_limit=N] [trace_summary=1]
+ *
+ * With trace=PATH, the VIA CSB run of every matrix writes its own
+ * event trace, suffixed with the matrix name before the extension
+ * (e.g. trace=fig10.json -> fig10_uniform_03.json).
  */
 
 #include <cstdio>
@@ -72,6 +78,7 @@ main(int argc, char **argv)
 
     SweepExecutor exec = bench::makeExecutor(cfg);
     std::uint64_t vec_seed = cfg.getUInt("vec_seed", 1234);
+    TraceOptions topts = bench::traceOptions(cfg);
 
     auto results = exec.run(corpus.size(), [&](std::size_t i) {
         const auto &entry = corpus[i];
@@ -102,7 +109,15 @@ main(int argc, char **argv)
                     run(kernels::spmvViaSpc5, spc5);
         pm.spSell = run(kernels::spmvVectorSell, sell) /
                     run(kernels::spmvViaSell, sell);
-        double via_csb = run(kernels::spmvViaCsb, csb);
+        // The headline kernel (VIA on CSB) is the traced one.
+        double via_csb = [&] {
+            Machine m(params);
+            enableTracing(m, topts);
+            m.tracePhase("spmv_csb");
+            auto res = kernels::spmvViaCsb(m, csb, x);
+            finishTracing(m, topts, "_" + entry.name);
+            return double(res.cycles);
+        }();
         pm.spCsb = run(kernels::spmvVectorCsb, csb) / via_csb;
         pm.spCsbScalar =
             run(kernels::spmvScalarCsb, csb) / via_csb;

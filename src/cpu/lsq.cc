@@ -31,6 +31,14 @@ StoreTracker::loadReady(Addr addr, std::uint32_t bytes) const
             ++_conflicts;
         }
     }
+    if (ready > 0 && _trace != nullptr && _trace->enabled()) {
+        TraceEvent ev;
+        ev.kind = TraceEventKind::LsqForwardStall;
+        ev.comp = TraceComponent::Lsq;
+        ev.start = ev.end = ready;
+        ev.a0 = addr;
+        _trace->emit(ev);
+    }
     return ready;
 }
 

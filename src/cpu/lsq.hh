@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "simcore/types.hh"
+#include "trace/trace.hh"
 
 namespace via
 {
@@ -84,6 +85,9 @@ class StoreTracker
 
     std::uint64_t conflicts() const { return _conflicts; }
 
+    /** Attach a trace sink for store-forwarding stall events. */
+    void setTrace(TraceManager *trace) { _trace = trace; }
+
   private:
     struct StoreRec
     {
@@ -95,6 +99,7 @@ class StoreTracker
     std::vector<StoreRec> _ring;
     std::size_t _next = 0;
     mutable std::uint64_t _conflicts = 0;
+    TraceManager *_trace = nullptr;
 };
 
 } // namespace via

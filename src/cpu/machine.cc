@@ -80,6 +80,23 @@ Machine::Machine(const MachineParams &params)
                      &fs.sspmWriteCycles);
 }
 
+void
+Machine::enableTracing(std::size_t limit)
+{
+    _trace = std::make_unique<TraceManager>(limit);
+    _core->setTrace(_trace.get());
+    _memSys->setTrace(_trace.get());
+    _sspm->setTrace(_trace.get());
+    _fivu->setTrace(_trace.get());
+}
+
+void
+Machine::tracePhase(const std::string &name)
+{
+    if (_trace)
+        _trace->beginPhase(name, cycles());
+}
+
 VecValue &
 Machine::vreg(VReg r)
 {

@@ -29,6 +29,7 @@
 #include "mem/mem_system.hh"
 #include "simcore/event_queue.hh"
 #include "simcore/stats.hh"
+#include "trace/trace.hh"
 #include "via/fivu.hh"
 #include "via/sspm.hh"
 
@@ -78,6 +79,25 @@ class Machine
     EventQueue &events() { return _events; }
     const MachineParams &params() const { return _params; }
     StatSet &stats() { return _stats; }
+
+    /**
+     * Turn on event tracing with a ring of @p limit events, wiring
+     * the sink through every subsystem. Tracing is per-Machine (no
+     * shared state), so traced Machines on different sweep threads
+     * stay race-free and deterministic, and it is observation-only:
+     * timing and statistics are bit-identical with tracing off.
+     */
+    void enableTracing(std::size_t limit);
+
+    /** The attached trace sink, or nullptr when tracing is off. */
+    TraceManager *trace() { return _trace.get(); }
+    const TraceManager *trace() const { return _trace.get(); }
+
+    /**
+     * Open a named kernel phase at the current makespan (shows as a
+     * span on the trace's kernel track). No-op when not tracing.
+     */
+    void tracePhase(const std::string &name);
 
     /** Element type of values (F32 by default, 4-byte SSPM blocks). */
     ElemType valueType() const { return _params.valueType; }
@@ -317,6 +337,7 @@ class Machine
     EventQueue _events;
     StatSet _stats;
     SeqNum _seq = 0;
+    std::unique_ptr<TraceManager> _trace;
 };
 
 } // namespace via

@@ -108,6 +108,7 @@ OoOCore::push(const Inst &inst)
     for (std::int16_t src : inst.src)
         ready = std::max(ready, regReady(src));
 
+    Tick issue = ready;
     Tick complete;
     if (inst.isVia()) {
         ++_stats.viaInsts;
@@ -120,6 +121,7 @@ OoOCore::push(const Inst &inst)
         Tick eligible = std::max(ready, safe);
         Fivu::Timing t = _fivu.dispatch(inst, eligible,
                                         _params.latencies);
+        issue = t.start;
         complete = t.complete;
     } else if (inst.isMem()) {
         ++_stats.memInsts;
@@ -127,14 +129,14 @@ OoOCore::push(const Inst &inst)
             _stats.gatherElements += inst.numAccesses;
         // Address generation / AGU issue.
         Resource &agu = _fus.forClass(cls);
-        Tick issue = agu.acquire(ready);
+        issue = agu.acquire(ready);
         Tick fixed = _params.latencies.latencyOf(inst.op);
         complete = std::max(scheduleMem(inst, issue), issue + fixed);
     } else if (cls == FuClass::None) {
         complete = ready;
     } else {
         Resource &fu = _fus.forClass(cls);
-        Tick issue = fu.acquire(ready);
+        issue = fu.acquire(ready);
         complete = issue + _params.latencies.latencyOf(inst.op);
     }
 
@@ -143,6 +145,7 @@ OoOCore::push(const Inst &inst)
     else
         ++_stats.scalarInsts;
 
+    bool mispredicted = false;
     if (inst.op == Op::SBranch) {
         _lastBranchResolve = std::max(_lastBranchResolve, complete);
         if (inst.isDataBranch) {
@@ -153,6 +156,7 @@ OoOCore::push(const Inst &inst)
             bool predict_taken = ctr >= 2;
             if (predict_taken != inst.branchTaken) {
                 ++_stats.mispredicts;
+                mispredicted = true;
                 // Front-end redirect: nothing younger dispatches
                 // until the branch resolves plus the refill delay.
                 _lastDispatch = std::max(
@@ -172,11 +176,44 @@ OoOCore::push(const Inst &inst)
     // ---- in-order commit -----------------------------------------
     Tick commit = _rob.commit(complete);
     _stats.commitTick = commit;
+    _lastTiming = InstTiming{dispatch, issue, complete, commit};
+
+    if (_trace != nullptr && _trace->enabled()) {
+        TraceEvent ev;
+        ev.kind = TraceEventKind::InstRetired;
+        ev.comp = TraceComponent::Core;
+        ev.op = inst.op;
+        ev.start = dispatch;
+        ev.end = commit;
+        ev.a0 = inst.seq;
+        ev.a1 = issue;
+        ev.a2 = complete;
+        _trace->emit(ev);
+        if (mispredicted) {
+            TraceEvent mp;
+            mp.kind = TraceEventKind::BranchMispredict;
+            mp.comp = TraceComponent::Core;
+            mp.op = inst.op;
+            mp.start = mp.end = complete;
+            mp.a0 = inst.branchSite;
+            _trace->emit(mp);
+        }
+        // Functional-layer events (CAM matches etc.) staged while
+        // this instruction executed architecturally get its window.
+        _trace->flushStaged(issue, complete, inst.op);
+    }
 
     // Simulated-time observers (stat sampling etc.) run as the
     // commit front passes their scheduled ticks.
     if (_events && commit > _events->curTick())
         _events->advanceTo(commit);
+}
+
+void
+OoOCore::setTrace(TraceManager *trace)
+{
+    _trace = trace;
+    _stores.setTrace(trace);
 }
 
 void

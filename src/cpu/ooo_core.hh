@@ -17,8 +17,12 @@
  *     instructions have committed (commit-time execution, paper
  *     Section IV-E) and serialize on the SSPM ports.
  *
- * The model never materializes a trace: each pushed Inst is folded
- * into O(window) state. Branches are treated as perfectly predicted.
+ * The model folds each pushed Inst into O(window) state; it keeps no
+ * instruction history of its own. Branches are treated as perfectly
+ * predicted. When a TraceManager is attached (src/trace), the
+ * computed lifecycle ticks of every instruction are emitted as
+ * observation-only events; with no manager attached the hook is a
+ * single null check.
  */
 
 #ifndef VIA_CPU_OOO_CORE_HH
@@ -37,6 +41,7 @@
 #include "simcore/event_queue.hh"
 #include "simcore/stats.hh"
 #include "simcore/types.hh"
+#include "trace/trace.hh"
 #include "via/fivu.hh"
 
 namespace via
@@ -94,6 +99,24 @@ class OoOCore
      */
     void attachEvents(EventQueue *events) { _events = events; }
 
+    /**
+     * Attach a trace sink (nullptr detaches). The core emits one
+     * InstRetired record per push and stamps any events the
+     * functional layer staged for the same instruction.
+     */
+    void setTrace(TraceManager *trace);
+
+    /** Lifecycle ticks of the most recently pushed instruction. */
+    struct InstTiming
+    {
+        Tick dispatch = 0;
+        Tick issue = 0;
+        Tick complete = 0;
+        Tick commit = 0;
+    };
+
+    const InstTiming &lastTiming() const { return _lastTiming; }
+
   private:
     /** Combined scalar+vector register-ready table. */
     static constexpr int NUM_REGS = NUM_SREGS + NUM_VREGS;
@@ -125,6 +148,8 @@ class OoOCore
     std::unordered_map<std::uint32_t, std::uint8_t> _branchTable;
 
     CoreStats _stats;
+    TraceManager *_trace = nullptr;
+    InstTiming _lastTiming;
 };
 
 } // namespace via

@@ -115,13 +115,25 @@ Cache::mshrFreeAt() const
 }
 
 void
-Cache::mshrReserve(Addr line_addr, Tick complete, Tick stall)
+Cache::mshrReserve(Addr line_addr, Tick complete, Tick stall,
+                   Tick issue)
 {
     auto slot = std::min_element(_mshrBusyUntil.begin(),
                                  _mshrBusyUntil.end());
     *slot = complete;
     _inflight[line_addr] = complete;
     _stats.mshrStallCycles += stall;
+
+    if (_trace != nullptr && _trace->enabled()) {
+        TraceEvent ev;
+        ev.kind = TraceEventKind::MshrAlloc;
+        ev.comp = _traceComp;
+        ev.start = std::min(issue, complete);
+        ev.end = complete;
+        ev.a0 = line_addr;
+        ev.a1 = stall;
+        _trace->emit(ev);
+    }
     // Bound the inflight map: drop entries that completed long ago.
     if (_inflight.size() > 4 * _mshrBusyUntil.size())
         pruneInflight(mshrFreeAt());

@@ -18,6 +18,7 @@
 
 #include "mem/mem_types.hh"
 #include "simcore/types.hh"
+#include "trace/trace.hh"
 
 namespace via
 {
@@ -76,9 +77,19 @@ class Cache
     /**
      * Occupy the earliest MSHR slot until @p complete for the miss
      * to @p line_addr. @p stall (issue delay caused by MSHR
-     * pressure) is recorded for statistics.
+     * pressure) is recorded for statistics; @p issue (when the miss
+     * left this level) bounds the traced MSHR-occupancy span.
      */
-    void mshrReserve(Addr line_addr, Tick complete, Tick stall = 0);
+    void mshrReserve(Addr line_addr, Tick complete, Tick stall = 0,
+                     Tick issue = 0);
+
+    /** Attach a trace sink, attributing events to track @p comp. */
+    void
+    setTrace(TraceManager *trace, TraceComponent comp)
+    {
+        _trace = trace;
+        _traceComp = comp;
+    }
 
     /** If the line has an in-flight miss, returns its completion. */
     bool mshrLookup(Addr line_addr, Tick when, Tick &complete) const;
@@ -111,6 +122,9 @@ class Cache
     std::unordered_map<Addr, Tick> _inflight;
     /** Completion times occupying MSHR slots (unordered). */
     std::vector<Tick> _mshrBusyUntil;
+
+    TraceManager *_trace = nullptr;
+    TraceComponent _traceComp = TraceComponent::CacheL1;
 };
 
 } // namespace via

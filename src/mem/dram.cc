@@ -32,6 +32,19 @@ Dram::serve(std::uint64_t bytes, Tick when, bool is_write)
     Tick start = _pipe.acquire(when, xfer);
     _stats.queueCycles += start - when;
     _stats.busyCycles += xfer;
+
+    // Burst start/end: the span is the pipe occupancy (bandwidth),
+    // not the access latency, so busy roll-ups read as utilization.
+    if (_trace != nullptr && _trace->enabled()) {
+        TraceEvent ev;
+        ev.kind = TraceEventKind::DramBurst;
+        ev.comp = TraceComponent::Dram;
+        ev.start = start;
+        ev.end = start + xfer;
+        ev.a0 = bytes;
+        ev.a1 = is_write ? 1 : 0;
+        _trace->emit(ev);
+    }
     return start + _params.latency + xfer;
 }
 

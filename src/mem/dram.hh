@@ -16,6 +16,7 @@
 #include "mem/mem_types.hh"
 #include "simcore/resource.hh"
 #include "simcore/types.hh"
+#include "trace/trace.hh"
 
 namespace via
 {
@@ -54,6 +55,9 @@ class Dram
     /** Reset timing state (not statistics). */
     void resetTiming() { _pipe.resetTiming(); }
 
+    /** Attach a trace sink for burst start/end events. */
+    void setTrace(TraceManager *trace) { _trace = trace; }
+
   private:
     DramParams _params;
     /**
@@ -64,6 +68,7 @@ class Dram
     Resource _pipe;
     std::uint32_t _cyclesPerLine; //!< transfer cycles per request
     DramStats _stats;
+    TraceManager *_trace = nullptr;
 };
 
 } // namespace via

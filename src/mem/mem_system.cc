@@ -66,6 +66,17 @@ MemSystem::accessLine(Addr line_addr, bool is_write, Tick when)
     Tick latency = 0;
     int hit_level = -1;
 
+    bool tracing = _trace != nullptr && _trace->enabled();
+    auto probe_event = [&](std::size_t level, bool hit) {
+        TraceEvent ev;
+        ev.kind = hit ? TraceEventKind::CacheHit
+                      : TraceEventKind::CacheMiss;
+        ev.comp = levelComponent(level);
+        ev.start = ev.end = when;
+        ev.a0 = line_addr;
+        _trace->emit(ev);
+    };
+
     // Walk the tags to find where the line comes from, accounting
     // writebacks and merging with in-flight fetches.
     for (std::size_t i = 0; i < _levels.size(); ++i) {
@@ -77,11 +88,15 @@ MemSystem::accessLine(Addr line_addr, bool is_write, Tick when)
         Tick inflight;
         if (cache.mshrLookup(line_addr, when, inflight)) {
             cache.access(line_addr, is_write); // touch tags / LRU
+            if (tracing)
+                probe_event(i, false);
             return MemResult{std::max(inflight, when + latency),
                              int(i)};
         }
 
         auto res = cache.access(line_addr, is_write);
+        if (tracing)
+            probe_event(i, res.hit);
 
         // A dirty eviction writes back into the level below (or DRAM
         // at the last level). The writeback consumes bandwidth but
@@ -122,9 +137,9 @@ MemSystem::accessLine(Addr line_addr, bool is_write, Tick when)
                                 false);
         complete = std::max(fill, issue + latency);
         if (_levels.size() > 1)
-            last.mshrReserve(line_addr, complete);
+            last.mshrReserve(line_addr, complete, 0, issue);
     }
-    l1.mshrReserve(line_addr, complete, stall);
+    l1.mshrReserve(line_addr, complete, stall, issue);
     return MemResult{complete, hit_level};
 }
 
@@ -145,9 +160,24 @@ MemSystem::prefetchAfter(Addr line_addr, Tick when)
         auto res = last.access(target, false);
         if (res.victimDirty)
             _dram.serve(line, when, true);
-        last.mshrReserve(target, fill);
+        last.mshrReserve(target, fill, 0, when);
         ++_prefetches;
     }
+}
+
+TraceComponent
+MemSystem::levelComponent(std::size_t i)
+{
+    return i == 0 ? TraceComponent::CacheL1 : TraceComponent::CacheL2;
+}
+
+void
+MemSystem::setTrace(TraceManager *trace)
+{
+    _trace = trace;
+    for (std::size_t i = 0; i < _levels.size(); ++i)
+        _levels[i]->setTrace(trace, levelComponent(i));
+    _dram.setTrace(trace);
 }
 
 MemResult

@@ -71,6 +71,13 @@ class MemSystem
     /** Register all hierarchy statistics under "mem.". */
     void registerStats(StatSet &stats) const;
 
+    /**
+     * Attach a trace sink to the hierarchy: hit/miss instants are
+     * emitted per level, MSHR occupancy by each cache, bursts by
+     * the DRAM pipe.
+     */
+    void setTrace(TraceManager *trace);
+
     /** Lines fetched by the prefetcher (statistic). */
     std::uint64_t prefetches() const { return _prefetches; }
 
@@ -81,10 +88,14 @@ class MemSystem
     /** Issue next-line prefetches after a demand miss. */
     void prefetchAfter(Addr line_addr, Tick when);
 
+    /** Trace track for cache level @p i (L1, then L2 and below). */
+    static TraceComponent levelComponent(std::size_t i);
+
     MemSystemParams _params;
     std::vector<std::unique_ptr<Cache>> _levels;
     Dram _dram;
     std::uint64_t _prefetches = 0;
+    TraceManager *_trace = nullptr;
 };
 
 } // namespace via

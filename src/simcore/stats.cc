@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <iomanip>
 
 #include "simcore/log.hh"
@@ -97,6 +98,11 @@ StatSet::names() const
 void
 StatSet::dumpJson(std::ostream &os) const
 {
+    // Values are formatted into a local buffer rather than through
+    // the stream's (caller-controlled, possibly truncating) float
+    // settings: counters print as exact integers, everything else
+    // with max_digits10 so a parse-back round-trips bit-exactly.
+    char buf[40];
     os << "{";
     bool first = true;
     for (const auto &kv : _entries) {
@@ -105,10 +111,18 @@ StatSet::dumpJson(std::ostream &os) const
         first = false;
         double v = kv.second.eval();
         os << "\n  \"" << kv.first << "\": ";
-        if (std::isfinite(v))
-            os << v;
-        else
+        if (!std::isfinite(v)) {
             os << "null";
+        } else if (v == std::floor(v) && std::abs(v) < 9.0e15) {
+            // Integral and within the double-exact range: print
+            // without a decimal point or exponent (9e15 < 2^53).
+            std::snprintf(buf, sizeof(buf), "%lld",
+                          static_cast<long long>(v));
+            os << buf;
+        } else {
+            std::snprintf(buf, sizeof(buf), "%.17g", v);
+            os << buf;
+        }
     }
     os << "\n}\n";
 }

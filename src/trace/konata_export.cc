@@ -1,0 +1,64 @@
+#include "trace/konata_export.hh"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace via
+{
+
+void
+writeKonata(const TraceManager &trace, std::ostream &os)
+{
+    // A command line pinned to a cycle; stable sort preserves the
+    // per-instruction ordering (S before E of the next stage).
+    struct Cmd
+    {
+        Tick tick;
+        std::string text;
+    };
+    std::vector<Cmd> cmds;
+
+    std::uint64_t kid = 0;
+    for (const TraceEvent &ev : trace.events()) {
+        if (ev.kind != TraceEventKind::InstRetired)
+            continue;
+        Tick dispatch = ev.start;
+        Tick commit = ev.end;
+        Tick issue = Tick(ev.a1);
+        Tick complete = Tick(ev.a2);
+        std::string id = std::to_string(kid);
+        std::string seq = std::to_string(ev.a0);
+
+        cmds.push_back({dispatch, "I\t" + id + "\t" + seq + "\t0"});
+        cmds.push_back({dispatch, "L\t" + id + "\t0\t" +
+                                      std::string(mnemonic(ev.op)) +
+                                      " #" + seq});
+        cmds.push_back({dispatch, "S\t" + id + "\t0\tDp"});
+        cmds.push_back({issue, "E\t" + id + "\t0\tDp"});
+        cmds.push_back({issue, "S\t" + id + "\t0\tEx"});
+        cmds.push_back({complete, "E\t" + id + "\t0\tEx"});
+        cmds.push_back({complete, "S\t" + id + "\t0\tCm"});
+        cmds.push_back({commit, "E\t" + id + "\t0\tCm"});
+        cmds.push_back({commit, "R\t" + id + "\t" + seq + "\t0"});
+        ++kid;
+    }
+
+    std::stable_sort(cmds.begin(), cmds.end(),
+                     [](const Cmd &a, const Cmd &b) {
+                         return a.tick < b.tick;
+                     });
+
+    os << "Kanata\t0004\n";
+    Tick cur = cmds.empty() ? 0 : cmds.front().tick;
+    os << "C=\t" << cur << "\n";
+    for (const Cmd &c : cmds) {
+        if (c.tick != cur) {
+            os << "C\t" << (c.tick - cur) << "\n";
+            cur = c.tick;
+        }
+        os << c.text << "\n";
+    }
+}
+
+} // namespace via

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Konata pipeline-view export.
+ *
+ * Writes the InstRetired records as a Kanata 0004 log so the trace
+ * can be opened in the Konata pipeline visualizer (one row per
+ * dynamic instruction, stages Dp/Ex/Cm). The analytic core computes
+ * all stage ticks up front, so the log is generated offline from the
+ * finished ring buffer.
+ */
+
+#ifndef VIA_TRACE_KONATA_EXPORT_HH
+#define VIA_TRACE_KONATA_EXPORT_HH
+
+#include <ostream>
+
+#include "trace/trace.hh"
+
+namespace via
+{
+
+/** Write the manager's instruction events in Kanata format. */
+void writeKonata(const TraceManager &trace, std::ostream &os);
+
+} // namespace via
+
+#endif // VIA_TRACE_KONATA_EXPORT_HH

@@ -1,0 +1,153 @@
+#include "trace/perfetto_export.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+namespace via
+{
+
+namespace
+{
+
+/** Escape a string for embedding in a JSON literal. */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** Event display name: mnemonic for instruction-ish records. */
+std::string
+eventName(const TraceEvent &ev)
+{
+    switch (ev.kind) {
+      case TraceEventKind::InstRetired:
+      case TraceEventKind::FivuBusy:
+        return std::string(mnemonic(ev.op));
+      default:
+        return traceEventKindName(ev.kind);
+    }
+}
+
+void
+writeArgs(std::ostream &os, const TraceEvent &ev)
+{
+    os << "\"args\":{";
+    switch (ev.kind) {
+      case TraceEventKind::InstRetired:
+        os << "\"seq\":" << ev.a0 << ",\"issue\":" << ev.a1
+           << ",\"complete\":" << ev.a2;
+        break;
+      case TraceEventKind::CacheHit:
+      case TraceEventKind::CacheMiss:
+      case TraceEventKind::LsqForwardStall:
+        os << "\"addr\":" << ev.a0;
+        break;
+      case TraceEventKind::MshrAlloc:
+        os << "\"addr\":" << ev.a0 << ",\"mshr_stall\":" << ev.a1;
+        break;
+      case TraceEventKind::DramBurst:
+        os << "\"bytes\":" << ev.a0
+           << ",\"write\":" << (ev.a1 ? "true" : "false");
+        break;
+      case TraceEventKind::SspmReadPhase:
+      case TraceEventKind::SspmWritePhase:
+        os << "\"elements\":" << ev.a0;
+        break;
+      case TraceEventKind::SspmPortConflict:
+        os << "\"extra_cycles\":" << ev.a0;
+        break;
+      case TraceEventKind::CamMatch:
+      case TraceEventKind::CamMiss:
+      case TraceEventKind::CamInsert:
+      case TraceEventKind::CamOverflow:
+        os << "\"key\":" << std::int64_t(ev.a0);
+        break;
+      default:
+        os << "\"a0\":" << ev.a0;
+        break;
+    }
+    os << "}";
+}
+
+} // namespace
+
+void
+writePerfetto(const TraceManager &trace, std::ostream &os)
+{
+    os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+    bool first = true;
+    auto sep = [&] {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\n";
+    };
+
+    // Track naming: one pid for the machine, one tid per component.
+    for (std::uint8_t c = 0;
+         c < std::uint8_t(TraceComponent::COUNT); ++c) {
+        sep();
+        os << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << int(c) + 1
+           << ",\"name\":\"thread_name\",\"args\":{\"name\":\""
+           << traceComponentName(TraceComponent(c)) << "\"}}";
+    }
+
+    for (const TraceEvent &ev : trace.events()) {
+        sep();
+        int tid = int(ev.comp) + 1;
+        os << "{\"name\":\"" << jsonEscape(eventName(ev))
+           << "\",\"cat\":\"" << traceComponentName(ev.comp)
+           << "\",\"pid\":1,\"tid\":" << tid << ",\"ts\":"
+           << ev.start << ",";
+        if (ev.isSpan())
+            os << "\"ph\":\"X\",\"dur\":" << (ev.end - ev.start)
+               << ",";
+        else
+            os << "\"ph\":\"i\",\"s\":\"t\",";
+        writeArgs(os, ev);
+        os << "}";
+    }
+
+    for (const TracePhase &ph : trace.phases()) {
+        sep();
+        os << "{\"name\":\"" << jsonEscape(ph.name)
+           << "\",\"cat\":\"kernel\",\"pid\":1,\"tid\":"
+           << int(TraceComponent::Kernel) + 1 << ",\"ts\":"
+           << ph.start << ",\"ph\":\"X\",\"dur\":"
+           << (std::max(ph.end, ph.start + 1) - ph.start)
+           << ",\"args\":{}}";
+    }
+
+    os << "\n],\"otherData\":{\"dropped_events\":" << trace.dropped()
+       << "}}\n";
+}
+
+} // namespace via

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Chrome trace-event JSON export (loadable in Perfetto / chrome://
+ * tracing). One track (tid) per hardware component, kernel phases as
+ * spans on their own track. Ticks are written as microseconds 1:1 so
+ * the viewer's time axis reads directly in simulated cycles.
+ */
+
+#ifndef VIA_TRACE_PERFETTO_EXPORT_HH
+#define VIA_TRACE_PERFETTO_EXPORT_HH
+
+#include <ostream>
+
+#include "trace/trace.hh"
+
+namespace via
+{
+
+/** Write the manager's events as Chrome trace-event JSON. */
+void writePerfetto(const TraceManager &trace, std::ostream &os);
+
+} // namespace via
+
+#endif // VIA_TRACE_PERFETTO_EXPORT_HH

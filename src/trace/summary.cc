@@ -1,0 +1,136 @@
+#include "trace/summary.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <vector>
+
+namespace via
+{
+
+namespace
+{
+
+/** Total length of the union of half-open intervals. */
+Tick
+unionLength(std::vector<std::pair<Tick, Tick>> &spans)
+{
+    if (spans.empty())
+        return 0;
+    std::sort(spans.begin(), spans.end());
+    Tick total = 0;
+    Tick lo = spans.front().first;
+    Tick hi = spans.front().second;
+    for (const auto &s : spans) {
+        if (s.first > hi) {
+            total += hi - lo;
+            lo = s.first;
+            hi = s.second;
+        } else {
+            hi = std::max(hi, s.second);
+        }
+    }
+    return total + (hi - lo);
+}
+
+} // namespace
+
+TraceSummary
+summarizeTrace(const TraceManager &trace, Tick total_cycles)
+{
+    TraceSummary out;
+    out.totalCycles = total_cycles;
+    out.droppedEvents = trace.dropped();
+
+    std::array<std::vector<std::pair<Tick, Tick>>,
+               std::size_t(TraceComponent::COUNT)> spans;
+
+    for (const TraceEvent &ev : trace.events()) {
+        auto c = std::size_t(ev.comp);
+        ++out.comps[c].events;
+
+        // Occupancy interval: instructions count their execution
+        // window (issue..complete); other spans count as recorded.
+        Tick lo = ev.start;
+        Tick hi = ev.end;
+        if (ev.kind == TraceEventKind::InstRetired) {
+            lo = Tick(ev.a1);
+            hi = Tick(ev.a2);
+        }
+        lo = std::min(lo, total_cycles);
+        hi = std::min(hi, total_cycles);
+        if (hi > lo)
+            spans[c].push_back({lo, hi});
+
+        switch (ev.kind) {
+          case TraceEventKind::InstRetired:
+            ++out.insts;
+            break;
+          case TraceEventKind::BranchMispredict:
+            ++out.mispredicts;
+            break;
+          case TraceEventKind::CacheMiss:
+            ++out.cacheMisses;
+            break;
+          case TraceEventKind::CamOverflow:
+            ++out.camOverflows;
+            break;
+          case TraceEventKind::SspmPortConflict:
+            out.sspmPortConflictCycles += ev.a0;
+            break;
+          default:
+            break;
+        }
+    }
+
+    for (std::size_t c = 0;
+         c < std::size_t(TraceComponent::COUNT); ++c) {
+        out.comps[c].busy = unionLength(spans[c]);
+        out.comps[c].idle = total_cycles - out.comps[c].busy;
+    }
+    return out;
+}
+
+void
+printTraceSummary(const TraceSummary &summary, std::ostream &os)
+{
+    // The percentage formatting below must not leak into whatever
+    // the caller prints next (e.g. a stats JSON dump on the same
+    // stream).
+    std::ios_base::fmtflags flags = os.flags();
+    std::streamsize precision = os.precision();
+
+    os << "trace summary (" << summary.totalCycles
+       << " cycles):\n";
+    os << "  " << std::left << std::setw(8) << "component"
+       << std::right << std::setw(12) << "events" << std::setw(12)
+       << "busy" << std::setw(12) << "stall/idle" << std::setw(12)
+       << "total" << "  busy%\n";
+    for (std::size_t c = 0;
+         c < std::size_t(TraceComponent::COUNT); ++c) {
+        const ComponentSummary &cs = summary.comps[c];
+        if (cs.events == 0)
+            continue;
+        double pct = summary.totalCycles
+                         ? 100.0 * double(cs.busy) /
+                               double(summary.totalCycles)
+                         : 0.0;
+        os << "  " << std::left << std::setw(8)
+           << traceComponentName(TraceComponent(c)) << std::right
+           << std::setw(12) << cs.events << std::setw(12) << cs.busy
+           << std::setw(12) << cs.idle << std::setw(12)
+           << (cs.busy + cs.idle) << "  " << std::fixed
+           << std::setprecision(1) << pct << "%\n";
+        os.flags(flags);
+        os.precision(precision);
+    }
+    os << "  insts " << summary.insts << ", mispredicts "
+       << summary.mispredicts << ", cache misses "
+       << summary.cacheMisses << ", CAM overflows "
+       << summary.camOverflows << ", SSPM port conflict cycles "
+       << summary.sspmPortConflictCycles << "\n";
+    if (summary.droppedEvents)
+        os << "  NOTE: ring full, " << summary.droppedEvents
+           << " events dropped (raise trace_limit)\n";
+}
+
+} // namespace via

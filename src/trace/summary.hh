@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Post-run roll-up of a trace: per-component busy/stall breakdown.
+ *
+ * Busy time is the union of each component's span intervals (not the
+ * sum — overlapping cache misses in flight count once), so for every
+ * component busy + idle == the run's total cycles. This answers
+ * "what bottlenecked this kernel" textually, without a viewer.
+ */
+
+#ifndef VIA_TRACE_SUMMARY_HH
+#define VIA_TRACE_SUMMARY_HH
+
+#include <array>
+#include <cstdint>
+#include <ostream>
+
+#include "trace/trace.hh"
+
+namespace via
+{
+
+/** Aggregated activity of one component. */
+struct ComponentSummary
+{
+    std::uint64_t events = 0;   //!< records attributed to it
+    Tick busy = 0;              //!< union of its span intervals
+    Tick idle = 0;              //!< totalCycles - busy
+};
+
+/** The full roll-up. */
+struct TraceSummary
+{
+    Tick totalCycles = 0;
+    std::array<ComponentSummary,
+               std::size_t(TraceComponent::COUNT)> comps{};
+    std::uint64_t droppedEvents = 0;
+
+    // Headline attribution counters.
+    std::uint64_t insts = 0;
+    std::uint64_t mispredicts = 0;
+    std::uint64_t cacheMisses = 0;
+    std::uint64_t camOverflows = 0;
+    std::uint64_t sspmPortConflictCycles = 0;
+
+    const ComponentSummary &
+    comp(TraceComponent c) const
+    {
+        return comps[std::size_t(c)];
+    }
+};
+
+/**
+ * Roll the trace up against a run of @p total_cycles (busy intervals
+ * are clipped to [0, total_cycles]).
+ */
+TraceSummary summarizeTrace(const TraceManager &trace,
+                            Tick total_cycles);
+
+/** Print the breakdown as an aligned table. */
+void printTraceSummary(const TraceSummary &summary, std::ostream &os);
+
+} // namespace via
+
+#endif // VIA_TRACE_SUMMARY_HH

@@ -1,0 +1,113 @@
+#include "trace/trace.hh"
+
+#include <algorithm>
+
+#include "simcore/log.hh"
+
+namespace via
+{
+
+const char *
+traceComponentName(TraceComponent c)
+{
+    switch (c) {
+      case TraceComponent::Core:
+        return "core";
+      case TraceComponent::Lsq:
+        return "lsq";
+      case TraceComponent::CacheL1:
+        return "l1d";
+      case TraceComponent::CacheL2:
+        return "l2";
+      case TraceComponent::Dram:
+        return "dram";
+      case TraceComponent::Sspm:
+        return "sspm";
+      case TraceComponent::Cam:
+        return "cam";
+      case TraceComponent::Fivu:
+        return "fivu";
+      case TraceComponent::Kernel:
+        return "kernel";
+      case TraceComponent::COUNT:
+        break;
+    }
+    return "?";
+}
+
+const char *
+traceEventKindName(TraceEventKind k)
+{
+    switch (k) {
+      case TraceEventKind::InstRetired:
+        return "inst";
+      case TraceEventKind::BranchMispredict:
+        return "mispredict";
+      case TraceEventKind::LsqForwardStall:
+        return "fwd_stall";
+      case TraceEventKind::CacheHit:
+        return "hit";
+      case TraceEventKind::CacheMiss:
+        return "miss";
+      case TraceEventKind::MshrAlloc:
+        return "mshr";
+      case TraceEventKind::DramBurst:
+        return "burst";
+      case TraceEventKind::SspmReadPhase:
+        return "sspm_read";
+      case TraceEventKind::SspmWritePhase:
+        return "sspm_write";
+      case TraceEventKind::SspmPortConflict:
+        return "port_conflict";
+      case TraceEventKind::CamMatch:
+        return "cam_match";
+      case TraceEventKind::CamMiss:
+        return "cam_miss";
+      case TraceEventKind::CamInsert:
+        return "cam_insert";
+      case TraceEventKind::CamOverflow:
+        return "cam_overflow";
+      case TraceEventKind::CamClear:
+        return "cam_clear";
+      case TraceEventKind::FivuBusy:
+        return "fivu_busy";
+      case TraceEventKind::COUNT:
+        break;
+    }
+    return "?";
+}
+
+TraceManager::TraceManager(std::size_t capacity)
+    : _capacity(std::max<std::size_t>(capacity, 1))
+{
+    _events.reserve(std::min<std::size_t>(_capacity, 1u << 16));
+}
+
+void
+TraceManager::flushStaged(Tick start, Tick end, Op op)
+{
+    for (TraceEvent &ev : _staged) {
+        ev.start = start;
+        ev.end = std::max(start, end);
+        ev.op = op;
+        emit(ev);
+    }
+    _staged.clear();
+}
+
+void
+TraceManager::beginPhase(const std::string &name, Tick tick)
+{
+    endPhase(tick);
+    _phases.push_back(TracePhase{name, tick, tick});
+}
+
+void
+TraceManager::endPhase(Tick tick)
+{
+    if (_phases.empty() || _phases.back().end != _phases.back().start)
+        return;
+    _phases.back().end = std::max(tick, _phases.back().start + 1);
+}
+
+} // namespace via

@@ -1,0 +1,77 @@
+#include "trace/trace_io.hh"
+
+#include <fstream>
+#include <iostream>
+
+#include "cpu/machine.hh"
+#include "simcore/log.hh"
+#include "trace/konata_export.hh"
+#include "trace/perfetto_export.hh"
+#include "trace/summary.hh"
+
+namespace via
+{
+
+TraceOptions
+TraceOptions::fromConfig(const Config &cfg)
+{
+    TraceOptions opts;
+    opts.path = cfg.getString("trace", "");
+    opts.format = cfg.getString("trace_format", "perfetto");
+    opts.limit = std::size_t(cfg.getUInt("trace_limit", 1u << 20));
+    opts.summary = cfg.getBool("trace_summary", false);
+    if (opts.format != "perfetto" && opts.format != "konata")
+        via_fatal("unknown trace_format '", opts.format,
+                  "' (expected perfetto or konata)");
+    return opts;
+}
+
+void
+enableTracing(Machine &m, const TraceOptions &opts)
+{
+    if (opts.active())
+        m.enableTracing(opts.limit);
+}
+
+bool
+finishTracing(Machine &m, const TraceOptions &opts,
+              const std::string &suffix)
+{
+    TraceManager *trace = m.trace();
+    if (!opts.active() || trace == nullptr)
+        return true;
+    trace->endPhase(m.cycles());
+
+    if (!opts.path.empty()) {
+        std::string path = opts.path;
+        if (!suffix.empty()) {
+            auto dot = path.rfind('.');
+            auto slash = path.rfind('/');
+            if (dot == std::string::npos ||
+                (slash != std::string::npos && dot < slash))
+                path += suffix;
+            else
+                path.insert(dot, suffix);
+        }
+        std::ofstream out(path);
+        if (!out) {
+            std::cerr << "cannot write trace file '" << path
+                      << "'\n";
+            return false;
+        }
+        if (opts.format == "konata")
+            writeKonata(*trace, out);
+        else
+            writePerfetto(*trace, out);
+        std::cerr << "trace: " << trace->events().size()
+                  << " events (" << trace->dropped()
+                  << " dropped) -> " << path << "\n";
+    }
+
+    if (opts.summary)
+        printTraceSummary(summarizeTrace(*trace, m.cycles()),
+                          std::cout);
+    return true;
+}
+
+} // namespace via

@@ -44,6 +44,38 @@ Fivu::dispatch(const Inst &inst, Tick ready_at, const OpLatencies &lat)
     _stats.busyCycles += complete - start;
     _stats.sspmReadCycles += portCycles(inst.sspmReads);
     _stats.sspmWriteCycles += portCycles(inst.sspmWrites);
+
+    if (_trace != nullptr && _trace->enabled()) {
+        auto span = [&](TraceEventKind kind, TraceComponent comp,
+                        Tick lo, Tick hi, std::uint64_t a0) {
+            TraceEvent ev;
+            ev.kind = kind;
+            ev.comp = comp;
+            ev.op = inst.op;
+            ev.start = lo;
+            ev.end = hi;
+            ev.a0 = a0;
+            _trace->emit(ev);
+        };
+        span(TraceEventKind::FivuBusy, TraceComponent::Fivu, start,
+             complete, inst.seq);
+        if (inst.sspmReads)
+            span(TraceEventKind::SspmReadPhase, TraceComponent::Sspm,
+                 start, read_done, inst.sspmReads);
+        if (inst.sspmWrites)
+            span(TraceEventKind::SspmWritePhase,
+                 TraceComponent::Sspm, exec_done, complete,
+                 inst.sspmWrites);
+        // A phase spanning more than one port cycle means lanes
+        // serialized on the SSPM banks.
+        Tick extra = portCycles(inst.sspmReads) +
+                     portCycles(inst.sspmWrites);
+        extra -= (inst.sspmReads ? 1 : 0) +
+                 (inst.sspmWrites ? 1 : 0);
+        if (extra > 0)
+            span(TraceEventKind::SspmPortConflict,
+                 TraceComponent::Sspm, complete, complete, extra);
+    }
     return Timing{start, complete};
 }
 

@@ -23,6 +23,7 @@
 #include "cpu/fu_pool.hh"
 #include "isa/inst.hh"
 #include "simcore/types.hh"
+#include "trace/trace.hh"
 #include "via/via_config.hh"
 
 namespace via
@@ -77,6 +78,12 @@ class Fivu
     FivuStats &stats() { return _stats; }
     const FivuStats &stats() const { return _stats; }
 
+    /**
+     * Attach a trace sink: unit occupancy and the SSPM pre/post
+     * phases of every VIA instruction become span events.
+     */
+    void setTrace(TraceManager *trace) { _trace = trace; }
+
     /** Cycles to move @p elems elements through the SSPM ports. */
     Tick
     portCycles(std::uint32_t elems) const
@@ -95,6 +102,7 @@ class Fivu
     Resource _ports; //!< SSPM ports: `ports` element moves per cycle
     Tick _nextFree = 0;
     FivuStats _stats;
+    TraceManager *_trace = nullptr;
 };
 
 } // namespace via

@@ -31,9 +31,15 @@ IndexTable::search(std::int64_t key)
 {
     accountSearch();
     auto it = _lookup.find(key);
-    if (it == _lookup.end())
+    if (it == _lookup.end()) {
+        VIA_TRACE_STAGE(_trace, TraceEventKind::CamMiss,
+                        TraceComponent::Cam, std::uint64_t(key));
         return NO_SLOT;
+    }
     ++_stats.hits;
+    VIA_TRACE_STAGE(_trace, TraceEventKind::CamMatch,
+                    TraceComponent::Cam, std::uint64_t(key),
+                    std::uint64_t(it->second));
     return it->second;
 }
 
@@ -45,10 +51,15 @@ IndexTable::findOrInsert(std::int64_t key, bool &inserted)
     auto it = _lookup.find(key);
     if (it != _lookup.end()) {
         ++_stats.hits;
+        VIA_TRACE_STAGE(_trace, TraceEventKind::CamMatch,
+                        TraceComponent::Cam, std::uint64_t(key),
+                        std::uint64_t(it->second));
         return it->second;
     }
     if (full()) {
         ++_stats.overflows;
+        VIA_TRACE_STAGE(_trace, TraceEventKind::CamOverflow,
+                        TraceComponent::Cam, std::uint64_t(key));
         return NO_SLOT;
     }
     auto slot = std::int32_t(_keys.size());
@@ -56,6 +67,9 @@ IndexTable::findOrInsert(std::int64_t key, bool &inserted)
     _lookup.emplace(key, slot);
     ++_stats.inserts;
     inserted = true;
+    VIA_TRACE_STAGE(_trace, TraceEventKind::CamInsert,
+                    TraceComponent::Cam, std::uint64_t(key),
+                    std::uint64_t(slot));
     return slot;
 }
 
@@ -73,6 +87,8 @@ IndexTable::clear()
     _keys.clear();
     _lookup.clear();
     ++_stats.clears;
+    VIA_TRACE_STAGE(_trace, TraceEventKind::CamClear,
+                    TraceComponent::Cam, 0);
 }
 
 } // namespace via

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "simcore/types.hh"
+#include "trace/trace.hh"
 
 namespace via
 {
@@ -79,6 +80,14 @@ class IndexTable
     IndexTableStats &stats() { return _stats; }
     const IndexTableStats &stats() const { return _stats; }
 
+    /**
+     * Attach a trace sink. CAM operations run in the functional
+     * layer before the owning instruction is scheduled, so match/
+     * miss/insert/overflow records are staged and stamped by the
+     * core when the instruction's timing is known.
+     */
+    void setTrace(TraceManager *trace) { _trace = trace; }
+
   private:
     /** Charge one parallel search against the live banks. */
     void accountSearch();
@@ -88,6 +97,7 @@ class IndexTable
     std::vector<std::int64_t> _keys; //!< slot -> key, insertion order
     std::unordered_map<std::int64_t, std::int32_t> _lookup;
     IndexTableStats _stats;
+    TraceManager *_trace = nullptr;
 };
 
 } // namespace via

@@ -42,6 +42,12 @@ Sspm::Sspm(const ViaConfig &config)
 }
 
 void
+Sspm::setTrace(TraceManager *trace)
+{
+    _indexTable.setTrace(trace);
+}
+
+void
 Sspm::checkIdx(std::uint64_t idx) const
 {
     via_assert(idx < _sram.size(), "SSPM index ", idx,

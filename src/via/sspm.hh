@@ -118,6 +118,9 @@ class Sspm
     IndexTable &indexTable() { return _indexTable; }
     const IndexTable &indexTable() const { return _indexTable; }
 
+    /** Attach a trace sink (forwarded to the index table). */
+    void setTrace(TraceManager *trace);
+
   private:
     void checkIdx(std::uint64_t idx) const;
 

@@ -1,0 +1,258 @@
+/**
+ * @file
+ * Tests for the tracing subsystem: the TraceManager ring and staging
+ * semantics, the observation-only guarantee (tracing must not change
+ * timing or statistics), the exporters, and the busy/stall summary
+ * invariants.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cpu/machine.hh"
+#include "kernels/histogram.hh"
+#include "kernels/reference.hh"
+#include "simcore/rng.hh"
+#include "trace/konata_export.hh"
+#include "trace/perfetto_export.hh"
+#include "trace/summary.hh"
+#include "trace/trace.hh"
+
+namespace via
+{
+namespace
+{
+
+TraceEvent
+makeEvent(TraceEventKind kind, TraceComponent comp, Tick start,
+          Tick end)
+{
+    TraceEvent ev;
+    ev.kind = kind;
+    ev.comp = comp;
+    ev.start = start;
+    ev.end = end;
+    return ev;
+}
+
+// ---------------- TraceManager ----------------------------------
+
+TEST(TraceManager, RingDropsNewestWhenFullAndCounts)
+{
+    TraceManager trace(4);
+    for (Tick t = 0; t < 6; ++t)
+        trace.emit(makeEvent(TraceEventKind::CacheHit,
+                             TraceComponent::CacheL1, t, t));
+
+    ASSERT_EQ(trace.events().size(), 4u);
+    EXPECT_EQ(trace.dropped(), 2u);
+    // Oldest events are kept; the overflow drops the newest.
+    EXPECT_EQ(trace.events().front().start, 0u);
+    EXPECT_EQ(trace.events().back().start, 3u);
+}
+
+TEST(TraceManager, StagedEventsAreStampedOnFlush)
+{
+    TraceManager trace(16);
+    trace.stage(TraceEventKind::CamMatch, TraceComponent::Cam, 42);
+    trace.stage(TraceEventKind::CamInsert, TraceComponent::Cam, 43);
+    EXPECT_TRUE(trace.events().empty());
+
+    trace.flushStaged(100, 110, Op::Nop);
+    ASSERT_EQ(trace.events().size(), 2u);
+    for (const TraceEvent &ev : trace.events()) {
+        EXPECT_EQ(ev.start, 100u);
+        EXPECT_EQ(ev.end, 110u);
+    }
+    EXPECT_EQ(trace.events()[0].a0, 42u);
+    EXPECT_EQ(trace.events()[1].a0, 43u);
+
+    // A second flush must not duplicate the already-flushed events.
+    trace.flushStaged(200, 210, Op::Nop);
+    EXPECT_EQ(trace.events().size(), 2u);
+}
+
+TEST(TraceManager, PhasesCloseInOrder)
+{
+    TraceManager trace(16);
+    trace.beginPhase("setup", 0);
+    trace.beginPhase("run", 50); // implicitly closes "setup"
+    trace.endPhase(120);
+
+    ASSERT_EQ(trace.phases().size(), 2u);
+    EXPECT_EQ(trace.phases()[0].name, "setup");
+    EXPECT_EQ(trace.phases()[0].end, 50u);
+    EXPECT_EQ(trace.phases()[1].name, "run");
+    EXPECT_EQ(trace.phases()[1].end, 120u);
+}
+
+// ---------------- Machine-level tracing -------------------------
+
+/** A small histogram workload exercising core, caches, and SSPM. */
+std::vector<Index>
+smallKeys(std::size_t count, Index buckets)
+{
+    Rng rng(7);
+    std::vector<Index> keys(count);
+    for (auto &k : keys)
+        k = Index(rng.below(std::uint64_t(buckets)));
+    return keys;
+}
+
+TEST(MachineTracing, ObservationOnly)
+{
+    auto keys = smallKeys(600, 128);
+
+    MachineParams params;
+    Machine plain(params);
+    auto r1 = kernels::histVia(plain, keys, 128);
+
+    Machine traced(params);
+    traced.enableTracing(1 << 16);
+    traced.tracePhase("histogram");
+    auto r2 = kernels::histVia(traced, keys, 128);
+
+    // Identical results and timing...
+    EXPECT_EQ(r2.hist, r1.hist);
+    EXPECT_EQ(traced.cycles(), plain.cycles());
+
+    // ...and bit-identical statistics dumps.
+    std::ostringstream s1, s2;
+    plain.stats().dumpJson(s1);
+    traced.stats().dumpJson(s2);
+    EXPECT_EQ(s2.str(), s1.str());
+}
+
+TEST(MachineTracing, CollectsEventsFromCoreCacheAndSspm)
+{
+    auto keys = smallKeys(600, 128);
+    Machine m{MachineParams{}};
+    m.enableTracing(1 << 16);
+    m.tracePhase("histogram");
+    kernels::histVia(m, keys, 128);
+
+    ASSERT_NE(m.trace(), nullptr);
+    std::vector<std::size_t> per_comp(
+        std::size_t(TraceComponent::COUNT), 0);
+    for (const TraceEvent &ev : m.trace()->events())
+        ++per_comp[std::size_t(ev.comp)];
+
+    EXPECT_GT(per_comp[std::size_t(TraceComponent::Core)], 0u);
+    EXPECT_GT(per_comp[std::size_t(TraceComponent::CacheL1)], 0u);
+    EXPECT_GT(per_comp[std::size_t(TraceComponent::Sspm)], 0u);
+    EXPECT_GT(per_comp[std::size_t(TraceComponent::Cam)], 0u);
+    EXPECT_EQ(m.trace()->dropped(), 0u);
+}
+
+// ---------------- Exporters -------------------------------------
+
+TEST(PerfettoExport, EmitsParsableTraceEventJson)
+{
+    auto keys = smallKeys(300, 64);
+    Machine m{MachineParams{}};
+    m.enableTracing(1 << 16);
+    m.tracePhase("histogram");
+    kernels::histVia(m, keys, 64);
+    m.trace()->endPhase(m.cycles());
+
+    std::ostringstream os;
+    writePerfetto(*m.trace(), os);
+    std::string json = os.str();
+
+    // Structural sanity: object framing, the trace-event array, and
+    // per-component metadata. (The CTest suite additionally runs a
+    // real JSON parser over via_sim trace output.)
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+    for (const char *track : {"core", "l1d", "sspm", "kernel"})
+        EXPECT_NE(json.find('"' + std::string(track) + '"'),
+                  std::string::npos)
+            << track;
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(json.find("histogram"), std::string::npos);
+
+    std::size_t opens = 0, closes = 0;
+    for (char c : json) {
+        opens += (c == '{') + (c == '[');
+        closes += (c == '}') + (c == ']');
+    }
+    EXPECT_EQ(opens, closes);
+}
+
+TEST(KonataExport, EmitsPipelineLog)
+{
+    auto keys = smallKeys(300, 64);
+    Machine m{MachineParams{}};
+    m.enableTracing(1 << 16);
+    kernels::histVia(m, keys, 64);
+
+    std::ostringstream os;
+    writeKonata(*m.trace(), os);
+    std::string text = os.str();
+
+    EXPECT_EQ(text.rfind("Kanata\t0004\n", 0), 0u);
+    EXPECT_NE(text.find("\nI\t"), std::string::npos);
+    EXPECT_NE(text.find("\tDp\n"), std::string::npos);
+    EXPECT_NE(text.find("\tEx\n"), std::string::npos);
+    EXPECT_NE(text.find("\nR\t"), std::string::npos);
+}
+
+// ---------------- Summary ---------------------------------------
+
+TEST(TraceSummaryTest, BusyPlusIdleMatchesRunCycles)
+{
+    auto keys = smallKeys(600, 128);
+    Machine m{MachineParams{}};
+    m.enableTracing(1 << 16);
+    kernels::histVia(m, keys, 128);
+
+    TraceSummary summary = summarizeTrace(*m.trace(), m.cycles());
+    EXPECT_EQ(summary.totalCycles, m.cycles());
+    EXPECT_GT(summary.insts, 0u);
+
+    for (std::size_t c = 0;
+         c < std::size_t(TraceComponent::COUNT); ++c) {
+        const ComponentSummary &cs = summary.comps[c];
+        EXPECT_LE(cs.busy, summary.totalCycles);
+        EXPECT_EQ(cs.busy + cs.idle, summary.totalCycles)
+            << traceComponentName(TraceComponent(c));
+    }
+}
+
+TEST(TraceSummaryTest, PrintRestoresStreamState)
+{
+    TraceManager trace(8);
+    trace.emit(makeEvent(TraceEventKind::DramBurst,
+                         TraceComponent::Dram, 0, 7));
+    TraceSummary summary = summarizeTrace(trace, 10);
+
+    std::ostringstream os;
+    auto flags = os.flags();
+    auto precision = os.precision();
+    printTraceSummary(summary, os);
+    EXPECT_EQ(os.flags(), flags);
+    EXPECT_EQ(os.precision(), precision);
+    // And the roll-up itself reflects the one busy span.
+    EXPECT_NE(os.str().find("dram"), std::string::npos);
+}
+
+TEST(TraceSummaryTest, ReportsDroppedEvents)
+{
+    TraceManager trace(2);
+    for (Tick t = 0; t < 5; ++t)
+        trace.emit(makeEvent(TraceEventKind::CacheHit,
+                             TraceComponent::CacheL1, t, t));
+    TraceSummary summary = summarizeTrace(trace, 5);
+    EXPECT_EQ(summary.droppedEvents, 3u);
+
+    std::ostringstream os;
+    printTraceSummary(summary, os);
+    EXPECT_NE(os.str().find("dropped"), std::string::npos);
+}
+
+} // namespace
+} // namespace via

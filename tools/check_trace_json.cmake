@@ -1,0 +1,74 @@
+# Acceptance check for the tracing subsystem, run as a CTest:
+#
+#   cmake -DVIA_SIM=<via_sim> -DOUT=<file.json> -P check_trace_json.cmake
+#
+# Runs `via_sim kernel=spmv trace=... trace_format=perfetto
+# trace_summary=1` and verifies that
+#   - the output file parses as JSON (string(JSON) is fatal on
+#     malformed input) and has a non-trivial traceEvents array,
+#   - the trace contains events from the core, the cache, and the
+#     SSPM (their rows appear in the summary, which only lists
+#     components with at least one event),
+#   - every component row in the busy/stall roll-up accounts for
+#     exactly the run's reported cycle count (busy + stall == total).
+
+if(NOT VIA_SIM OR NOT OUT)
+    message(FATAL_ERROR "usage: cmake -DVIA_SIM=... -DOUT=... -P "
+                        "check_trace_json.cmake")
+endif()
+
+execute_process(
+    COMMAND ${VIA_SIM} kernel=spmv rows=128 density=0.03
+            trace=${OUT} trace_format=perfetto trace_summary=1
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE run_out
+    ERROR_VARIABLE run_err)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "via_sim failed (${rc}):\n${run_out}${run_err}")
+endif()
+
+file(READ ${OUT} json)
+string(JSON n_events LENGTH ${json} traceEvents)
+if(n_events LESS 10)
+    message(FATAL_ERROR "only ${n_events} trace events")
+endif()
+# Spot-check that an element of the array is a well-formed event.
+string(JSON first_ph GET ${json} traceEvents 0 ph)
+if(NOT first_ph MATCHES "^[MXiBE]$")
+    message(FATAL_ERROR "unexpected ph '${first_ph}' in first event")
+endif()
+
+foreach(comp core l1d sspm)
+    if(NOT run_out MATCHES "\n  ${comp} ")
+        message(FATAL_ERROR "no ${comp} row in the trace summary:\n"
+                            "${run_out}")
+    endif()
+endforeach()
+
+string(REGEX MATCH "trace summary \\(([0-9]+) cycles\\)" _ "${run_out}")
+if(NOT CMAKE_MATCH_1)
+    message(FATAL_ERROR "no trace summary header in:\n${run_out}")
+endif()
+set(cycles ${CMAKE_MATCH_1})
+
+# Component rows look like:
+#   core             455        1074           0        1074  100.0%
+set(row_re "  ([a-z0-9]+) +[0-9]+ +([0-9]+) +([0-9]+) +([0-9]+)  +[0-9.]+%")
+string(REGEX MATCHALL "${row_re}" rows "${run_out}")
+list(LENGTH rows n_rows)
+if(n_rows LESS 3)
+    message(FATAL_ERROR "only ${n_rows} summary rows in:\n${run_out}")
+endif()
+foreach(row ${rows})
+    string(REGEX MATCH "${row_re}" _ "${row}")
+    math(EXPR busy_plus_stall "${CMAKE_MATCH_2} + ${CMAKE_MATCH_3}")
+    if(NOT CMAKE_MATCH_4 EQUAL cycles OR
+       NOT busy_plus_stall EQUAL cycles)
+        message(FATAL_ERROR "component ${CMAKE_MATCH_1}: busy "
+                "${CMAKE_MATCH_2} + stall ${CMAKE_MATCH_3} does not "
+                "account for the ${cycles}-cycle run")
+    endif()
+endforeach()
+
+message(STATUS "trace OK: ${n_events} events, ${n_rows} component "
+               "rows over ${cycles} cycles")

@@ -10,8 +10,12 @@
  *
  * Usage:
  *   via_sim <kernel> [key=value ...]
+ *   via_sim kernel=<kernel> [key=value ...]
  *
  * Kernels: spmv | spma | spmm | histogram | stencil
+ *
+ * Unknown keys are an error (exit 2) and print the valid set, so a
+ * typo like treads=4 cannot silently run a default configuration.
  *
  * Common keys:
  *   mtx=PATH        load a Matrix Market file (else synthetic)
@@ -28,7 +32,13 @@
  *   stats=1         dump the full statistics tables
  *   json=1          dump statistics as JSON instead
  *   timeline=C      (spmv) sample IPC every C simulated cycles
- *   trace=1         per-instruction debug trace to stderr
+ *   debug=1         per-instruction debug log to stderr
+ *
+ * Tracing (the VIA-run Machine; see docs/tracing.md):
+ *   trace=PATH      write an event trace of the VIA run
+ *   trace_format=F  perfetto (Chrome trace-event JSON) | konata
+ *   trace_limit=N   ring capacity in events (default 1M)
+ *   trace_summary=1 print a per-component busy/stall breakdown
  *
  * Sweep mode (design-space exploration over one input):
  *   sweep=1         run the VIA kernel across sweep_kb x sweep_ports
@@ -50,6 +60,7 @@
 #include <functional>
 #include <iostream>
 #include <memory>
+#include <set>
 #include <sstream>
 #include <string>
 
@@ -69,11 +80,54 @@
 #include "sparse/convert.hh"
 #include "sparse/generators.hh"
 #include "sparse/mm_io.hh"
+#include "trace/trace_io.hh"
 
 using namespace via;
 
 namespace
 {
+
+/**
+ * Reject unknown key=value arguments. Every key any code path might
+ * read — kernel selection, machine parameters, kernel inputs,
+ * tracing and sweep knobs — is listed here; a typo (treads=4) exits
+ * nonzero with the valid set instead of silently running defaults.
+ */
+bool
+validateKeys(const Config &cfg)
+{
+    static const std::set<std::string> valid = {
+        // driver
+        "kernel", "mtx", "rows", "density", "family", "seed",
+        "format", "keys", "buckets", "px", "stats", "json",
+        "timeline", "debug", "inject_error",
+        // machine parameters (machineParamsFrom)
+        "sspm_kb", "ports", "cam_kb", "cam_bank", "rob", "dispatch",
+        "commit", "lq", "sq", "via_at_commit", "gather_overhead",
+        "gather_ports", "mispredict", "store_forward", "l1_kb",
+        "l2_kb", "l1_lat", "l2_lat", "mshrs", "dram_lat", "dram_bw",
+        "prefetch",
+        // tracing
+        "trace", "trace_format", "trace_limit", "trace_summary",
+        // sweep mode
+        "sweep", "sweep_kb", "sweep_ports", "threads",
+    };
+    bool ok = true;
+    for (const std::string &key : cfg.keys()) {
+        if (valid.count(key))
+            continue;
+        std::fprintf(stderr, "via_sim: unknown key '%s'\n",
+                     key.c_str());
+        ok = false;
+    }
+    if (!ok) {
+        std::fprintf(stderr, "valid keys:");
+        for (const std::string &key : valid)
+            std::fprintf(stderr, " %s", key.c_str());
+        std::fprintf(stderr, "\n");
+    }
+    return ok;
+}
 
 Csr
 loadMatrix(const Config &cfg, Rng &rng)
@@ -218,6 +272,9 @@ runSpmv(const Config &cfg, const MachineParams &params, Rng &rng)
 
     std::string fmt = cfg.getString("format", "csb");
     Machine viam(params);
+    TraceOptions topts = TraceOptions::fromConfig(cfg);
+    enableTracing(viam, topts);
+    viam.tracePhase("spmv_" + fmt);
     Timeline timeline;
     timeline.install(viam, Tick(cfg.getUInt("timeline", 0)));
     kernels::SpmvResult vres = spmvWithFormat(viam, a, x, fmt);
@@ -226,6 +283,7 @@ runSpmv(const Config &cfg, const MachineParams &params, Rng &rng)
 
     bool ok = allClose(vres.y, a.multiply(x));
     std::printf("result check: %s\n", ok ? "ok" : "MISMATCH");
+    ok = finishTracing(viam, topts) && ok;
     dumpStats(cfg, viam);
     return ok ? 0 : 1;
 }
@@ -243,11 +301,15 @@ runSpma(const Config &cfg, const MachineParams &params, Rng &rng)
     report("scalar merge", base, 0);
 
     Machine viam(params);
+    TraceOptions topts = TraceOptions::fromConfig(cfg);
+    enableTracing(viam, topts);
+    viam.tracePhase("spma");
     auto vres = kernels::spmaViaCsr(viam, a, b);
     report("VIA CAM", viam, bres.cycles);
 
     bool ok = closeElements(vres.c, addCsr(a, b), 1e-3);
     std::printf("result check: %s\n", ok ? "ok" : "MISMATCH");
+    ok = finishTracing(viam, topts) && ok;
     dumpStats(cfg, viam);
     return ok ? 0 : 1;
 }
@@ -270,11 +332,15 @@ runSpmm(const Config &cfg, const MachineParams &params, Rng &rng)
     report("scalar inner", base, 0);
 
     Machine viam(params);
+    TraceOptions topts = TraceOptions::fromConfig(cfg);
+    enableTracing(viam, topts);
+    viam.tracePhase("spmm");
     auto vres = kernels::spmmViaInner(viam, a, b);
     report("VIA CAM", viam, bres.cycles);
 
     bool ok = closeElements(vres.c, mulCsr(a, b_csr), 1e-2);
     std::printf("result check: %s\n", ok ? "ok" : "MISMATCH");
+    ok = finishTracing(viam, topts) && ok;
     dumpStats(cfg, viam);
     return ok ? 0 : 1;
 }
@@ -291,6 +357,9 @@ runHistogram(const Config &cfg, const MachineParams &params,
     std::printf("histogram: %zu keys, %d buckets\n", count, buckets);
 
     Machine m1(params), m2(params), m3(params);
+    TraceOptions topts = TraceOptions::fromConfig(cfg);
+    enableTracing(m3, topts);
+    m3.tracePhase("histogram");
     auto sres = kernels::histScalar(m1, keys, buckets);
     report("scalar", m1, 0);
     kernels::histVector(m2, keys, buckets);
@@ -300,6 +369,7 @@ runHistogram(const Config &cfg, const MachineParams &params,
 
     bool ok = vres.hist == kernels::refHistogram(keys, buckets);
     std::printf("result check: %s\n", ok ? "ok" : "MISMATCH");
+    ok = finishTracing(m3, topts) && ok;
     dumpStats(cfg, m3);
     return ok ? 0 : 1;
 }
@@ -318,6 +388,9 @@ runStencil(const Config &cfg, const MachineParams &params, Rng &rng)
     report("vector", base, 0);
 
     Machine viam(params);
+    TraceOptions topts = TraceOptions::fromConfig(cfg);
+    enableTracing(viam, topts);
+    viam.tracePhase("stencil");
     auto vres = kernels::stencilVia(viam, img);
     report("VIA", viam, bres.cycles);
 
@@ -327,6 +400,7 @@ runStencil(const Config &cfg, const MachineParams &params, Rng &rng)
     DenseMatrix ref = kernels::refConvolve4x4(img);
     bool ok = allClose(vres.out.data(), ref.data());
     std::printf("result check: %s\n", ok ? "ok" : "MISMATCH");
+    ok = finishTracing(viam, topts) && ok;
     dumpStats(cfg, viam);
     return ok ? 0 : 1;
 }
@@ -369,6 +443,18 @@ runSweep(const std::string &kernel, const Config &cfg, Rng &rng)
     using PointFn = std::function<SweepPoint(const MachineParams &)>;
     PointFn point;
 
+    // Each sweep point has its own Machine, so tracing stays
+    // race-free: every point writes its own file, distinguished by
+    // a _<kb>_<ports>p suffix before the extension. The stdout
+    // roll-up would interleave across worker threads, so it is
+    // disabled here.
+    TraceOptions topts = TraceOptions::fromConfig(cfg);
+    if (topts.summary) {
+        std::fprintf(stderr,
+                     "trace_summary=1 is ignored in sweep mode\n");
+        topts.summary = false;
+    }
+
     // Build the kernel input once; points share it read-only.
     if (kernel == "spmv") {
         auto a = std::make_shared<Csr>(loadMatrix(cfg, rng));
@@ -378,11 +464,15 @@ runSweep(const std::string &kernel, const Config &cfg, Rng &rng)
         std::string fmt = cfg.getString("format", "csb");
         std::printf("sweep SpMV (%s): %dx%d, %zu nnz\n",
                     fmt.c_str(), a->rows(), a->cols(), a->nnz());
-        point = [a, x, y, fmt](const MachineParams &params) {
+        point = [a, x, y, fmt, topts](const MachineParams &params) {
             Machine m(params);
+            enableTracing(m, topts);
+            m.tracePhase("spmv_" + fmt);
             auto res = spmvWithFormat(m, *a, *x, fmt);
-            return SweepPoint{res.cycles, allClose(res.y, *y),
-                              false};
+            bool ok = finishTracing(m, topts,
+                                    "_" + params.via.name());
+            return SweepPoint{res.cycles,
+                              ok && allClose(res.y, *y), false};
         };
     } else if (kernel == "spma") {
         auto a = std::make_shared<Csr>(loadMatrix(cfg, rng));
@@ -390,11 +480,16 @@ runSweep(const std::string &kernel, const Config &cfg, Rng &rng)
         auto golden = std::make_shared<Csr>(addCsr(*a, *b));
         std::printf("sweep SpMA: %dx%d, %zu + %zu nnz\n", a->rows(),
                     a->cols(), a->nnz(), b->nnz());
-        point = [a, b, golden](const MachineParams &params) {
+        point = [a, b, golden, topts](const MachineParams &params) {
             Machine m(params);
+            enableTracing(m, topts);
+            m.tracePhase("spma");
             auto res = kernels::spmaViaCsr(m, *a, *b);
+            bool ok = finishTracing(m, topts,
+                                    "_" + params.via.name());
             return SweepPoint{res.cycles,
-                              closeElements(res.c, *golden, 1e-3),
+                              ok && closeElements(res.c, *golden,
+                                                  1e-3),
                               false};
         };
     } else if (kernel == "spmm") {
@@ -409,13 +504,18 @@ runSweep(const std::string &kernel, const Config &cfg, Rng &rng)
                     "nnz)\n",
                     a->rows(), a->cols(), a->nnz(), b->rows(),
                     b->cols(), b->nnz());
-        point = [a, b, golden](const MachineParams &params) {
+        point = [a, b, golden, topts](const MachineParams &params) {
             if (a->maxRowNnz() > Index(params.via.camEntries()))
                 return SweepPoint{0, true, true};
             Machine m(params);
+            enableTracing(m, topts);
+            m.tracePhase("spmm");
             auto res = kernels::spmmViaInner(m, *a, *b);
+            bool ok = finishTracing(m, topts,
+                                    "_" + params.via.name());
             return SweepPoint{res.cycles,
-                              closeElements(res.c, *golden, 1e-2),
+                              ok && closeElements(res.c, *golden,
+                                                  1e-2),
                               false};
         };
     } else if (kernel == "histogram") {
@@ -429,12 +529,16 @@ runSweep(const std::string &kernel, const Config &cfg, Rng &rng)
             kernels::refHistogram(*keys, buckets));
         std::printf("sweep histogram: %zu keys, %d buckets\n",
                     count, buckets);
-        point = [keys, buckets, golden](
+        point = [keys, buckets, golden, topts](
                     const MachineParams &params) {
             Machine m(params);
+            enableTracing(m, topts);
+            m.tracePhase("histogram");
             auto res = kernels::histVia(m, *keys, buckets);
-            return SweepPoint{res.cycles, res.hist == *golden,
-                              false};
+            bool ok = finishTracing(m, topts,
+                                    "_" + params.via.name());
+            return SweepPoint{res.cycles,
+                              ok && res.hist == *golden, false};
         };
     } else if (kernel == "stencil") {
         auto side = Index(cfg.getUInt("px", 256));
@@ -445,12 +549,16 @@ runSweep(const std::string &kernel, const Config &cfg, Rng &rng)
             kernels::refConvolve4x4(*img));
         std::printf("sweep stencil: 4x4 Gaussian on %dx%d px\n",
                     side, side);
-        point = [img, golden](const MachineParams &params) {
+        point = [img, golden, topts](const MachineParams &params) {
             Machine m(params);
+            enableTracing(m, topts);
+            m.tracePhase("stencil");
             auto res = kernels::stencilVia(m, *img);
+            bool ok = finishTracing(m, topts,
+                                    "_" + params.via.name());
             return SweepPoint{res.cycles,
-                              allClose(res.out.data(),
-                                       golden->data()),
+                              ok && allClose(res.out.data(),
+                                             golden->data()),
                               false};
         };
     } else {
@@ -522,13 +630,30 @@ main(int argc, char **argv)
                      "stencil> [key=value ...]\n");
         return 2;
     }
-    std::string kernel = argv[1];
+
+    // The kernel is either the first positional argument or a
+    // kernel= key; everything else is key=value.
+    std::string kernel;
+    int first = 1;
+    if (std::string(argv[1]).find('=') == std::string::npos) {
+        kernel = argv[1];
+        first = 2;
+    }
     std::vector<std::string> args;
-    for (int i = 2; i < argc; ++i)
+    for (int i = first; i < argc; ++i)
         args.emplace_back(argv[i]);
     Config cfg = Config::fromArgs(args);
+    if (kernel.empty())
+        kernel = cfg.getString("kernel", "");
+    if (kernel.empty()) {
+        std::fprintf(stderr, "via_sim: no kernel given (positional "
+                             "or kernel=...)\n");
+        return 2;
+    }
+    if (!validateKeys(cfg))
+        return 2;
 
-    if (cfg.getBool("trace", false))
+    if (cfg.getBool("debug", false))
         setLogLevel(LogLevel::Debug);
     Rng rng(cfg.getUInt("seed", 1));
 

@@ -1,0 +1,402 @@
+#include "check/fuzz.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "check/invariants.hh"
+#include "cpu/machine.hh"
+#include "kernels/dispatch.hh"
+#include "kernels/histogram.hh"
+#include "kernels/reference.hh"
+#include "kernels/spma.hh"
+#include "kernels/spmm.hh"
+#include "kernels/stencil.hh"
+#include "simcore/log.hh"
+#include "sparse/convert.hh"
+#include "sparse/csc.hh"
+#include "sparse/generators.hh"
+
+namespace via
+{
+namespace check
+{
+
+namespace
+{
+
+/** Per-seed context threaded through every kernel run. */
+struct SeedCtx
+{
+    const FuzzOptions &opts;
+    FuzzStats &stats;
+    std::uint64_t seed;
+};
+
+void
+printReplay(const SeedCtx &ctx, const std::string &kernel)
+{
+    std::fprintf(stderr,
+                 "replay: via_fuzz seeds=1 seed=%llu kernel=%s\n",
+                 static_cast<unsigned long long>(ctx.seed),
+                 kernel.c_str());
+}
+
+/**
+ * Run one kernel variant on a fresh machine with an invariant
+ * checker attached; @p body executes the kernel and returns whether
+ * the result matched the golden reference.
+ *
+ * @return false when the campaign must stop (failure recorded)
+ */
+bool
+runOne(const SeedCtx &ctx, const MachineParams &params,
+       const std::string &kernel, const std::string &label,
+       const std::function<bool(Machine &)> &body)
+{
+    Machine m(params);
+    TimingInvariantChecker &checker = m.attachChecker();
+    bool ref_ok = body(m);
+    if (ctx.opts.inject)
+        ctx.opts.inject(m);
+    bool inv_ok = checker.checkAll();
+    ++ctx.stats.kernelRuns;
+    if (ref_ok && inv_ok)
+        return true;
+
+    ++ctx.stats.failures;
+    std::fprintf(stderr,
+                 "via_fuzz: FAIL %s config=%s seed=%llu (%s)\n",
+                 label.c_str(), params.via.name().c_str(),
+                 static_cast<unsigned long long>(ctx.seed),
+                 !ref_ok ? "reference mismatch"
+                         : "invariant violation");
+    if (!inv_ok)
+        std::fputs(checker.report().c_str(), stderr);
+    printReplay(ctx, kernel);
+    return false;
+}
+
+bool
+fuzzSpmv(const SeedCtx &ctx, const MachineParams &params, Rng &rng)
+{
+    Csr a = genAdversarial(rng);
+    DenseVector x = randomVector(a.cols(), rng);
+    DenseVector golden = a.multiply(x);
+    for (const std::string &fmt : kernels::spmvFormats()) {
+        auto diff = [&](kernels::SpmvResult res) {
+            return allClose(res.y, golden);
+        };
+        if (!runOne(ctx, params, "spmv",
+                    "kernel=spmv format=" + fmt + " variant=base",
+                    [&](Machine &m) {
+                        return diff(kernels::spmvBaseline(m, a, x,
+                                                          fmt));
+                    }))
+            return false;
+        if (!runOne(ctx, params, "spmv",
+                    "kernel=spmv format=" + fmt + " variant=via",
+                    [&](Machine &m) {
+                        return diff(
+                            kernels::spmvVia(m, a, x, fmt));
+                    }))
+            return false;
+    }
+    return true;
+}
+
+bool
+fuzzSpma(const SeedCtx &ctx, const MachineParams &params, Rng &rng)
+{
+    Csr a = genAdversarial(rng);
+    // Addition needs conformal shapes: B reuses A's dimensions with
+    // an independent structure.
+    Csr b = genUniform(a.rows(), a.cols(),
+                       std::min(1.0, 0.05 + rng.uniform() * 0.3),
+                       rng);
+    Csr golden = addCsr(a, b);
+    auto diff = [&](const kernels::SpmaResult &res) {
+        return closeElements(res.c, golden, 1e-3);
+    };
+    if (!runOne(ctx, params, "spma",
+                "kernel=spma variant=scalar", [&](Machine &m) {
+                    return diff(kernels::spmaScalarCsr(m, a, b));
+                }))
+        return false;
+    return runOne(ctx, params, "spma", "kernel=spma variant=via",
+                  [&](Machine &m) {
+                      return diff(kernels::spmaViaCsr(m, a, b));
+                  });
+}
+
+bool
+fuzzSpmm(const SeedCtx &ctx, const MachineParams &params, Rng &rng)
+{
+    Csr a = genAdversarial(rng);
+    Csr b_csr = genUniform(a.cols(), std::max<Index>(1, a.rows()),
+                           std::min(1.0,
+                                    0.05 + rng.uniform() * 0.25),
+                           rng);
+    Csc b = Csc::fromCsr(b_csr);
+    Csr golden = mulCsr(a, b_csr);
+    auto diff = [&](const kernels::SpmmResult &res) {
+        return closeElements(res.c, golden, 1e-2);
+    };
+    if (!runOne(ctx, params, "spmm",
+                "kernel=spmm variant=scalar", [&](Machine &m) {
+                    return diff(kernels::spmmScalarInner(m, a, b));
+                }))
+        return false;
+    // The VIA kernel loads whole A rows into the CAM; rows longer
+    // than the table cannot run on this configuration.
+    if (a.maxRowNnz() > Index(params.via.camEntries())) {
+        ++ctx.stats.skipped;
+        return true;
+    }
+    return runOne(ctx, params, "spmm", "kernel=spmm variant=via",
+                  [&](Machine &m) {
+                      return diff(kernels::spmmViaInner(m, a, b));
+                  });
+}
+
+bool
+fuzzHistogram(const SeedCtx &ctx, const MachineParams &params,
+              Rng &rng)
+{
+    auto buckets = Index(1 + rng.below(512));
+    auto count = std::size_t(rng.below(513));
+    std::vector<Index> keys(count);
+    bool skewed = rng.chance(0.5);
+    Index hot = Index(rng.below(std::uint64_t(buckets)));
+    for (auto &k : keys)
+        k = (skewed && rng.chance(0.8))
+                ? hot
+                : Index(rng.below(std::uint64_t(buckets)));
+    std::vector<Value> golden = kernels::refHistogram(keys, buckets);
+    auto diff = [&](const kernels::HistResult &res) {
+        return res.hist == golden;
+    };
+    if (!runOne(ctx, params, "histogram",
+                "kernel=histogram variant=scalar",
+                [&](Machine &m) {
+                    return diff(
+                        kernels::histScalar(m, keys, buckets));
+                }))
+        return false;
+    if (!runOne(ctx, params, "histogram",
+                "kernel=histogram variant=vector",
+                [&](Machine &m) {
+                    return diff(
+                        kernels::histVector(m, keys, buckets));
+                }))
+        return false;
+    return runOne(ctx, params, "histogram",
+                  "kernel=histogram variant=via", [&](Machine &m) {
+                      return diff(
+                          kernels::histVia(m, keys, buckets));
+                  });
+}
+
+bool
+fuzzStencil(const SeedCtx &ctx, const MachineParams &params,
+            Rng &rng)
+{
+    // The 4x4 valid convolution needs at least a 4x4 image; odd,
+    // non-multiple-of-VL sides exercise the edge handling.
+    auto side = Index(4 + rng.below(21));
+    DenseMatrix img(side, side);
+    for (auto &p : img.data())
+        p = Value(rng.uniform() * 255.0);
+    DenseMatrix golden = kernels::refConvolve4x4(img);
+    auto diff = [&](const kernels::StencilResult &res) {
+        return allClose(res.out.data(), golden.data());
+    };
+    if (!runOne(ctx, params, "stencil",
+                "kernel=stencil variant=vector", [&](Machine &m) {
+                    return diff(kernels::stencilVector(m, img));
+                }))
+        return false;
+    return runOne(ctx, params, "stencil",
+                  "kernel=stencil variant=via", [&](Machine &m) {
+                      return diff(kernels::stencilVia(m, img));
+                  });
+}
+
+} // namespace
+
+std::vector<MachineParams>
+fuzzConfigs()
+{
+    std::vector<MachineParams> configs;
+
+    // The paper's default machine (16 KB SSPM, 2 ports).
+    configs.push_back(MachineParams{});
+
+    // Capacity-starved: small SSPM/CAM, small L1, few MSHRs —
+    // forces CAM tiling, SSPM chunking and MSHR back-pressure.
+    MachineParams small;
+    small.via = ViaConfig::make(4, 2);
+    small.mem.levels[0].sizeBytes = 8 * 1024;
+    small.mem.levels[0].mshrs = 4;
+    configs.push_back(small);
+
+    // Bandwidth-rich: wide SSPM ports plus next-line prefetching,
+    // exercising the prefetch writeback path and port pipelining.
+    MachineParams wide;
+    wide.via = ViaConfig::make(16, 4);
+    wide.mem.prefetch.degree = 2;
+    configs.push_back(wide);
+
+    return configs;
+}
+
+Csr
+genAdversarial(Rng &rng)
+{
+    auto n = Index(2 + rng.below(39));
+    Csr base;
+    switch (rng.below(6)) {
+    case 0:
+        base = genUniform(n, n, 0.02 + rng.uniform() * 0.3, rng);
+        break;
+    case 1:
+        base = genBanded(n,
+                         Index(1 + rng.below(std::uint64_t(
+                                   std::max<Index>(1, n / 4)))),
+                         0.2 + rng.uniform() * 0.8, rng);
+        break;
+    case 2: {
+        Index n2 = 2;
+        while (2 * n2 <= n)
+            n2 *= 2;
+        base = genRmat(n2,
+                       1 + rng.below(std::uint64_t(n2) *
+                                     std::uint64_t(n2) / 2),
+                       rng);
+        break;
+    }
+    case 3:
+        base = genBlocked(
+            n,
+            Index(1 + rng.below(std::min<std::uint64_t>(n, 8))),
+            0.2 + rng.uniform() * 0.6, 0.3 + rng.uniform() * 0.7,
+            rng);
+        break;
+    case 4:
+        base = genDiagHeavy(n, rng.uniform() * 4.0, rng);
+        break;
+    default:
+        // Extremes: fully dense, or entirely empty (structural
+        // zero matrix — every row and column is empty).
+        if (rng.chance(0.5))
+            base = genUniform(n, n, 1.0, rng);
+        else
+            base = Csr::fromCoo(Coo(n, n));
+        break;
+    }
+
+    Coo coo = base.toCoo();
+    // The family may have rounded the size (RMAT is a power of
+    // two); adversarial structure goes by the actual dimensions.
+    n = coo.rows();
+
+    // Duplicate coordinates: re-add existing elements so fromCoo's
+    // merge path runs (the COO->CSR dedup rare-structure case).
+    if (!coo.elems().empty() && rng.chance(0.5)) {
+        std::size_t dups = 1 + rng.below(4);
+        for (std::size_t d = 0; d < dups; ++d) {
+            const Triplet &t =
+                coo.elems()[rng.below(coo.elems().size())];
+            coo.add(t.row, t.col, Value(rng.uniform() - 0.5));
+        }
+    }
+
+    // A small dense block somewhere: nnz/row skew inside an
+    // otherwise sparse structure.
+    if (rng.chance(0.4)) {
+        auto side = Index(
+            std::min<std::uint64_t>(n, 2 + rng.below(5)));
+        auto r0 = Index(rng.below(std::uint64_t(n - side + 1)));
+        auto c0 = Index(rng.below(std::uint64_t(n - side + 1)));
+        for (Index r = 0; r < side; ++r)
+            for (Index c = 0; c < side; ++c)
+                coo.add(r0 + r, c0 + c,
+                        Value(rng.uniform() - 0.5));
+    }
+
+    // Empty rows and columns: knock out everything in a random row
+    // band and a random column band.
+    if (rng.chance(0.6)) {
+        auto r_lo = Index(rng.below(n));
+        auto r_hi = Index(
+            std::min<std::uint64_t>(n, r_lo + 1 + rng.below(4)));
+        auto c_lo = Index(rng.below(n));
+        auto c_hi = Index(
+            std::min<std::uint64_t>(n, c_lo + 1 + rng.below(4)));
+        auto &elems = coo.elems();
+        elems.erase(
+            std::remove_if(elems.begin(), elems.end(),
+                           [&](const Triplet &t) {
+                               return (t.row >= r_lo &&
+                                       t.row < r_hi) ||
+                                      (t.col >= c_lo &&
+                                       t.col < c_hi);
+                           }),
+            elems.end());
+    }
+
+    return Csr::fromCoo(std::move(coo));
+}
+
+FuzzStats
+runFuzz(const FuzzOptions &opts)
+{
+    FuzzStats stats;
+    std::vector<MachineParams> configs = fuzzConfigs();
+
+    for (std::uint64_t s = 0; s < opts.seeds; ++s) {
+        std::uint64_t seed = opts.firstSeed + s;
+        SeedCtx ctx{opts, stats, seed};
+        if (opts.verbose)
+            std::fprintf(stderr, "via_fuzz: seed %llu\n",
+                         static_cast<unsigned long long>(seed));
+        for (const MachineParams &params : configs) {
+            // Each kernel draws from its own stream so adding a
+            // kernel or config never shifts another's inputs.
+            auto sub = [&](std::uint64_t salt) {
+                return Rng(seed * 0x9e3779b97f4a7c15ull + salt);
+            };
+            bool ok = true;
+            if (opts.kernel == "all" || opts.kernel == "spmv") {
+                Rng r = sub(1);
+                ok = fuzzSpmv(ctx, params, r);
+            }
+            if (ok &&
+                (opts.kernel == "all" || opts.kernel == "spma")) {
+                Rng r = sub(2);
+                ok = fuzzSpma(ctx, params, r);
+            }
+            if (ok &&
+                (opts.kernel == "all" || opts.kernel == "spmm")) {
+                Rng r = sub(3);
+                ok = fuzzSpmm(ctx, params, r);
+            }
+            if (ok && (opts.kernel == "all" ||
+                       opts.kernel == "histogram")) {
+                Rng r = sub(4);
+                ok = fuzzHistogram(ctx, params, r);
+            }
+            if (ok && (opts.kernel == "all" ||
+                       opts.kernel == "stencil")) {
+                Rng r = sub(5);
+                ok = fuzzStencil(ctx, params, r);
+            }
+            if (!ok)
+                return stats;
+        }
+        ++stats.seedsRun;
+    }
+    return stats;
+}
+
+} // namespace check
+} // namespace via

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Deterministic differential fuzzing of the kernels (the validation
+ * subsystem's second half; see docs/validation.md).
+ *
+ * Each seed deterministically generates an adversarial input —
+ * sparse structures with empty rows/columns, duplicate coordinates,
+ * banded/power-law/dense-block mixes, skewed histogram keys, odd
+ * image sizes — and runs the kernels across several machine
+ * configurations, baseline and VIA variants alike. Every run is
+ * diffed against the host golden reference, and a
+ * TimingInvariantChecker verifies the timing model's internal
+ * consistency. The first failure stops the fuzz loop and prints a
+ * single replayable seed, so `via_fuzz seed=S kernel=K` reproduces
+ * it exactly.
+ */
+
+#ifndef VIA_CHECK_FUZZ_HH
+#define VIA_CHECK_FUZZ_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cpu/core_params.hh"
+#include "simcore/rng.hh"
+#include "sparse/csr.hh"
+
+namespace via
+{
+
+class Machine;
+
+namespace check
+{
+
+/** Fuzz campaign configuration. */
+struct FuzzOptions
+{
+    std::uint64_t seeds = 100;    //!< number of seeds to run
+    std::uint64_t firstSeed = 1;  //!< first seed (replay: seeds=1)
+    std::string kernel = "all";   //!< all | spmv | spma | spmm |
+                                  //!< histogram | stencil
+    bool verbose = false;         //!< per-seed progress on stderr
+
+    /**
+     * Self-test hook: applied to each machine after its kernel ran
+     * but before the invariant checks, so a deliberate counter
+     * perturbation must be caught and reported with a replay seed.
+     */
+    std::function<void(Machine &)> inject;
+};
+
+/** Campaign totals. */
+struct FuzzStats
+{
+    std::uint64_t seedsRun = 0;
+    std::uint64_t kernelRuns = 0; //!< kernel x config x variant runs
+    std::uint64_t skipped = 0;    //!< input exceeded a config's CAM
+    std::uint64_t failures = 0;   //!< mismatches + violations
+};
+
+/**
+ * The machine configurations every seed is run across: the paper's
+ * default plus a small-SSPM/small-cache point and a wide-port point
+ * with prefetching, so capacity- and bandwidth-dependent paths all
+ * execute.
+ */
+std::vector<MachineParams> fuzzConfigs();
+
+/**
+ * Deterministically generate one adversarial sparse matrix from
+ * @p rng: a random structural family, with deliberate empty rows,
+ * empty columns, duplicate coordinates (merged by construction) and
+ * dense sub-blocks mixed in. Dimensions stay small (<= ~40) so a
+ * campaign of hundreds of seeds runs in seconds.
+ */
+Csr genAdversarial(Rng &rng);
+
+/**
+ * Run the campaign. Returns the totals; failures != 0 means a
+ * replay line ("replay: via_fuzz seed=... kernel=...") was printed
+ * and the loop stopped at the offending seed.
+ */
+FuzzStats runFuzz(const FuzzOptions &opts);
+
+} // namespace check
+} // namespace via
+
+#endif // VIA_CHECK_FUZZ_HH

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/invariants.hh"
 #include "simcore/log.hh"
 
 namespace via
@@ -78,6 +79,24 @@ Machine::Machine(const MachineParams &params)
     _stats.addScalar("fivu.sspm_write_cycles",
                      "cycles spent on SSPM write phases",
                      &fs.sspmWriteCycles);
+
+    if (check::envEnabled())
+        attachChecker();
+}
+
+Machine::~Machine()
+{
+    if (_checker && check::envEnabled())
+        _checker->checkOrDie();
+}
+
+check::TimingInvariantChecker &
+Machine::attachChecker()
+{
+    if (!_checker)
+        _checker =
+            std::make_unique<check::TimingInvariantChecker>(*this);
+    return *_checker;
 }
 
 void

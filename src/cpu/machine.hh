@@ -36,6 +36,11 @@
 namespace via
 {
 
+namespace check
+{
+class TimingInvariantChecker;
+}
+
 /** Handle to a vector register. */
 struct VReg
 {
@@ -59,6 +64,13 @@ class Machine
 {
   public:
     explicit Machine(const MachineParams &params);
+
+    /**
+     * Runs the attached invariant checker (if any) and aborts on
+     * violation; with VIA_CHECK=1 every Machine teardown therefore
+     * verifies the whole run. Out of line for the checker's type.
+     */
+    ~Machine();
 
     // --- subsystem access ---------------------------------------
     BackingStore &mem() { return _store; }
@@ -92,6 +104,17 @@ class Machine
     /** The attached trace sink, or nullptr when tracing is off. */
     TraceManager *trace() { return _trace.get(); }
     const TraceManager *trace() const { return _trace.get(); }
+
+    /**
+     * Attach a timing-invariant checker (src/check) observing this
+     * machine; no-op if one is already attached. Constructed
+     * automatically when VIA_CHECK is set in the environment.
+     * Observation-only: timing is bit-identical with or without it.
+     */
+    check::TimingInvariantChecker &attachChecker();
+
+    /** The attached checker, or nullptr. */
+    check::TimingInvariantChecker *checker() { return _checker.get(); }
 
     /**
      * Open a named kernel phase at the current makespan (shows as a
@@ -338,6 +361,8 @@ class Machine
     StatSet _stats;
     SeqNum _seq = 0;
     std::unique_ptr<TraceManager> _trace;
+    /** Declared last: detaches from _core before it is destroyed. */
+    std::unique_ptr<check::TimingInvariantChecker> _checker;
 };
 
 } // namespace via

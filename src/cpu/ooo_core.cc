@@ -178,6 +178,9 @@ OoOCore::push(const Inst &inst)
     _stats.commitTick = commit;
     _lastTiming = InstTiming{dispatch, issue, complete, commit};
 
+    for (TimingObserver *obs : _timingObservers)
+        obs->onInstTiming(inst, _lastTiming);
+
     if (_trace != nullptr && _trace->enabled()) {
         TraceEvent ev;
         ev.kind = TraceEventKind::InstRetired;
@@ -232,6 +235,25 @@ OoOCore::resetTiming()
     _branchTable.clear();
     _fivu.resetTiming();
     _mem.dram().resetTiming();
+
+    for (TimingObserver *obs : _timingObservers)
+        obs->onTimingReset();
+}
+
+void
+OoOCore::addTimingObserver(TimingObserver *obs)
+{
+    via_assert(obs != nullptr, "null timing observer");
+    _timingObservers.push_back(obs);
+}
+
+void
+OoOCore::removeTimingObserver(TimingObserver *obs)
+{
+    auto it = std::find(_timingObservers.begin(),
+                        _timingObservers.end(), obs);
+    if (it != _timingObservers.end())
+        _timingObservers.erase(it);
 }
 
 void

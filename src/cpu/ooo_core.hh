@@ -31,6 +31,7 @@
 #include <array>
 #include <cstdint>
 #include <unordered_map>
+#include <vector>
 
 #include "cpu/core_params.hh"
 #include "cpu/fu_pool.hh"
@@ -46,6 +47,36 @@
 
 namespace via
 {
+
+/** Lifecycle ticks of one instruction through the core. */
+struct InstTiming
+{
+    Tick dispatch = 0;
+    Tick issue = 0;
+    Tick complete = 0;
+    Tick commit = 0;
+};
+
+/**
+ * Observer of per-instruction lifecycle timing. Implemented by the
+ * invariant checker (src/check); observation-only — implementations
+ * must not feed anything back into the schedule.
+ */
+class TimingObserver
+{
+  public:
+    virtual ~TimingObserver() = default;
+
+    /** Called once per push, after the schedule folded @p inst in. */
+    virtual void onInstTiming(const Inst &inst,
+                              const InstTiming &timing) = 0;
+
+    /**
+     * Called when core timing is reset (new measurement interval);
+     * cross-interval monotonicity no longer holds after this.
+     */
+    virtual void onTimingReset() = 0;
+};
 
 /** Core-level statistics. */
 struct CoreStats
@@ -107,15 +138,12 @@ class OoOCore
     void setTrace(TraceManager *trace);
 
     /** Lifecycle ticks of the most recently pushed instruction. */
-    struct InstTiming
-    {
-        Tick dispatch = 0;
-        Tick issue = 0;
-        Tick complete = 0;
-        Tick commit = 0;
-    };
-
     const InstTiming &lastTiming() const { return _lastTiming; }
+
+    /** Attach a timing observer (notified on every push/reset). */
+    void addTimingObserver(TimingObserver *obs);
+    /** Detach a previously attached observer (no-op if absent). */
+    void removeTimingObserver(TimingObserver *obs);
 
   private:
     /** Combined scalar+vector register-ready table. */
@@ -150,6 +178,7 @@ class OoOCore
     CoreStats _stats;
     TraceManager *_trace = nullptr;
     InstTiming _lastTiming;
+    std::vector<TimingObserver *> _timingObservers;
 };
 
 } // namespace via

@@ -1,0 +1,69 @@
+#include "kernels/dispatch.hh"
+
+#include <algorithm>
+
+#include "simcore/log.hh"
+
+namespace via::kernels
+{
+
+const std::vector<std::string> &
+spmvFormats()
+{
+    static const std::vector<std::string> formats = {
+        "csr", "spc5", "sell", "csb"};
+    return formats;
+}
+
+bool
+isSpmvFormat(const std::string &fmt)
+{
+    const auto &f = spmvFormats();
+    return std::find(f.begin(), f.end(), fmt) != f.end();
+}
+
+SpmvResult
+spmvVia(Machine &m, const Csr &a, const DenseVector &x,
+        const std::string &fmt)
+{
+    if (fmt == "csr")
+        return spmvViaCsr(m, a, x);
+    if (fmt == "spc5") {
+        Spc5 s = Spc5::fromCsr(a, Index(m.vl()));
+        return spmvViaSpc5(m, s, x);
+    }
+    if (fmt == "sell") {
+        auto vl = Index(m.vl());
+        SellCSigma s = SellCSigma::fromCsr(a, vl, 4 * vl);
+        return spmvViaSell(m, s, x);
+    }
+    if (fmt == "csb") {
+        Csb csb = Csb::fromCsr(a, viaCsbBeta(m));
+        return spmvViaCsb(m, csb, x);
+    }
+    via_fatal("unknown SpMV format '", fmt, "'");
+}
+
+SpmvResult
+spmvBaseline(Machine &m, const Csr &a, const DenseVector &x,
+             const std::string &fmt)
+{
+    if (fmt == "csr")
+        return spmvVectorCsr(m, a, x);
+    if (fmt == "spc5") {
+        Spc5 s = Spc5::fromCsr(a, Index(m.vl()));
+        return spmvVectorSpc5(m, s, x);
+    }
+    if (fmt == "sell") {
+        auto vl = Index(m.vl());
+        SellCSigma s = SellCSigma::fromCsr(a, vl, 4 * vl);
+        return spmvVectorSell(m, s, x);
+    }
+    if (fmt == "csb") {
+        Csb csb = Csb::fromCsr(a, viaCsbBeta(m));
+        return spmvVectorCsb(m, csb, x);
+    }
+    via_fatal("unknown SpMV format '", fmt, "'");
+}
+
+} // namespace via::kernels

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * SpMV format dispatch shared by the drivers (via_sim, via_fuzz).
+ *
+ * A format name selects the storage conversion (CSR stays as-is,
+ * SPC5/SELL-C-sigma/CSB are built from the CSR with the
+ * machine-appropriate geometry) and the kernel pair: the baseline
+ * vector variant and the VIA variant. Keeping the mapping in one
+ * place means the fuzzer exercises exactly the conversions the
+ * interactive driver runs.
+ */
+
+#ifndef VIA_KERNELS_DISPATCH_HH
+#define VIA_KERNELS_DISPATCH_HH
+
+#include <string>
+#include <vector>
+
+#include "kernels/spmv.hh"
+
+namespace via::kernels
+{
+
+/** The SpMV format names every driver accepts. */
+const std::vector<std::string> &spmvFormats();
+
+/** True if @p fmt names a known SpMV format. */
+bool isSpmvFormat(const std::string &fmt);
+
+/**
+ * Run the VIA SpMV kernel for @p fmt (converting @p a as needed).
+ * Fatal on an unknown format name.
+ */
+SpmvResult spmvVia(Machine &m, const Csr &a, const DenseVector &x,
+                   const std::string &fmt);
+
+/**
+ * Run the baseline (non-VIA) vector SpMV kernel for @p fmt on the
+ * same converted storage the VIA variant uses.
+ */
+SpmvResult spmvBaseline(Machine &m, const Csr &a,
+                        const DenseVector &x, const std::string &fmt);
+
+} // namespace via::kernels
+
+#endif // VIA_KERNELS_DISPATCH_HH

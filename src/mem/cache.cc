@@ -47,6 +47,7 @@ Cache::access(Addr line_addr, bool is_write)
         if (line.valid && line.tag == line_addr) {
             line.lruStamp = ++_lruClock;
             line.dirty = line.dirty || is_write;
+            ++_stats.hits;
             return LookupResult{true, false, 0};
         }
         // Prefer invalid ways, then the least recently used one.
@@ -73,6 +74,31 @@ Cache::access(Addr line_addr, bool is_write)
     victim->dirty = is_write;
     victim->lruStamp = ++_lruClock;
     return res;
+}
+
+void
+Cache::mergeTouch(Addr line_addr, bool is_write)
+{
+    via_assert(line_addr % _params.lineBytes == 0,
+               "unaligned line address");
+    if (is_write)
+        ++_stats.writes;
+    else
+        ++_stats.reads;
+    ++_stats.mshrMerges;
+
+    // The primary miss pre-installed the tag; refresh its recency
+    // and dirty state. If it was since evicted the merge still
+    // completes off the in-flight fill, so nothing else to do.
+    Line *set = &_lines[setIndex(line_addr) * _params.assoc];
+    for (std::uint32_t way = 0; way < _params.assoc; ++way) {
+        Line &line = set[way];
+        if (line.valid && line.tag == line_addr) {
+            line.lruStamp = ++_lruClock;
+            line.dirty = line.dirty || is_write;
+            return;
+        }
+    }
 }
 
 bool

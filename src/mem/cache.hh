@@ -23,18 +23,29 @@
 namespace via
 {
 
-/** Per-level statistics, exposed raw for StatSet registration. */
+/**
+ * Per-level statistics, exposed raw for StatSet registration.
+ *
+ * Every access is classified exactly once: hit, miss, or MSHR merge
+ * (a secondary miss to a line already in flight). The invariant
+ * checker (src/check) relies on reads + writes == hits + misses +
+ * mshrMerges holding at all times.
+ */
 struct CacheStats
 {
     std::uint64_t reads = 0;
     std::uint64_t writes = 0;
+    std::uint64_t hits = 0;
     std::uint64_t readMisses = 0;
     std::uint64_t writeMisses = 0;
+    std::uint64_t mshrMerges = 0; //!< secondary misses merged in flight
     std::uint64_t writebacks = 0;
     std::uint64_t mshrStallCycles = 0;
 
     std::uint64_t accesses() const { return reads + writes; }
     std::uint64_t misses() const { return readMisses + writeMisses; }
+    /** Misses including secondary (merged) ones. */
+    std::uint64_t demandMisses() const { return misses() + mshrMerges; }
 };
 
 /** One level of set-associative cache with LRU replacement. */
@@ -60,6 +71,14 @@ class Cache
      * @return hit/miss and any dirty eviction
      */
     LookupResult access(Addr line_addr, bool is_write);
+
+    /**
+     * Account an access that merged with an in-flight fill. The tag
+     * was installed when the primary miss allocated, so a regular
+     * access() would misclassify the merge as a hit; this counts it
+     * as an mshrMerge instead and only touches LRU/dirty state.
+     */
+    void mergeTouch(Addr line_addr, bool is_write);
 
     /** Probe without modifying state (for tests/inspection). */
     bool contains(Addr line_addr) const;

@@ -13,9 +13,6 @@ Dram::Dram(const DramParams &params)
 {
     via_assert(params.bytesPerCycle > 0.0,
                "DRAM bandwidth must be positive");
-    _cyclesPerLine = std::max<std::uint32_t>(
-        1, std::uint32_t(std::llround(
-               std::ceil(64.0 / params.bytesPerCycle))));
 }
 
 Tick

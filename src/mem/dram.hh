@@ -55,6 +55,12 @@ class Dram
     /** Reset timing state (not statistics). */
     void resetTiming() { _pipe.resetTiming(); }
 
+    /** Cumulative cycles the pipe was occupied (never reset). */
+    std::uint64_t pipeBusy() const { return _pipe.busy(); }
+
+    /** Latest tick the pipe has been booked to (timing-reset aware). */
+    Tick pipeHorizon() const { return _pipe.horizon(); }
+
     /** Attach a trace sink for burst start/end events. */
     void setTrace(TraceManager *trace) { _trace = trace; }
 
@@ -66,7 +72,6 @@ class Dram
      * positions (no head-of-line artifact).
      */
     Resource _pipe;
-    std::uint32_t _cyclesPerLine; //!< transfer cycles per request
     DramStats _stats;
     TraceManager *_trace = nullptr;
 };

@@ -84,10 +84,13 @@ MemSystem::accessLine(Addr line_addr, bool is_write, Tick when)
         latency += cache.params().hitLatency;
 
         // A miss to a line already being fetched merges with the
-        // outstanding fill — no new MSHR is needed.
+        // outstanding fill — no new MSHR is needed. The merge is a
+        // secondary miss: counting it through access() would book a
+        // hit (the tag was pre-installed when the primary miss
+        // allocated) and silently inflate the hit rate.
         Tick inflight;
         if (cache.mshrLookup(line_addr, when, inflight)) {
-            cache.access(line_addr, is_write); // touch tags / LRU
+            cache.mergeTouch(line_addr, is_write);
             if (tracing)
                 probe_event(i, false);
             return MemResult{std::max(inflight, when + latency),
@@ -158,8 +161,11 @@ MemSystem::prefetchAfter(Addr line_addr, Tick when)
             continue;
         Tick fill = _dram.serve(line, when, false);
         auto res = last.access(target, false);
+        // The victim cannot leave before the prefetched line that
+        // evicts it has arrived: charge the writeback at fill time,
+        // not at demand time.
         if (res.victimDirty)
-            _dram.serve(line, when, true);
+            _dram.serve(line, fill, true);
         last.mshrReserve(target, fill, 0, when);
         ++_prefetches;
     }
@@ -208,16 +214,23 @@ MemSystem::registerStats(StatSet &stats) const
         stats.addScalar(prefix + "reads", "read accesses", &cs.reads);
         stats.addScalar(prefix + "writes", "write accesses",
                         &cs.writes);
+        stats.addScalar(prefix + "hits", "accesses served by the tags",
+                        &cs.hits);
         stats.addScalar(prefix + "read_misses", "read misses",
                         &cs.readMisses);
         stats.addScalar(prefix + "write_misses", "write misses",
                         &cs.writeMisses);
+        stats.addScalar(prefix + "mshr_merges",
+                        "secondary misses merged with in-flight fills",
+                        &cs.mshrMerges);
         stats.addScalar(prefix + "writebacks", "dirty evictions",
                         &cs.writebacks);
-        stats.addFormula(prefix + "miss_rate", "misses / accesses",
+        stats.addFormula(prefix + "miss_rate",
+                         "(misses + merges) / accesses",
                          [&cs] {
                              auto acc = cs.accesses();
-                             return acc ? double(cs.misses()) / acc
+                             return acc ? double(cs.demandMisses()) /
+                                              double(acc)
                                         : 0.0;
                          });
     }

@@ -60,6 +60,7 @@ Resource::acquire(Tick when, Tick occupancy)
     for (Tick o = 0; o < occupancy; ++o)
         ++slot(when + o);
     _busy += occupancy;
+    _horizon = std::max(_horizon, when + occupancy);
     return when;
 }
 
@@ -68,6 +69,7 @@ Resource::resetTiming()
 {
     std::fill(_counts.begin(), _counts.end(), std::uint16_t(0));
     _base = 0;
+    _horizon = 0;
 }
 
 

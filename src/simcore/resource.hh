@@ -48,6 +48,13 @@ class Resource
     /** Total busy slot-cycles accumulated (utilization statistic). */
     std::uint64_t busy() const { return _busy; }
 
+    /**
+     * One past the latest cycle ever booked (0 if none). Reset by
+     * resetTiming, unlike busy(); busy-vs-horizon reconciliation must
+     * therefore be skipped across timing resets.
+     */
+    Tick horizon() const { return _horizon; }
+
   private:
     /** Cycles tracked by the sliding window. */
     static constexpr std::size_t windowSize = 1 << 16;
@@ -59,6 +66,7 @@ class Resource
     std::vector<std::uint16_t> _counts;
     Tick _base = 0; //!< first cycle represented by the window
     std::uint64_t _busy = 0;
+    Tick _horizon = 0; //!< one past the latest booked cycle
 };
 
 

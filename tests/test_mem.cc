@@ -257,5 +257,73 @@ TEST(MemSystemDeathTest, ZeroByteAccessPanics)
     EXPECT_DEATH(ms.access(0, 0, false, 0), "zero-byte");
 }
 
+// Regression: a miss that merges with an in-flight fill used to be
+// counted as a hit (the primary miss pre-installs the tag), silently
+// inflating the hit rate. Merges now land in their own counter and
+// every access is classified exactly once.
+TEST(MemSystem, MshrMergeCountedAsMergeNotHit)
+{
+    MemSystem ms(MemSystemParams::defaults());
+    StatSet stats;
+    ms.registerStats(stats);
+    ms.access(0x2000, 4, false, 0); // primary miss
+    ms.access(0x2004, 4, false, 1); // merges with the fill
+
+    const CacheStats &cs = ms.level(0).stats();
+    EXPECT_EQ(cs.reads, 2u);
+    EXPECT_EQ(cs.hits, 0u);
+    EXPECT_EQ(cs.readMisses, 1u);
+    EXPECT_EQ(cs.mshrMerges, 1u);
+    EXPECT_EQ(cs.accesses(), cs.hits + cs.misses() + cs.mshrMerges);
+    EXPECT_EQ(stats.get("mem.l1d.mshr_merges"), 1.0);
+    EXPECT_EQ(stats.get("mem.l1d.hits"), 0.0);
+    // Both the primary and the secondary miss count against the
+    // miss rate.
+    EXPECT_DOUBLE_EQ(stats.get("mem.l1d.miss_rate"), 1.0);
+}
+
+// Regression: a prefetch's dirty victim used to be written back at
+// demand time, occupying the DRAM pipe before the prefetched line
+// that evicts it had even arrived. The writeback is now charged
+// after the prefetch fill.
+TEST(MemSystem, PrefetchVictimWritebackChargedAfterFill)
+{
+    MemSystemParams p;
+    CacheParams l1;
+    l1.name = "l1d";
+    l1.sizeBytes = 128; // 2 sets x 1 way
+    l1.assoc = 1;
+    l1.lineBytes = 64;
+    l1.hitLatency = 1;
+    l1.mshrs = 4;
+    p.levels = {l1};
+    p.dram.latency = 100;
+    p.dram.bytesPerCycle = 64.0;
+    p.prefetch.degree = 1;
+    MemSystem ms(p);
+    TraceManager trace(256);
+    ms.setTrace(&trace);
+
+    // Dirty 0x40 (set 1); its miss prefetches 0x80 into set 0.
+    ms.access(0x40, 4, true, 0);
+    // Miss on 0x180 (set 0) prefetches 0x1c0 (set 1), evicting the
+    // dirty 0x40 — the only write burst in the run.
+    ms.access(0x180, 4, false, 1000);
+
+    const TraceEvent *write_burst = nullptr;
+    for (const TraceEvent &ev : trace.events()) {
+        if (ev.kind == TraceEventKind::DramBurst && ev.a1 == 1) {
+            EXPECT_EQ(write_burst, nullptr);
+            write_burst = &ev;
+        }
+    }
+    ASSERT_NE(write_burst, nullptr);
+    EXPECT_EQ(ms.level(0).stats().writebacks, 1u);
+    // The victim cannot leave before the prefetched line arrives:
+    // its burst starts no earlier than the fill (issue + DRAM
+    // latency), not right after the demand burst.
+    EXPECT_GE(write_burst->start, Tick(1000 + p.dram.latency));
+}
+
 } // namespace
 } // namespace via

@@ -66,6 +66,7 @@
 
 #include "cpu/machine.hh"
 #include "cpu/machine_config.hh"
+#include "kernels/dispatch.hh"
 #include "kernels/histogram.hh"
 #include "kernels/reference.hh"
 #include "kernels/runner.hh"
@@ -235,29 +236,6 @@ struct Timeline
     std::vector<Sample> samples;
 };
 
-/** The format dispatch shared by runSpmv and the sweep mode. */
-kernels::SpmvResult
-spmvWithFormat(Machine &m, const Csr &a, const DenseVector &x,
-               const std::string &fmt)
-{
-    if (fmt == "csb") {
-        Csb csb = Csb::fromCsr(a, kernels::viaCsbBeta(m));
-        return kernels::spmvViaCsb(m, csb, x);
-    }
-    if (fmt == "csr")
-        return kernels::spmvViaCsr(m, a, x);
-    if (fmt == "spc5") {
-        Spc5 s = Spc5::fromCsr(a, Index(m.vl()));
-        return kernels::spmvViaSpc5(m, s, x);
-    }
-    if (fmt == "sell") {
-        auto vl = Index(m.vl());
-        SellCSigma s = SellCSigma::fromCsr(a, vl, 4 * vl);
-        return kernels::spmvViaSell(m, s, x);
-    }
-    via_fatal("unknown format '", fmt, "'");
-}
-
 int
 runSpmv(const Config &cfg, const MachineParams &params, Rng &rng)
 {
@@ -277,7 +255,7 @@ runSpmv(const Config &cfg, const MachineParams &params, Rng &rng)
     viam.tracePhase("spmv_" + fmt);
     Timeline timeline;
     timeline.install(viam, Tick(cfg.getUInt("timeline", 0)));
-    kernels::SpmvResult vres = spmvWithFormat(viam, a, x, fmt);
+    kernels::SpmvResult vres = kernels::spmvVia(viam, a, x, fmt);
     report(("VIA " + fmt).c_str(), viam, bres.cycles);
     timeline.print();
 
@@ -468,7 +446,7 @@ runSweep(const std::string &kernel, const Config &cfg, Rng &rng)
             Machine m(params);
             enableTracing(m, topts);
             m.tracePhase("spmv_" + fmt);
-            auto res = spmvWithFormat(m, *a, *x, fmt);
+            auto res = kernels::spmvVia(m, *a, *x, fmt);
             bool ok = finishTracing(m, topts,
                                     "_" + params.via.name());
             return SweepPoint{res.cycles,

@@ -42,6 +42,17 @@ makeExecutor(const Config &cfg)
     return SweepExecutor(unsigned(cfg.getUInt("threads", 0)));
 }
 
+sample::SampleOptions
+sampleOptions(const Config &cfg)
+{
+    sample::SampleOptions opts =
+        sample::SampleOptions::fromConfig(cfg);
+    if (opts.mode == sample::SimMode::Functional)
+        via_fatal("mode=functional models no timing; the bench "
+                  "harnesses need detailed or sampled");
+    return opts;
+}
+
 TraceOptions
 traceOptions(const Config &cfg)
 {

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "sample/sampling.hh"
 #include "simcore/config.hh"
 #include "simcore/parallel.hh"
 #include "simcore/rng.hh"
@@ -45,6 +46,16 @@ SweepExecutor makeExecutor(const Config &cfg);
  * deterministic.
  */
 TraceOptions traceOptions(const Config &cfg);
+
+/**
+ * The shared sampled-simulation knobs (mode=, sample_interval=,
+ * sample_warmup=, sample_measure=), parsed once per harness. The
+ * figures compare cycle counts, so mode=functional (which models no
+ * timing) is rejected here; mode=sampled lets a harness take inputs
+ * far beyond what detailed simulation sustains, at the documented
+ * error bound (docs/sampling.md).
+ */
+sample::SampleOptions sampleOptions(const Config &cfg);
 
 /** Print an aligned table: header row + data rows. */
 void printTable(const std::vector<std::string> &header,

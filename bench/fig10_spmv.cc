@@ -15,8 +15,15 @@
  *
  * Usage: fig10_spmv [count=N] [seed=S] [max_rows=R] [sspm_kb=K]
  *                   [ports=P] [corpus_dir=PATH] [threads=T]
+ *                   [mode=detailed|sampled] [sample_interval=N]
+ *                   [sample_warmup=N] [sample_measure=N]
  *                   [trace=PATH] [trace_format=perfetto|konata]
  *                   [trace_limit=N] [trace_summary=1]
+ *
+ * mode=sampled replaces every kernel's detailed cycle count with
+ * the interval-sampling extrapolation (docs/sampling.md), making
+ * corpora with far larger matrices (max_rows in the hundreds of
+ * thousands) tractable at a bounded cycle error.
  *
  * With trace=PATH, the VIA CSB run of every matrix writes its own
  * event trace, suffixed with the matrix name before the extension
@@ -79,6 +86,7 @@ main(int argc, char **argv)
     SweepExecutor exec = bench::makeExecutor(cfg);
     std::uint64_t vec_seed = cfg.getUInt("vec_seed", 1234);
     TraceOptions topts = bench::traceOptions(cfg);
+    sample::SampleOptions sopts = bench::sampleOptions(cfg);
 
     auto results = exec.run(corpus.size(), [&](std::size_t i) {
         const auto &entry = corpus[i];
@@ -87,10 +95,13 @@ main(int argc, char **argv)
         DenseVector x = randomVector(a.cols(), rng);
         PerMatrix pm;
 
+        // Under mode=sampled the estimate replaces the detailed
+        // makespan; in detailed mode runWith returns it exactly.
         auto run = [&](auto &&kernel, auto &&fmt) {
             Machine m(params);
-            auto res = kernel(m, fmt, x);
-            return double(res.cycles);
+            auto est = sample::runWith(m, sopts,
+                                       [&] { kernel(m, fmt, x); });
+            return est.cycles;
         };
 
         Index beta = [&] {
@@ -114,9 +125,10 @@ main(int argc, char **argv)
             Machine m(params);
             enableTracing(m, topts);
             m.tracePhase("spmv_csb");
-            auto res = kernels::spmvViaCsb(m, csb, x);
+            auto est = sample::runWith(
+                m, sopts, [&] { kernels::spmvViaCsb(m, csb, x); });
             finishTracing(m, topts, "_" + entry.name);
-            return double(res.cycles);
+            return est.cycles;
         }();
         pm.spCsb = run(kernels::spmvVectorCsb, csb) / via_csb;
         pm.spCsbScalar =

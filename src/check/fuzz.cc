@@ -1,6 +1,7 @@
 #include "check/fuzz.hh"
 
 #include <algorithm>
+#include <cstdarg>
 #include <cstdio>
 
 #include "check/invariants.hh"
@@ -12,6 +13,7 @@
 #include "kernels/spmm.hh"
 #include "kernels/stencil.hh"
 #include "simcore/log.hh"
+#include "simcore/parallel.hh"
 #include "sparse/convert.hh"
 #include "sparse/csc.hh"
 #include "sparse/generators.hh"
@@ -24,21 +26,39 @@ namespace check
 namespace
 {
 
-/** Per-seed context threaded through every kernel run. */
+/**
+ * Per-seed context threaded through every kernel run. Diagnostics
+ * go through `out`, not straight to stderr: seeds may run on worker
+ * threads, and buffering keeps a parallel campaign's output
+ * bit-identical to a serial one.
+ */
 struct SeedCtx
 {
     const FuzzOptions &opts;
     FuzzStats &stats;
     std::uint64_t seed;
+    std::string &out;
 };
+
+void
+appendf(std::string &out, const char *fmt, ...)
+{
+    char buf[512];
+    std::va_list args;
+    va_start(args, fmt);
+    int n = std::vsnprintf(buf, sizeof(buf), fmt, args);
+    va_end(args);
+    if (n > 0)
+        out.append(buf, std::min(std::size_t(n), sizeof(buf) - 1));
+}
 
 void
 printReplay(const SeedCtx &ctx, const std::string &kernel)
 {
-    std::fprintf(stderr,
-                 "replay: via_fuzz seeds=1 seed=%llu kernel=%s\n",
-                 static_cast<unsigned long long>(ctx.seed),
-                 kernel.c_str());
+    appendf(ctx.out,
+            "replay: via_fuzz seeds=1 seed=%llu kernel=%s\n",
+            static_cast<unsigned long long>(ctx.seed),
+            kernel.c_str());
 }
 
 /**
@@ -64,14 +84,14 @@ runOne(const SeedCtx &ctx, const MachineParams &params,
         return true;
 
     ++ctx.stats.failures;
-    std::fprintf(stderr,
-                 "via_fuzz: FAIL %s config=%s seed=%llu (%s)\n",
-                 label.c_str(), params.via.name().c_str(),
-                 static_cast<unsigned long long>(ctx.seed),
-                 !ref_ok ? "reference mismatch"
-                         : "invariant violation");
+    appendf(ctx.out,
+            "via_fuzz: FAIL %s config=%s seed=%llu (%s)\n",
+            label.c_str(), params.via.name().c_str(),
+            static_cast<unsigned long long>(ctx.seed),
+            !ref_ok ? "reference mismatch"
+                    : "invariant violation");
     if (!inv_ok)
-        std::fputs(checker.report().c_str(), stderr);
+        ctx.out += checker.report();
     printReplay(ctx, kernel);
     return false;
 }
@@ -221,6 +241,65 @@ fuzzStencil(const SeedCtx &ctx, const MachineParams &params,
                   });
 }
 
+/** One seed's complete, order-independent verdict. */
+struct SeedResult
+{
+    FuzzStats stats;
+    std::string out;
+};
+
+/**
+ * Run one seed across every configuration and requested kernel,
+ * stopping at the seed's first failure (one replay line per bad
+ * seed). Self-contained: writes only into the returned result, so
+ * seeds can run on any thread in any order.
+ */
+SeedResult
+runSeed(const FuzzOptions &opts,
+        const std::vector<MachineParams> &configs,
+        std::uint64_t seed)
+{
+    SeedResult res;
+    SeedCtx ctx{opts, res.stats, seed, res.out};
+    if (opts.verbose)
+        appendf(res.out, "via_fuzz: seed %llu\n",
+                static_cast<unsigned long long>(seed));
+    for (const MachineParams &params : configs) {
+        // Each kernel draws from its own stream so adding a kernel
+        // or config never shifts another's inputs.
+        auto sub = [&](std::uint64_t salt) {
+            return Rng(seed * 0x9e3779b97f4a7c15ull + salt);
+        };
+        bool ok = true;
+        if (opts.kernel == "all" || opts.kernel == "spmv") {
+            Rng r = sub(1);
+            ok = fuzzSpmv(ctx, params, r);
+        }
+        if (ok && (opts.kernel == "all" || opts.kernel == "spma")) {
+            Rng r = sub(2);
+            ok = fuzzSpma(ctx, params, r);
+        }
+        if (ok && (opts.kernel == "all" || opts.kernel == "spmm")) {
+            Rng r = sub(3);
+            ok = fuzzSpmm(ctx, params, r);
+        }
+        if (ok &&
+            (opts.kernel == "all" || opts.kernel == "histogram")) {
+            Rng r = sub(4);
+            ok = fuzzHistogram(ctx, params, r);
+        }
+        if (ok &&
+            (opts.kernel == "all" || opts.kernel == "stencil")) {
+            Rng r = sub(5);
+            ok = fuzzStencil(ctx, params, r);
+        }
+        if (!ok)
+            return res;
+    }
+    ++res.stats.seedsRun;
+    return res;
+}
+
 } // namespace
 
 std::vector<MachineParams>
@@ -350,50 +429,24 @@ genAdversarial(Rng &rng)
 FuzzStats
 runFuzz(const FuzzOptions &opts)
 {
-    FuzzStats stats;
     std::vector<MachineParams> configs = fuzzConfigs();
 
-    for (std::uint64_t s = 0; s < opts.seeds; ++s) {
-        std::uint64_t seed = opts.firstSeed + s;
-        SeedCtx ctx{opts, stats, seed};
-        if (opts.verbose)
-            std::fprintf(stderr, "via_fuzz: seed %llu\n",
-                         static_cast<unsigned long long>(seed));
-        for (const MachineParams &params : configs) {
-            // Each kernel draws from its own stream so adding a
-            // kernel or config never shifts another's inputs.
-            auto sub = [&](std::uint64_t salt) {
-                return Rng(seed * 0x9e3779b97f4a7c15ull + salt);
-            };
-            bool ok = true;
-            if (opts.kernel == "all" || opts.kernel == "spmv") {
-                Rng r = sub(1);
-                ok = fuzzSpmv(ctx, params, r);
-            }
-            if (ok &&
-                (opts.kernel == "all" || opts.kernel == "spma")) {
-                Rng r = sub(2);
-                ok = fuzzSpma(ctx, params, r);
-            }
-            if (ok &&
-                (opts.kernel == "all" || opts.kernel == "spmm")) {
-                Rng r = sub(3);
-                ok = fuzzSpmm(ctx, params, r);
-            }
-            if (ok && (opts.kernel == "all" ||
-                       opts.kernel == "histogram")) {
-                Rng r = sub(4);
-                ok = fuzzHistogram(ctx, params, r);
-            }
-            if (ok && (opts.kernel == "all" ||
-                       opts.kernel == "stencil")) {
-                Rng r = sub(5);
-                ok = fuzzStencil(ctx, params, r);
-            }
-            if (!ok)
-                return stats;
-        }
-        ++stats.seedsRun;
+    SweepExecutor exec(opts.threads);
+    std::vector<SeedResult> results =
+        exec.run(std::size_t(opts.seeds), [&](std::size_t i) {
+            return runSeed(opts, configs, opts.firstSeed + i);
+        });
+
+    // Emit and aggregate in seed order, regardless of which thread
+    // finished first.
+    FuzzStats stats;
+    for (const SeedResult &res : results) {
+        if (!res.out.empty())
+            std::fputs(res.out.c_str(), stderr);
+        stats.seedsRun += res.stats.seedsRun;
+        stats.kernelRuns += res.stats.kernelRuns;
+        stats.skipped += res.stats.skipped;
+        stats.failures += res.stats.failures;
     }
     return stats;
 }

@@ -10,9 +10,16 @@
  * configurations, baseline and VIA variants alike. Every run is
  * diffed against the host golden reference, and a
  * TimingInvariantChecker verifies the timing model's internal
- * consistency. The first failure stops the fuzz loop and prints a
- * single replayable seed, so `via_fuzz seed=S kernel=K` reproduces
- * it exactly.
+ * consistency. Each seed runs to its first failure and prints a
+ * single replayable line, so `via_fuzz seed=S kernel=K` reproduces
+ * it exactly; the campaign itself runs every seed, so one bad seed
+ * never masks another.
+ *
+ * Seeds share no state (each draws from its own splitmix64
+ * sub-streams), so with threads > 1 the campaign fans out over a
+ * SweepExecutor. Per-seed output is buffered and printed in seed
+ * order after collection: a threads=N run is bit-identical to a
+ * serial one.
  */
 
 #ifndef VIA_CHECK_FUZZ_HH
@@ -42,6 +49,7 @@ struct FuzzOptions
     std::uint64_t firstSeed = 1;  //!< first seed (replay: seeds=1)
     std::string kernel = "all";   //!< all | spmv | spma | spmm |
                                   //!< histogram | stencil
+    unsigned threads = 1;         //!< worker threads (0 = hardware)
     bool verbose = false;         //!< per-seed progress on stderr
 
     /**
@@ -55,7 +63,7 @@ struct FuzzOptions
 /** Campaign totals. */
 struct FuzzStats
 {
-    std::uint64_t seedsRun = 0;
+    std::uint64_t seedsRun = 0;   //!< seeds that completed clean
     std::uint64_t kernelRuns = 0; //!< kernel x config x variant runs
     std::uint64_t skipped = 0;    //!< input exceeded a config's CAM
     std::uint64_t failures = 0;   //!< mismatches + violations
@@ -79,9 +87,10 @@ std::vector<MachineParams> fuzzConfigs();
 Csr genAdversarial(Rng &rng);
 
 /**
- * Run the campaign. Returns the totals; failures != 0 means a
- * replay line ("replay: via_fuzz seed=... kernel=...") was printed
- * and the loop stopped at the offending seed.
+ * Run the campaign (parallel when opts.threads != 1; per-seed
+ * verdicts and output are deterministic at any thread count).
+ * Returns the totals; failures != 0 means at least one replay line
+ * ("replay: via_fuzz seeds=1 seed=... kernel=...") was printed.
  */
 FuzzStats runFuzz(const FuzzOptions &opts);
 

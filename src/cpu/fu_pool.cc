@@ -4,6 +4,7 @@
 
 #include "cpu/core_params.hh"
 #include "simcore/log.hh"
+#include "simcore/serialize.hh"
 
 namespace via
 {
@@ -36,6 +37,22 @@ FuPool::resetTiming()
 {
     for (auto &r : _resources)
         r.resetTiming();
+}
+
+void
+FuPool::saveState(Serializer &ser) const
+{
+    ser.tag("FUPL");
+    for (const auto &r : _resources)
+        r.saveState(ser);
+}
+
+void
+FuPool::loadState(Deserializer &des)
+{
+    des.expectTag("FUPL");
+    for (auto &r : _resources)
+        r.loadState(des);
 }
 
 } // namespace via

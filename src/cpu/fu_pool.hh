@@ -24,6 +24,8 @@ namespace via
 {
 
 struct CoreParams;
+class Serializer;
+class Deserializer;
 
 /** One Resource per functional-unit class. */
 class FuPool
@@ -35,6 +37,11 @@ class FuPool
     const Resource &forClass(FuClass cls) const;
 
     void resetTiming();
+
+    /** Serialize every class resource (checkpoints). */
+    void saveState(Serializer &ser) const;
+    /** Restore state saved by saveState. */
+    void loadState(Deserializer &des);
 
   private:
     std::array<Resource,

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "simcore/log.hh"
+#include "simcore/serialize.hh"
 
 namespace via
 {
@@ -47,6 +48,55 @@ StoreTracker::resetTiming()
 {
     std::fill(_ring.begin(), _ring.end(), StoreRec{});
     _next = 0;
+}
+
+void
+SlotPool::saveState(Serializer &ser) const
+{
+    ser.tag("SLOT");
+    ser.putVec(_freeAt);
+}
+
+void
+SlotPool::loadState(Deserializer &des)
+{
+    des.expectTag("SLOT");
+    auto v = des.getVec<Tick>();
+    if (v.size() != _freeAt.size())
+        throw SerializeError("slot pool size mismatch");
+    _freeAt = std::move(v);
+}
+
+void
+StoreTracker::saveState(Serializer &ser) const
+{
+    ser.tag("STRK");
+    ser.put(std::uint64_t(_ring.size()));
+    for (const StoreRec &st : _ring) {
+        ser.put(st.lo);
+        ser.put(st.hi);
+        ser.put(st.complete);
+    }
+    ser.put(std::uint64_t(_next));
+    ser.put(_conflicts);
+}
+
+void
+StoreTracker::loadState(Deserializer &des)
+{
+    des.expectTag("STRK");
+    std::uint64_t n = des.get();
+    if (n != _ring.size())
+        throw SerializeError("store tracker depth mismatch");
+    for (StoreRec &st : _ring) {
+        st.lo = des.get<Addr>();
+        st.hi = des.get<Addr>();
+        st.complete = des.get<Tick>();
+    }
+    _next = std::size_t(des.get());
+    if (_next >= _ring.size())
+        throw SerializeError("store tracker cursor out of range");
+    _conflicts = des.get<std::uint64_t>();
 }
 
 } // namespace via

@@ -21,6 +21,9 @@
 namespace via
 {
 
+class Serializer;
+class Deserializer;
+
 /**
  * A pool of queue slots occupied for a time interval (LQ/SQ
  * occupancy). Allocation is gated on the earliest-free slot, which
@@ -62,6 +65,11 @@ class SlotPool
             t = 0;
     }
 
+    /** Serialize slot occupancy (checkpoints). */
+    void saveState(Serializer &ser) const;
+    /** Restore state saved by saveState; validates slot count. */
+    void loadState(Deserializer &des);
+
   private:
     std::vector<Tick> _freeAt;
 };
@@ -87,6 +95,11 @@ class StoreTracker
 
     /** Attach a trace sink for store-forwarding stall events. */
     void setTrace(TraceManager *trace) { _trace = trace; }
+
+    /** Serialize the store ring (checkpoints). */
+    void saveState(Serializer &ser) const;
+    /** Restore state saved by saveState; validates the depth. */
+    void loadState(Deserializer &des);
 
   private:
     struct StoreRec

@@ -3,7 +3,9 @@
 #include <algorithm>
 
 #include "check/invariants.hh"
+#include "sample/functional.hh"
 #include "simcore/log.hh"
+#include "simcore/serialize.hh"
 
 namespace via
 {
@@ -36,11 +38,14 @@ Machine::Machine(const MachineParams &params)
       _memSys(std::make_unique<MemSystem>(params.mem)),
       _sspm(std::make_unique<Sspm>(params.via)),
       _fivu(std::make_unique<Fivu>(params.via)),
-      _core(std::make_unique<OoOCore>(params.core, *_memSys, *_fivu))
+      _core(std::make_unique<OoOCore>(params.core, *_memSys, *_fivu)),
+      _func(std::make_unique<sample::FunctionalExecutor>(*_memSys,
+                                                         *_core))
 {
     _core->attachEvents(&_events);
     _memSys->registerStats(_stats);
     _core->registerStats(_stats);
+    _func->registerStats(_stats);
 
     const SspmStats &ss = _sspm->stats();
     _stats.addScalar("sspm.direct_reads", "direct-mapped reads",
@@ -206,47 +211,109 @@ Machine::makeInst(Op op, int vl, std::int16_t dst, std::int16_t s0,
     return inst;
 }
 
+void
+Machine::issue(const Inst &inst)
+{
+    if (_policy == nullptr || _policy->detailedNext(inst))
+        _core->push(inst);
+    else
+        _func->execute(inst);
+}
+
+void
+Machine::saveState(Serializer &ser) const
+{
+    // Event callbacks are std::functions and cannot be serialized;
+    // the drivers checkpoint at kernel boundaries where the queue
+    // has drained.
+    if (!_events.empty())
+        throw SerializeError("cannot checkpoint a machine with "
+                             "pending events");
+
+    ser.tag("MACH");
+    ser.put(_params.valueType);
+    ser.put(_params.indexType);
+    ser.put(_events.curTick());
+    ser.put(_seq);
+    for (int r = 0; r < NUM_VREGS; ++r)
+        for (std::uint64_t raw : _vrf[r].raw)
+            ser.put(raw);
+    for (std::uint64_t s : _srf)
+        ser.put(s);
+    _store.saveState(ser);
+    _memSys->saveState(ser);
+    _sspm->saveState(ser);
+    _fivu->saveState(ser);
+    _core->saveState(ser);
+}
+
+void
+Machine::loadState(Deserializer &des)
+{
+    if (!_events.empty())
+        throw SerializeError("cannot restore over pending events");
+
+    des.expectTag("MACH");
+    if (des.get<ElemType>() != _params.valueType ||
+        des.get<ElemType>() != _params.indexType)
+        throw SerializeError("machine element type mismatch");
+    Tick tick = des.get<Tick>();
+    SeqNum seq = des.get<SeqNum>();
+    for (int r = 0; r < NUM_VREGS; ++r)
+        for (std::uint64_t &raw : _vrf[r].raw)
+            raw = des.get<std::uint64_t>();
+    for (std::uint64_t &s : _srf)
+        s = des.get<std::uint64_t>();
+    _store.loadState(des);
+    _memSys->loadState(des);
+    _sspm->loadState(des);
+    _fivu->loadState(des);
+    _core->loadState(des);
+    _seq = seq;
+    _events.resetTick(tick);
+}
+
 // ================= scalar ======================================
 
 void
 Machine::simm(SReg dst, std::int64_t value)
 {
     setSregI(dst, value);
-    _core->push(makeInst(Op::SAlu, 0, sid(dst), REG_NONE));
+    issue(makeInst(Op::SAlu, 0, sid(dst), REG_NONE));
 }
 
 void
 Machine::salu(SReg dst, std::int64_t result, SReg a, SReg b)
 {
     setSregI(dst, result);
-    _core->push(makeInst(Op::SAlu, 0, sid(dst), sid(a), sid(b)));
+    issue(makeInst(Op::SAlu, 0, sid(dst), sid(a), sid(b)));
 }
 
 void
 Machine::smul(SReg dst, std::int64_t result, SReg a, SReg b)
 {
     setSregI(dst, result);
-    _core->push(makeInst(Op::SMul, 0, sid(dst), sid(a), sid(b)));
+    issue(makeInst(Op::SMul, 0, sid(dst), sid(a), sid(b)));
 }
 
 void
 Machine::sfadd(SReg dst, SReg a, SReg b)
 {
     setSregF(dst, sregF(a) + sregF(b));
-    _core->push(makeInst(Op::SFAdd, 0, sid(dst), sid(a), sid(b)));
+    issue(makeInst(Op::SFAdd, 0, sid(dst), sid(a), sid(b)));
 }
 
 void
 Machine::sfmul(SReg dst, SReg a, SReg b)
 {
     setSregF(dst, sregF(a) * sregF(b));
-    _core->push(makeInst(Op::SFMul, 0, sid(dst), sid(a), sid(b)));
+    issue(makeInst(Op::SFMul, 0, sid(dst), sid(a), sid(b)));
 }
 
 void
 Machine::sbranch(SReg cond)
 {
-    _core->push(makeInst(Op::SBranch, 0, REG_NONE, sid(cond)));
+    issue(makeInst(Op::SBranch, 0, REG_NONE, sid(cond)));
 }
 
 void
@@ -256,7 +323,7 @@ Machine::sbranchData(SReg cond, std::uint64_t site, bool taken)
     inst.isDataBranch = true;
     inst.branchSite = std::uint32_t(site);
     inst.branchTaken = taken;
-    _core->push(inst);
+    issue(inst);
 }
 
 void
@@ -275,7 +342,7 @@ Machine::sload(SReg dst, Addr addr, std::uint32_t bytes,
 
     Inst inst = makeInst(Op::SLoad, 0, sid(dst), sid(addr_dep));
     inst.addAccess(addr, bytes, false);
-    _core->push(inst);
+    issue(inst);
 }
 
 void
@@ -289,7 +356,7 @@ Machine::sstore(Addr addr, SReg src, std::uint32_t bytes,
     Inst inst = makeInst(Op::SStore, 0, REG_NONE, sid(src),
                          sid(addr_dep));
     inst.addAccess(addr, bytes, true);
-    _core->push(inst);
+    issue(inst);
 }
 
 void
@@ -306,7 +373,7 @@ Machine::sloadF(SReg dst, Addr addr, ElemType t, SReg addr_dep)
 
     Inst inst = makeInst(Op::SLoad, 0, sid(dst), sid(addr_dep));
     inst.addAccess(addr, elemBytes(t), false);
-    _core->push(inst);
+    issue(inst);
 }
 
 void
@@ -323,7 +390,7 @@ Machine::sstoreF(Addr addr, SReg src, ElemType t, SReg addr_dep)
     Inst inst = makeInst(Op::SStore, 0, REG_NONE, sid(src),
                          sid(addr_dep));
     inst.addAccess(addr, elemBytes(t), true);
-    _core->push(inst);
+    issue(inst);
 }
 
 // ================= vector memory ================================
@@ -346,7 +413,7 @@ Machine::vload(VReg dst, Addr addr, ElemType t, int vl, SReg addr_dep)
 
     Inst inst = makeInst(Op::VLoad, int(n), vid(dst), sid(addr_dep));
     inst.addAccess(addr, n * eb, false);
-    _core->push(inst);
+    issue(inst);
 }
 
 void
@@ -362,7 +429,7 @@ Machine::vstore(Addr addr, VReg src, ElemType t, int vl,
     Inst inst = makeInst(Op::VStore, int(n), REG_NONE, vid(src),
                          sid(addr_dep));
     inst.addAccess(addr, n * eb, true);
-    _core->push(inst);
+    issue(inst);
 }
 
 void
@@ -385,7 +452,7 @@ Machine::vgather(VReg dst, Addr base, VReg idx, ElemType t, int vl)
     }
     for (std::uint32_t l = n; l < MAX_LANES; ++l)
         d.raw[l] = 0;
-    _core->push(inst);
+    issue(inst);
 }
 
 void
@@ -403,7 +470,7 @@ Machine::vscatter(Addr base, VReg idx, VReg src, ElemType t, int vl)
         _store.write(a, &s.raw[l], eb);
         inst.addAccess(a, eb, true);
     }
-    _core->push(inst);
+    issue(inst);
 }
 
 // ================= vector arithmetic ============================
@@ -415,7 +482,7 @@ Machine::vbroadcastF(VReg dst, double v)
     VecValue &d = _vrf[dst.id];
     for (std::uint32_t l = 0; l < lanesFor(t); ++l)
         d.setFAs(t, l, v);
-    _core->push(makeInst(Op::VBroadcastF, int(lanesFor(t)), vid(dst),
+    issue(makeInst(Op::VBroadcastF, int(lanesFor(t)), vid(dst),
                          REG_NONE));
 }
 
@@ -425,7 +492,7 @@ Machine::vbroadcastI(VReg dst, std::int64_t v)
     VecValue &d = _vrf[dst.id];
     for (std::uint32_t l = 0; l < MAX_LANES; ++l)
         d.setI(l, v);
-    _core->push(makeInst(Op::VBroadcastI, int(MAX_LANES), vid(dst),
+    issue(makeInst(Op::VBroadcastI, int(MAX_LANES), vid(dst),
                          REG_NONE));
 }
 
@@ -435,7 +502,7 @@ Machine::viotaI(VReg dst, std::int64_t base, std::int64_t step)
     VecValue &d = _vrf[dst.id];
     for (std::uint32_t l = 0; l < MAX_LANES; ++l)
         d.setI(l, base + std::int64_t(l) * step);
-    _core->push(makeInst(Op::VIota, int(MAX_LANES), vid(dst),
+    issue(makeInst(Op::VIota, int(MAX_LANES), vid(dst),
                          REG_NONE));
 }
 
@@ -446,7 +513,7 @@ Machine::vpatternI(VReg dst, const std::vector<std::int64_t> &lanes)
     VecValue &d = _vrf[dst.id];
     for (std::uint32_t l = 0; l < MAX_LANES; ++l)
         d.setI(l, l < lanes.size() ? lanes[l] : 0);
-    _core->push(makeInst(Op::VIota, int(MAX_LANES), vid(dst),
+    issue(makeInst(Op::VIota, int(MAX_LANES), vid(dst),
                          REG_NONE));
 }
 
@@ -454,7 +521,7 @@ void
 Machine::vmove(VReg dst, VReg src)
 {
     _vrf[dst.id] = _vrf[src.id];
-    _core->push(makeInst(Op::VMove, int(vl()), vid(dst), vid(src)));
+    issue(makeInst(Op::VMove, int(vl()), vid(dst), vid(src)));
 }
 
 double
@@ -481,7 +548,7 @@ Machine::vaddF(VReg dst, VReg a, VReg b, int vl_)
     const VecValue &y = _vrf[b.id];
     for (std::uint32_t l = 0; l < n; ++l)
         d.setFAs(t, l, x.fAs(t, l) + y.fAs(t, l));
-    _core->push(makeInst(Op::VAddF, int(n), vid(dst), vid(a),
+    issue(makeInst(Op::VAddF, int(n), vid(dst), vid(a),
                          vid(b)));
 }
 
@@ -495,7 +562,7 @@ Machine::vsubF(VReg dst, VReg a, VReg b, int vl_)
     const VecValue &y = _vrf[b.id];
     for (std::uint32_t l = 0; l < n; ++l)
         d.setFAs(t, l, x.fAs(t, l) - y.fAs(t, l));
-    _core->push(makeInst(Op::VSubF, int(n), vid(dst), vid(a),
+    issue(makeInst(Op::VSubF, int(n), vid(dst), vid(a),
                          vid(b)));
 }
 
@@ -509,7 +576,7 @@ Machine::vmulF(VReg dst, VReg a, VReg b, int vl_)
     const VecValue &y = _vrf[b.id];
     for (std::uint32_t l = 0; l < n; ++l)
         d.setFAs(t, l, x.fAs(t, l) * y.fAs(t, l));
-    _core->push(makeInst(Op::VMulF, int(n), vid(dst), vid(a),
+    issue(makeInst(Op::VMulF, int(n), vid(dst), vid(a),
                          vid(b)));
 }
 
@@ -524,7 +591,7 @@ Machine::vfmaF(VReg dst, VReg a, VReg b, VReg c, int vl_)
     const VecValue &z = _vrf[c.id];
     for (std::uint32_t l = 0; l < n; ++l)
         d.setFAs(t, l, x.fAs(t, l) * y.fAs(t, l) + z.fAs(t, l));
-    _core->push(makeInst(Op::VFmaF, int(n), vid(dst), vid(a), vid(b),
+    issue(makeInst(Op::VFmaF, int(n), vid(dst), vid(a), vid(b),
                          vid(c)));
 }
 
@@ -537,7 +604,7 @@ Machine::vaddI(VReg dst, VReg a, VReg b, int vl_)
     const VecValue &y = _vrf[b.id];
     for (std::uint32_t l = 0; l < n; ++l)
         d.setI(l, x.i(l) + y.i(l));
-    _core->push(makeInst(Op::VAddI, int(n), vid(dst), vid(a),
+    issue(makeInst(Op::VAddI, int(n), vid(dst), vid(a),
                          vid(b)));
 }
 
@@ -550,7 +617,7 @@ Machine::vsubI(VReg dst, VReg a, VReg b, int vl_)
     const VecValue &y = _vrf[b.id];
     for (std::uint32_t l = 0; l < n; ++l)
         d.setI(l, x.i(l) - y.i(l));
-    _core->push(makeInst(Op::VAddI, int(n), vid(dst), vid(a),
+    issue(makeInst(Op::VAddI, int(n), vid(dst), vid(a),
                          vid(b)));
 }
 
@@ -563,7 +630,7 @@ Machine::vmulI(VReg dst, VReg a, VReg b, int vl_)
     const VecValue &y = _vrf[b.id];
     for (std::uint32_t l = 0; l < n; ++l)
         d.setI(l, x.i(l) * y.i(l));
-    _core->push(makeInst(Op::VMulI, int(n), vid(dst), vid(a),
+    issue(makeInst(Op::VMulI, int(n), vid(dst), vid(a),
                          vid(b)));
 }
 
@@ -575,7 +642,7 @@ Machine::vandI(VReg dst, VReg src, std::int64_t imm, int vl_)
     const VecValue &x = _vrf[src.id];
     for (std::uint32_t l = 0; l < n; ++l)
         d.setI(l, x.i(l) & imm);
-    _core->push(makeInst(Op::VAndI, int(n), vid(dst), vid(src)));
+    issue(makeInst(Op::VAndI, int(n), vid(dst), vid(src)));
 }
 
 void
@@ -586,7 +653,7 @@ Machine::vshrI(VReg dst, VReg src, std::uint32_t shift, int vl_)
     const VecValue &x = _vrf[src.id];
     for (std::uint32_t l = 0; l < n; ++l)
         d.setI(l, x.i(l) >> shift);
-    _core->push(makeInst(Op::VShrI, int(n), vid(dst), vid(src)));
+    issue(makeInst(Op::VShrI, int(n), vid(dst), vid(src)));
 }
 
 void
@@ -598,7 +665,7 @@ Machine::vcmpEqI(VReg dst, VReg a, VReg b, int vl_)
     const VecValue &y = _vrf[b.id];
     for (std::uint32_t l = 0; l < n; ++l)
         d.setI(l, x.i(l) == y.i(l) ? 1 : 0);
-    _core->push(makeInst(Op::VCmpEqI, int(n), vid(dst), vid(a),
+    issue(makeInst(Op::VCmpEqI, int(n), vid(dst), vid(a),
                          vid(b)));
 }
 
@@ -611,7 +678,7 @@ Machine::vcmpLtI(VReg dst, VReg a, VReg b, int vl_)
     const VecValue &y = _vrf[b.id];
     for (std::uint32_t l = 0; l < n; ++l)
         d.setI(l, x.i(l) < y.i(l) ? 1 : 0);
-    _core->push(makeInst(Op::VCmpLtI, int(n), vid(dst), vid(a),
+    issue(makeInst(Op::VCmpLtI, int(n), vid(dst), vid(a),
                          vid(b)));
 }
 
@@ -625,7 +692,7 @@ Machine::vredsumF(SReg dst, VReg src, int vl_)
     for (std::uint32_t l = 0; l < n; ++l)
         sum += s.fAs(t, l);
     setSregF(dst, sum);
-    _core->push(makeInst(Op::VRedSumF, int(n), sid(dst), vid(src)));
+    issue(makeInst(Op::VRedSumF, int(n), sid(dst), vid(src)));
 }
 
 void
@@ -641,7 +708,7 @@ Machine::vcompress(VReg dst, VReg src, VReg mask, int vl_)
             d.raw[k++] = s.raw[l];
     for (; k < MAX_LANES; ++k)
         d.raw[k] = 0;
-    _core->push(makeInst(Op::VCompress, int(n), vid(dst), vid(src),
+    issue(makeInst(Op::VCompress, int(n), vid(dst), vid(src),
                          vid(mask)));
 }
 
@@ -657,7 +724,7 @@ Machine::vexpand(VReg dst, VReg src, VReg mask, int vl_)
         d.raw[l] = (m.i(l) != 0) ? s.raw[k++] : 0;
     for (std::uint32_t l = n; l < MAX_LANES; ++l)
         d.raw[l] = 0;
-    _core->push(makeInst(Op::VExpand, int(n), vid(dst), vid(src),
+    issue(makeInst(Op::VExpand, int(n), vid(dst), vid(src),
                          vid(mask)));
 }
 
@@ -673,7 +740,7 @@ Machine::vexpandMask(VReg dst, VReg src, std::uint32_t mask, int vl_,
         d.raw[l] = ((mask >> l) & 1u) ? s.raw[k++] : 0;
     for (std::uint32_t l = n; l < MAX_LANES; ++l)
         d.raw[l] = 0;
-    _core->push(makeInst(Op::VExpand, int(n), vid(dst), vid(src),
+    issue(makeInst(Op::VExpand, int(n), vid(dst), vid(src),
                          sid(mask_dep)));
 }
 
@@ -688,7 +755,7 @@ Machine::vpermute(VReg dst, VReg src, VReg perm, int vl_)
         auto sel = std::uint64_t(p.i(l)) % n;
         d.raw[l] = s.raw[sel];
     }
-    _core->push(makeInst(Op::VPermute, int(n), vid(dst), vid(src),
+    issue(makeInst(Op::VPermute, int(n), vid(dst), vid(src),
                          vid(perm)));
 }
 
@@ -707,7 +774,7 @@ Machine::vconflict(VReg dst, VReg idx, int vl_)
     }
     for (std::uint32_t l = n; l < MAX_LANES; ++l)
         d.raw[l] = 0;
-    _core->push(makeInst(Op::VConflict, int(n), vid(dst), vid(idx)));
+    issue(makeInst(Op::VConflict, int(n), vid(dst), vid(idx)));
 }
 
 void
@@ -727,7 +794,7 @@ Machine::vmergeIdx(VReg dst, VReg src, VReg idx, int vl_)
     }
     for (std::uint32_t l = n; l < MAX_LANES; ++l)
         d.raw[l] = 0;
-    _core->push(makeInst(Op::VMergeIdx, int(n), vid(dst), vid(src),
+    issue(makeInst(Op::VMergeIdx, int(n), vid(dst), vid(src),
                          vid(idx)));
 }
 
@@ -737,21 +804,21 @@ void
 Machine::vidxClear()
 {
     _sspm->clearAll();
-    _core->push(makeInst(Op::VidxClear, 0, REG_NONE, REG_NONE));
+    issue(makeInst(Op::VidxClear, 0, REG_NONE, REG_NONE));
 }
 
 void
 Machine::vidxClearSegment(std::uint64_t lo, std::uint64_t hi)
 {
     _sspm->clearSegment(lo, hi);
-    _core->push(makeInst(Op::VidxClear, 0, REG_NONE, REG_NONE));
+    issue(makeInst(Op::VidxClear, 0, REG_NONE, REG_NONE));
 }
 
 void
 Machine::vidxCount(SReg dst)
 {
     setSregI(dst, _sspm->count());
-    _core->push(makeInst(Op::VidxCount, 0, sid(dst), REG_NONE));
+    issue(makeInst(Op::VidxCount, 0, sid(dst), REG_NONE));
 }
 
 void
@@ -766,7 +833,7 @@ Machine::vidxLoadD(VReg data, VReg idx, int vl_)
     Inst inst = makeInst(Op::VidxLoadD, int(n), REG_NONE, vid(data),
                          vid(idx));
     inst.sspmWrites = std::uint16_t(n);
-    _core->push(inst);
+    issue(inst);
 }
 
 void
@@ -787,7 +854,7 @@ Machine::vidxLoadC(VReg data, VReg keys, int vl_)
                          vid(keys));
     inst.sspmWrites = std::uint16_t(n);
     inst.camSearches = std::uint16_t(n);
-    _core->push(inst);
+    issue(inst);
 }
 
 void
@@ -803,7 +870,7 @@ Machine::vidxMov(VReg dst, VReg idx, int vl_)
 
     Inst inst = makeInst(Op::VidxMov, int(n), vid(dst), vid(idx));
     inst.sspmReads = std::uint16_t(n);
-    _core->push(inst);
+    issue(inst);
 }
 
 void
@@ -821,7 +888,7 @@ Machine::vidxKeys(VReg dst, std::uint32_t slot_offset, int vl_)
 
     Inst inst = makeInst(Op::VidxKeys, int(n), vid(dst), REG_NONE);
     inst.sspmReads = std::uint16_t(n);
-    _core->push(inst);
+    issue(inst);
 }
 
 void
@@ -839,7 +906,7 @@ Machine::vidxVals(VReg dst, std::uint32_t slot_offset, int vl_)
 
     Inst inst = makeInst(Op::VidxVals, int(n), vid(dst), REG_NONE);
     inst.sspmReads = std::uint16_t(n);
-    _core->push(inst);
+    issue(inst);
 }
 
 void
@@ -879,7 +946,7 @@ Machine::vidxArithD(Op op, ArithKind k, VReg data, VReg idx,
         }
         inst.sspmWrites = std::uint16_t(n);
     }
-    _core->push(inst);
+    issue(inst);
 }
 
 void
@@ -955,7 +1022,7 @@ Machine::vidxArithC(Op op, ArithKind k, VReg data, VReg keys,
         }
         inst.sspmWrites = std::uint16_t(n);
     }
-    _core->push(inst);
+    issue(inst);
 }
 
 void
@@ -1006,7 +1073,7 @@ Machine::vidxBlkMulD(VReg data, VReg idx, std::uint32_t idx_offset,
                          vid(data), vid(idx));
     inst.sspmReads = std::uint16_t(2 * n);
     inst.sspmWrites = std::uint16_t(n);
-    _core->push(inst);
+    issue(inst);
 }
 
 } // namespace via

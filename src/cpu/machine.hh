@@ -41,6 +41,28 @@ namespace check
 class TimingInvariantChecker;
 }
 
+namespace sample
+{
+class FunctionalExecutor;
+}
+
+/**
+ * Decides, per instruction, whether the machine folds it into the
+ * detailed timing schedule or runs it through the functional warming
+ * path (src/sample). Implemented by the interval-sampling driver; a
+ * null policy means always detailed. Architectural results are
+ * identical either way — the emit API executes semantics before the
+ * policy is consulted.
+ */
+class ExecPolicy
+{
+  public:
+    virtual ~ExecPolicy() = default;
+
+    /** True: detailed timing for @p inst. False: functional warm. */
+    virtual bool detailedNext(const Inst &inst) = 0;
+};
+
 /** Handle to a vector register. */
 struct VReg
 {
@@ -131,6 +153,37 @@ class Machine
 
     /** Makespan so far (commit tick of the youngest instruction). */
     Tick cycles() const { return _core->finishTick(); }
+
+    /**
+     * Select detailed vs functional execution per instruction
+     * (nullptr reverts to always-detailed). Non-owning: the policy
+     * must outlive the machine or be detached before it goes away.
+     */
+    void setExecPolicy(ExecPolicy *policy) { _policy = policy; }
+    ExecPolicy *execPolicy() { return _policy; }
+
+    /** The functional fast-forward executor and its statistics. */
+    sample::FunctionalExecutor &functional() { return *_func; }
+    const sample::FunctionalExecutor &
+    functional() const
+    {
+        return *_func;
+    }
+
+    /**
+     * Serialize the complete machine state: architectural memory and
+     * registers, cache/DRAM/SSPM/CAM/core microarchitectural state,
+     * statistics, and the simulated clock. Throws SerializeError if
+     * the event queue has pending callbacks (they cannot be
+     * serialized); drain or let them fire before checkpointing.
+     */
+    void saveState(Serializer &ser) const;
+    /**
+     * Restore state saved by saveState into this machine. The
+     * machine must be configured identically (element types, cache
+     * geometry, SSPM size, core sizing) or SerializeError is thrown.
+     */
+    void loadState(Deserializer &des);
 
     // --- architectural state (tests, result extraction) ----------
     VecValue &vreg(VReg r);
@@ -337,6 +390,13 @@ class Machine
     Inst makeInst(Op op, int vl, std::int16_t dst, std::int16_t s0,
                   std::int16_t s1 = REG_NONE,
                   std::int16_t s2 = REG_NONE);
+
+    /**
+     * Route one emitted instruction: detailed schedule (default) or
+     * functional warming, per the attached ExecPolicy. Every emit
+     * funnels through here after its architectural execution.
+     */
+    void issue(const Inst &inst);
     static std::int16_t vid(VReg r);
     static std::int16_t sid(SReg r);
 
@@ -353,6 +413,8 @@ class Machine
     std::unique_ptr<Sspm> _sspm;
     std::unique_ptr<Fivu> _fivu;
     std::unique_ptr<OoOCore> _core;
+    std::unique_ptr<sample::FunctionalExecutor> _func;
+    ExecPolicy *_policy = nullptr;
 
     VecRegFile _vrf;
     std::array<std::uint64_t, NUM_SREGS> _srf{};

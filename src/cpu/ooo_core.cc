@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "simcore/log.hh"
+#include "simcore/serialize.hh"
 
 namespace via
 {
@@ -150,11 +151,7 @@ OoOCore::push(const Inst &inst)
         _lastBranchResolve = std::max(_lastBranchResolve, complete);
         if (inst.isDataBranch) {
             ++_stats.branches;
-            // 2-bit saturating counter, weakly-taken initial state.
-            std::uint8_t &ctr = _branchTable.try_emplace(
-                inst.branchSite, 2).first->second;
-            bool predict_taken = ctr >= 2;
-            if (predict_taken != inst.branchTaken) {
+            if (predictAndTrain(inst)) {
                 ++_stats.mispredicts;
                 mispredicted = true;
                 // Front-end redirect: nothing younger dispatches
@@ -163,10 +160,6 @@ OoOCore::push(const Inst &inst)
                     _lastDispatch,
                     complete + _params.latencies.mispredictPenalty);
             }
-            if (inst.branchTaken && ctr < 3)
-                ++ctr;
-            else if (!inst.branchTaken && ctr > 0)
-                --ctr;
         }
     }
 
@@ -219,8 +212,31 @@ OoOCore::setTrace(TraceManager *trace)
     _stores.setTrace(trace);
 }
 
+bool
+OoOCore::predictAndTrain(const Inst &inst)
+{
+    // 2-bit saturating counter, weakly-taken initial state.
+    std::uint8_t &ctr = _branchTable.try_emplace(
+        inst.branchSite, 2).first->second;
+    bool predict_taken = ctr >= 2;
+    bool mispredicted = predict_taken != inst.branchTaken;
+    if (inst.branchTaken && ctr < 3)
+        ++ctr;
+    else if (!inst.branchTaken && ctr > 0)
+        --ctr;
+    return mispredicted;
+}
+
+bool
+OoOCore::warmBranch(const Inst &inst)
+{
+    if (inst.op != Op::SBranch || !inst.isDataBranch)
+        return false;
+    return predictAndTrain(inst);
+}
+
 void
-OoOCore::resetTiming()
+OoOCore::resetTiming(bool keep_predictor)
 {
     _fus.resetTiming();
     _dispatchPorts.resetTiming();
@@ -232,10 +248,102 @@ OoOCore::resetTiming()
     _lastDispatch = 0;
     _lastComplete = 0;
     _lastBranchResolve = 0;
-    _branchTable.clear();
+    if (!keep_predictor)
+        _branchTable.clear();
     _fivu.resetTiming();
-    _mem.dram().resetTiming();
+    // Forgetting only the DRAM pipe would leave cache MSHRs holding
+    // absolute ticks from the previous epoch; reset the whole
+    // hierarchy's in-flight bookings.
+    _mem.resetTiming();
 
+    for (TimingObserver *obs : _timingObservers)
+        obs->onTimingReset();
+}
+
+void
+OoOCore::saveState(Serializer &ser) const
+{
+    ser.tag("CORE");
+    _fus.saveState(ser);
+    _dispatchPorts.saveState(ser);
+    _rob.saveState(ser);
+    _stores.saveState(ser);
+    _loadQueue.saveState(ser);
+    _storeQueue.saveState(ser);
+    ser.put(std::uint64_t(NUM_REGS));
+    for (Tick t : _regReady)
+        ser.put(t);
+    ser.put(_lastDispatch);
+    ser.put(_lastComplete);
+    ser.put(_lastBranchResolve);
+    // Sorted by site so the byte stream does not depend on the
+    // hash map's iteration order (capture -> restore -> capture must
+    // produce identical bytes).
+    std::vector<std::pair<std::uint32_t, std::uint8_t>> sites(
+        _branchTable.begin(), _branchTable.end());
+    std::sort(sites.begin(), sites.end());
+    ser.put(std::uint64_t(sites.size()));
+    for (const auto &[site, ctr] : sites) {
+        ser.put(site);
+        ser.put(ctr);
+    }
+    ser.put(_stats.insts);
+    ser.put(_stats.viaInsts);
+    ser.put(_stats.memInsts);
+    ser.put(_stats.vectorInsts);
+    ser.put(_stats.scalarInsts);
+    ser.put(_stats.cacheAccesses);
+    ser.put(_stats.gatherElements);
+    ser.put(_stats.branches);
+    ser.put(_stats.mispredicts);
+    ser.put(_stats.commitTick);
+    ser.put(_lastTiming.dispatch);
+    ser.put(_lastTiming.issue);
+    ser.put(_lastTiming.complete);
+    ser.put(_lastTiming.commit);
+}
+
+void
+OoOCore::loadState(Deserializer &des)
+{
+    des.expectTag("CORE");
+    _fus.loadState(des);
+    _dispatchPorts.loadState(des);
+    _rob.loadState(des);
+    _stores.loadState(des);
+    _loadQueue.loadState(des);
+    _storeQueue.loadState(des);
+    if (des.get<std::uint64_t>() != std::uint64_t(NUM_REGS))
+        throw SerializeError("register file size mismatch");
+    for (Tick &t : _regReady)
+        t = des.get<Tick>();
+    _lastDispatch = des.get<Tick>();
+    _lastComplete = des.get<Tick>();
+    _lastBranchResolve = des.get<Tick>();
+    std::uint64_t sites = des.get();
+    _branchTable.clear();
+    for (std::uint64_t i = 0; i < sites; ++i) {
+        auto site = des.get<std::uint32_t>();
+        auto ctr = des.get<std::uint8_t>();
+        _branchTable[site] = ctr;
+    }
+    _stats.insts = des.get<std::uint64_t>();
+    _stats.viaInsts = des.get<std::uint64_t>();
+    _stats.memInsts = des.get<std::uint64_t>();
+    _stats.vectorInsts = des.get<std::uint64_t>();
+    _stats.scalarInsts = des.get<std::uint64_t>();
+    _stats.cacheAccesses = des.get<std::uint64_t>();
+    _stats.gatherElements = des.get<std::uint64_t>();
+    _stats.branches = des.get<std::uint64_t>();
+    _stats.mispredicts = des.get<std::uint64_t>();
+    _stats.commitTick = des.get<std::uint64_t>();
+    _lastTiming.dispatch = des.get<Tick>();
+    _lastTiming.issue = des.get<Tick>();
+    _lastTiming.complete = des.get<Tick>();
+    _lastTiming.commit = des.get<Tick>();
+
+    // The restored schedule is a fresh timing epoch for observers
+    // (the invariant checker must drop cross-epoch monotonicity).
     for (TimingObserver *obs : _timingObservers)
         obs->onTimingReset();
 }

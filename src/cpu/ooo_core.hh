@@ -113,8 +113,24 @@ class OoOCore
     /** Completion tick of the youngest value written (drain). */
     Tick lastComplete() const { return _lastComplete; }
 
-    /** Reset all timing state for a new measurement interval. */
-    void resetTiming();
+    /**
+     * Reset all timing state for a new measurement interval.
+     *
+     * @param keep_predictor keep the branch counter table. The
+     *        sampling driver warms the predictor during functional
+     *        fast-forward and must not throw that state away at the
+     *        start of each measurement interval.
+     */
+    void resetTiming(bool keep_predictor = false);
+
+    /**
+     * Warm the branch predictor without timing: predicts and trains
+     * the counter table exactly as push() would, but books no core
+     * resources and touches no CoreStats.
+     *
+     * @return true when the warmed prediction was a mispredict
+     */
+    bool warmBranch(const Inst &inst);
 
     const CoreParams &params() const { return _params; }
     CoreStats &stats() { return _stats; }
@@ -145,12 +161,24 @@ class OoOCore
     /** Detach a previously attached observer (no-op if absent). */
     void removeTimingObserver(TimingObserver *obs);
 
+    /** Serialize schedule state, predictor, and statistics. */
+    void saveState(Serializer &ser) const;
+    /**
+     * Restore state saved by saveState. Observers are notified via
+     * onTimingReset: the restored schedule is a new timing epoch.
+     */
+    void loadState(Deserializer &des);
+
   private:
     /** Combined scalar+vector register-ready table. */
     static constexpr int NUM_REGS = NUM_SREGS + NUM_VREGS;
 
     Tick regReady(std::int16_t reg) const;
     void setRegReady(std::int16_t reg, Tick when);
+
+    /** Predict and train the counter for one data-dependent branch.
+     *  @return true on mispredict */
+    bool predictAndTrain(const Inst &inst);
 
     /** Schedule the memory accesses of @p inst; returns data-ready. */
     Tick scheduleMem(const Inst &inst, Tick issue);

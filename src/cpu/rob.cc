@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "simcore/log.hh"
+#include "simcore/serialize.hh"
 
 namespace via
 {
@@ -40,6 +41,29 @@ RobModel::resetTiming()
     _commitPorts.resetTiming();
     _lastCommit = 0;
     _count = 0;
+}
+
+void
+RobModel::saveState(Serializer &ser) const
+{
+    ser.tag("ROBM");
+    ser.putVec(_ring);
+    _commitPorts.saveState(ser);
+    ser.put(_lastCommit);
+    ser.put(_count);
+}
+
+void
+RobModel::loadState(Deserializer &des)
+{
+    des.expectTag("ROBM");
+    auto ring = des.getVec<Tick>();
+    if (ring.size() != _ring.size())
+        throw SerializeError("ROB size mismatch");
+    _ring = std::move(ring);
+    _commitPorts.loadState(des);
+    _lastCommit = des.get<Tick>();
+    _count = des.get<SeqNum>();
 }
 
 } // namespace via

@@ -46,6 +46,11 @@ class RobModel
     /** Reset for a new kernel run. */
     void resetTiming();
 
+    /** Serialize the commit ring (checkpoints). */
+    void saveState(Serializer &ser) const;
+    /** Restore state saved by saveState; validates the ROB size. */
+    void loadState(Deserializer &des);
+
   private:
     std::vector<Tick> _ring; //!< commit tick per (seq % robSize)
     Resource _commitPorts;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "simcore/serialize.hh"
+
 namespace via
 {
 
@@ -9,12 +11,16 @@ std::uint8_t *
 BackingStore::pageFor(Addr addr)
 {
     std::uint64_t pn = addr / pageBytes;
+    if (pn == _lastPn)
+        return _lastPage;
     auto &page = _pages[pn];
     if (!page) {
         page = std::make_unique<std::uint8_t[]>(pageBytes);
         std::memset(page.get(), 0, pageBytes);
     }
-    return page.get();
+    _lastPn = pn;
+    _lastPage = page.get();
+    return _lastPage;
 }
 
 const std::uint8_t *
@@ -26,7 +32,7 @@ BackingStore::pageForRead(Addr addr) const
 }
 
 void
-BackingStore::read(Addr addr, void *dst, std::size_t bytes) const
+BackingStore::readSlow(Addr addr, void *dst, std::size_t bytes) const
 {
     auto *out = static_cast<std::uint8_t *>(dst);
     while (bytes > 0) {
@@ -41,7 +47,7 @@ BackingStore::read(Addr addr, void *dst, std::size_t bytes) const
 }
 
 void
-BackingStore::write(Addr addr, const void *src, std::size_t bytes)
+BackingStore::writeSlow(Addr addr, const void *src, std::size_t bytes)
 {
     auto *in = static_cast<const std::uint8_t *>(src);
     while (bytes > 0) {
@@ -64,6 +70,47 @@ BackingStore::alloc(std::uint64_t bytes, std::uint64_t align)
     Addr base = _brk;
     _brk += std::max<std::uint64_t>(bytes, 1);
     return base;
+}
+
+void
+BackingStore::saveState(Serializer &ser) const
+{
+    ser.tag("BSTR");
+    ser.put(pageBytes);
+    ser.put(_brk);
+    // Sorted by page number so the byte stream does not depend on
+    // the hash map's iteration order.
+    std::vector<std::uint64_t> pns;
+    pns.reserve(_pages.size());
+    for (const auto &[pn, page] : _pages)
+        pns.push_back(pn);
+    std::sort(pns.begin(), pns.end());
+    ser.put(std::uint64_t(pns.size()));
+    for (std::uint64_t pn : pns) {
+        ser.put(pn);
+        ser.putBytes(_pages.at(pn).get(), pageBytes);
+    }
+}
+
+void
+BackingStore::loadState(Deserializer &des)
+{
+    des.expectTag("BSTR");
+    if (des.get<std::uint64_t>() != pageBytes)
+        throw SerializeError("backing store page size mismatch");
+    Addr brk = des.get<Addr>();
+    std::uint64_t n = des.get();
+    decltype(_pages) pages;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        std::uint64_t pn = des.get();
+        auto page = std::make_unique<std::uint8_t[]>(pageBytes);
+        des.getBytes(page.get(), pageBytes);
+        pages[pn] = std::move(page);
+    }
+    _pages = std::move(pages);
+    _lastPn = ~std::uint64_t(0);
+    _lastPage = nullptr;
+    _brk = brk;
 }
 
 } // namespace via

@@ -24,6 +24,9 @@
 namespace via
 {
 
+class Serializer;
+class Deserializer;
+
 /** Byte-addressable sparse memory with typed helpers. */
 class BackingStore
 {
@@ -33,8 +36,29 @@ class BackingStore
     BackingStore() = default;
 
     /** Raw byte access. */
-    void read(Addr addr, void *dst, std::size_t bytes) const;
-    void write(Addr addr, const void *src, std::size_t bytes);
+    void
+    read(Addr addr, void *dst, std::size_t bytes) const
+    {
+        // Fast path for the overwhelmingly common case: a small
+        // access inside the most recently touched page.
+        std::uint64_t off = addr % pageBytes;
+        if (addr / pageBytes == _lastPn && off + bytes <= pageBytes) {
+            std::memcpy(dst, _lastPage + off, bytes);
+            return;
+        }
+        readSlow(addr, dst, bytes);
+    }
+
+    void
+    write(Addr addr, const void *src, std::size_t bytes)
+    {
+        std::uint64_t off = addr % pageBytes;
+        if (addr / pageBytes == _lastPn && off + bytes <= pageBytes) {
+            std::memcpy(_lastPage + off, src, bytes);
+            return;
+        }
+        writeSlow(addr, src, bytes);
+    }
 
     /** Typed scalar access for trivially copyable types. */
     template <typename T>
@@ -94,15 +118,33 @@ class BackingStore
     /** Number of physical pages materialized. */
     std::size_t pagesTouched() const { return _pages.size(); }
 
+    /**
+     * Serialize every materialized page and the allocator brk. The
+     * brk is part of the architectural state: restoring it makes
+     * allocations after the restore land at the same addresses as
+     * in the original run, which is what checkpoint bit-identity
+     * relies on.
+     */
+    void saveState(Serializer &ser) const;
+    /** Restore state saved by saveState (replaces all pages). */
+    void loadState(Deserializer &des);
+
   private:
     /** First address the allocator hands out (avoid address 0). */
     static constexpr Addr allocBase = 0x10000;
 
+    void readSlow(Addr addr, void *dst, std::size_t bytes) const;
+    void writeSlow(Addr addr, const void *src, std::size_t bytes);
     std::uint8_t *pageFor(Addr addr);
     const std::uint8_t *pageForRead(Addr addr) const;
 
     mutable std::unordered_map<std::uint64_t,
                                std::unique_ptr<std::uint8_t[]>> _pages;
+    // Last-page cache: accesses are overwhelmingly local, and the
+    // page arrays never move once materialized, so one remembered
+    // (page number, pointer) pair skips the hash on the common path.
+    mutable std::uint64_t _lastPn = ~std::uint64_t(0);
+    mutable std::uint8_t *_lastPage = nullptr;
     Addr _brk = allocBase;
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "simcore/log.hh"
+#include "simcore/serialize.hh"
 
 namespace via
 {
@@ -174,6 +175,97 @@ Cache::pruneInflight(Tick horizon)
         else
             ++it;
     }
+}
+
+void
+Cache::resetTiming()
+{
+    _inflight.clear();
+    std::fill(_mshrBusyUntil.begin(), _mshrBusyUntil.end(), Tick(0));
+}
+
+void
+Cache::saveState(Serializer &ser) const
+{
+    ser.tag("CACH");
+    ser.put(_params.sizeBytes);
+    ser.put(_params.assoc);
+    ser.put(_params.lineBytes);
+    ser.put(std::uint32_t(_mshrBusyUntil.size()));
+
+    ser.put(std::uint64_t(_lines.size()));
+    for (const Line &line : _lines) {
+        ser.put(line.tag);
+        ser.put(std::uint8_t((line.valid ? 1 : 0) |
+                             (line.dirty ? 2 : 0)));
+        ser.put(line.lruStamp);
+    }
+    ser.put(_lruClock);
+
+    ser.put(_stats.reads);
+    ser.put(_stats.writes);
+    ser.put(_stats.hits);
+    ser.put(_stats.readMisses);
+    ser.put(_stats.writeMisses);
+    ser.put(_stats.mshrMerges);
+    ser.put(_stats.writebacks);
+    ser.put(_stats.mshrStallCycles);
+
+    // Sorted by address so the byte stream does not depend on the
+    // hash map's iteration order.
+    std::vector<std::pair<Addr, Tick>> inflight(_inflight.begin(),
+                                                _inflight.end());
+    std::sort(inflight.begin(), inflight.end());
+    ser.put(std::uint64_t(inflight.size()));
+    for (const auto &[addr, complete] : inflight) {
+        ser.put(addr);
+        ser.put(complete);
+    }
+    ser.putVec(_mshrBusyUntil);
+}
+
+void
+Cache::loadState(Deserializer &des)
+{
+    des.expectTag("CACH");
+    if (des.get<std::uint64_t>() != _params.sizeBytes ||
+        des.get<std::uint32_t>() != _params.assoc ||
+        des.get<std::uint32_t>() != _params.lineBytes ||
+        des.get<std::uint32_t>() != _mshrBusyUntil.size())
+        throw SerializeError("cache geometry mismatch (" +
+                             _params.name + ")");
+
+    std::uint64_t n = des.get();
+    if (n != _lines.size())
+        throw SerializeError("cache line count mismatch");
+    for (Line &line : _lines) {
+        line.tag = des.get<Addr>();
+        auto flags = des.get<std::uint8_t>();
+        line.valid = (flags & 1) != 0;
+        line.dirty = (flags & 2) != 0;
+        line.lruStamp = des.get<std::uint64_t>();
+    }
+    _lruClock = des.get<std::uint64_t>();
+
+    _stats.reads = des.get<std::uint64_t>();
+    _stats.writes = des.get<std::uint64_t>();
+    _stats.hits = des.get<std::uint64_t>();
+    _stats.readMisses = des.get<std::uint64_t>();
+    _stats.writeMisses = des.get<std::uint64_t>();
+    _stats.mshrMerges = des.get<std::uint64_t>();
+    _stats.writebacks = des.get<std::uint64_t>();
+    _stats.mshrStallCycles = des.get<std::uint64_t>();
+
+    std::uint64_t inflight = des.get();
+    _inflight.clear();
+    for (std::uint64_t i = 0; i < inflight; ++i) {
+        Addr addr = des.get<Addr>();
+        _inflight[addr] = des.get<Tick>();
+    }
+    auto mshrs = des.getVec<Tick>();
+    if (mshrs.size() != _mshrBusyUntil.size())
+        throw SerializeError("MSHR count mismatch");
+    _mshrBusyUntil = std::move(mshrs);
 }
 
 } // namespace via

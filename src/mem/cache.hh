@@ -23,6 +23,9 @@
 namespace via
 {
 
+class Serializer;
+class Deserializer;
+
 /**
  * Per-level statistics, exposed raw for StatSet registration.
  *
@@ -87,6 +90,26 @@ class Cache
     void flush();
 
     /**
+     * Warm-only access (functional fast-forward): identical tag,
+     * LRU, dirty and hit/miss accounting to access(), but since no
+     * timed fills are in flight an access that would merge with an
+     * MSHR in detailed mode hits on the pre-installed tag here. Both
+     * classifications keep accesses == hits + misses + merges.
+     */
+    LookupResult warmAccess(Addr line_addr, bool is_write)
+    {
+        return access(line_addr, is_write);
+    }
+
+    /**
+     * Forget in-flight miss bookings (absolute ticks) without
+     * touching tags or statistics. Needed between measurement
+     * intervals: a stale completion tick from before the reset would
+     * stall every post-reset miss behind it.
+     */
+    void resetTiming();
+
+    /**
      * Earliest tick a new miss can allocate an MSHR (the earliest
      * slot-free time). The caller gates the miss's issue on this and
      * then calls mshrReserve with the resulting completion.
@@ -116,6 +139,11 @@ class Cache
     const CacheParams &params() const { return _params; }
     CacheStats &stats() { return _stats; }
     const CacheStats &stats() const { return _stats; }
+
+    /** Serialize tags, LRU, dirty bits, MSHRs, stats (checkpoints). */
+    void saveState(Serializer &ser) const;
+    /** Restore state saved by saveState; validates the geometry. */
+    void loadState(Deserializer &des);
 
   private:
     struct Line

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "simcore/log.hh"
+#include "simcore/serialize.hh"
 
 namespace via
 {
@@ -43,6 +44,35 @@ Dram::serve(std::uint64_t bytes, Tick when, bool is_write)
         _trace->emit(ev);
     }
     return start + _params.latency + xfer;
+}
+
+void
+Dram::saveState(Serializer &ser) const
+{
+    ser.tag("DRAM");
+    ser.put(_params.latency);
+    ser.putDouble(_params.bytesPerCycle);
+    _pipe.saveState(ser);
+    ser.put(_stats.requests);
+    ser.put(_stats.bytesRead);
+    ser.put(_stats.bytesWritten);
+    ser.put(_stats.busyCycles);
+    ser.put(_stats.queueCycles);
+}
+
+void
+Dram::loadState(Deserializer &des)
+{
+    des.expectTag("DRAM");
+    if (des.get<Tick>() != _params.latency ||
+        des.getDouble() != _params.bytesPerCycle)
+        throw SerializeError("DRAM parameter mismatch");
+    _pipe.loadState(des);
+    _stats.requests = des.get<std::uint64_t>();
+    _stats.bytesRead = des.get<std::uint64_t>();
+    _stats.bytesWritten = des.get<std::uint64_t>();
+    _stats.busyCycles = des.get<std::uint64_t>();
+    _stats.queueCycles = des.get<std::uint64_t>();
 }
 
 } // namespace via

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "simcore/log.hh"
+#include "simcore/serialize.hh"
 
 namespace via
 {
@@ -169,6 +170,91 @@ MemSystem::prefetchAfter(Addr line_addr, Tick when)
         last.mshrReserve(target, fill, 0, when);
         ++_prefetches;
     }
+}
+
+void
+MemSystem::warmLine(Addr line_addr, bool is_write)
+{
+    // Same level walk as accessLine, minus every timing effect. In
+    // detailed mode a line with an in-flight fill merges via
+    // mergeTouch (LRU/dirty refresh on the pre-installed tag); here
+    // there are no fills in flight, so warmAccess classifies the
+    // same touch as a hit — tag, LRU and dirty outcomes match.
+    for (std::size_t i = 0; i < _levels.size(); ++i) {
+        Cache &cache = *_levels[i];
+        auto res = cache.warmAccess(line_addr, is_write);
+        if (res.victimDirty) {
+            if (i + 1 < _levels.size())
+                _levels[i + 1]->warmAccess(res.victimLine, true);
+            else
+                _dram.warmTraffic(cache.params().lineBytes, true);
+        }
+        if (res.hit)
+            return;
+    }
+
+    _dram.warmTraffic(_levels.back()->params().lineBytes, false);
+    if (_params.prefetch.degree > 0)
+        warmPrefetch(line_addr);
+}
+
+void
+MemSystem::warmPrefetch(Addr line_addr)
+{
+    Cache &last = *_levels.back();
+    const std::uint64_t line = last.params().lineBytes;
+    for (std::uint32_t d = 1; d <= _params.prefetch.degree; ++d) {
+        Addr target = line_addr + Addr(d) * line;
+        if (last.contains(target))
+            continue;
+        _dram.warmTraffic(line, false);
+        auto res = last.warmAccess(target, false);
+        if (res.victimDirty)
+            _dram.warmTraffic(line, true);
+        ++_prefetches;
+    }
+}
+
+void
+MemSystem::warmAccess(Addr addr, std::uint64_t bytes, bool is_write)
+{
+    via_assert(bytes > 0, "zero-byte memory access");
+    const std::uint64_t line = lineBytes();
+    Addr first = addr & ~(Addr(line) - 1);
+    Addr last = (addr + bytes - 1) & ~(Addr(line) - 1);
+    for (Addr la = first; la <= last; la += line)
+        warmLine(la, is_write);
+}
+
+void
+MemSystem::resetTiming()
+{
+    for (auto &lvl : _levels)
+        lvl->resetTiming();
+    _dram.resetTiming();
+}
+
+void
+MemSystem::saveState(Serializer &ser) const
+{
+    ser.tag("MSYS");
+    ser.put(std::uint64_t(_levels.size()));
+    for (const auto &lvl : _levels)
+        lvl->saveState(ser);
+    _dram.saveState(ser);
+    ser.put(_prefetches);
+}
+
+void
+MemSystem::loadState(Deserializer &des)
+{
+    des.expectTag("MSYS");
+    if (des.get<std::uint64_t>() != _levels.size())
+        throw SerializeError("cache level count mismatch");
+    for (auto &lvl : _levels)
+        lvl->loadState(des);
+    _dram.loadState(des);
+    _prefetches = des.get<std::uint64_t>();
 }
 
 TraceComponent

@@ -56,6 +56,26 @@ class MemSystem
     MemResult access(Addr addr, std::uint64_t bytes, bool is_write,
                      Tick when);
 
+    /**
+     * Warm the hierarchy without timing (functional fast-forward).
+     *
+     * Walks the same level sequence as access() — tag installs, LRU
+     * updates, dirty-victim writebacks, last-level prefetches — and
+     * classifies each line into the regular hit/miss counters, but
+     * books no MSHRs, no ports, and no DRAM pipe cycles. DRAM byte
+     * counters advance via Dram::warmTraffic. The resulting tag,
+     * LRU and dirty state is identical to a detailed run of the
+     * same access stream.
+     */
+    void warmAccess(Addr addr, std::uint64_t bytes, bool is_write);
+
+    /**
+     * Forget all in-flight timing bookings — cache MSHRs and the
+     * DRAM pipe — without touching tags or statistics. Called by
+     * OoOCore::resetTiming between measurement intervals.
+     */
+    void resetTiming();
+
     /** Line size of the first level. */
     std::uint32_t lineBytes() const;
 
@@ -81,12 +101,23 @@ class MemSystem
     /** Lines fetched by the prefetcher (statistic). */
     std::uint64_t prefetches() const { return _prefetches; }
 
+    /** Serialize every level, the DRAM and the prefetch counter. */
+    void saveState(Serializer &ser) const;
+    /** Restore state saved by saveState; validates the topology. */
+    void loadState(Deserializer &des);
+
   private:
     /** Timed access for one line. */
     MemResult accessLine(Addr line_addr, bool is_write, Tick when);
 
+    /** Untimed warming walk for one line. */
+    void warmLine(Addr line_addr, bool is_write);
+
     /** Issue next-line prefetches after a demand miss. */
     void prefetchAfter(Addr line_addr, Tick when);
+
+    /** Untimed next-line prefetch warming after a demand miss. */
+    void warmPrefetch(Addr line_addr);
 
     /** Trace track for cache level @p i (L1, then L2 and below). */
     static TraceComponent levelComponent(std::size_t i);

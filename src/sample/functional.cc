@@ -1,0 +1,44 @@
+#include "sample/functional.hh"
+
+namespace via
+{
+namespace sample
+{
+
+void
+FunctionalExecutor::execute(const Inst &inst)
+{
+    ++_stats.insts;
+
+    for (std::uint8_t a = 0; a < inst.numAccesses; ++a) {
+        const MemAccess &acc = inst.accesses[a];
+        _mem.warmAccess(acc.addr, acc.bytes, acc.isWrite);
+        ++_stats.memAccesses;
+    }
+
+    if (inst.op == Op::SBranch && inst.isDataBranch) {
+        ++_stats.branches;
+        if (_core.warmBranch(inst))
+            ++_stats.mispredicts;
+    }
+}
+
+void
+FunctionalExecutor::registerStats(StatSet &stats) const
+{
+    stats.addScalar("sample.func_insts",
+                    "instructions run through functional fast-forward",
+                    &_stats.insts);
+    stats.addScalar("sample.func_mem_accesses",
+                    "element accesses warmed without timing",
+                    &_stats.memAccesses);
+    stats.addScalar("sample.func_branches",
+                    "data branches warmed without timing",
+                    &_stats.branches);
+    stats.addScalar("sample.func_mispredicts",
+                    "warmed predictions that missed",
+                    &_stats.mispredicts);
+}
+
+} // namespace sample
+} // namespace via

@@ -91,6 +91,14 @@ class EventQueue
     /** Total events ever executed (statistic). */
     std::uint64_t executed() const { return _executed; }
 
+    /**
+     * Jump curTick without running anything (checkpoint restore).
+     * Only meaningful when the queue is empty — pending callbacks
+     * cannot be serialized, so the checkpoint layer rejects a save
+     * or restore with live events before calling this.
+     */
+    void resetTick(Tick when) { _curTick = when; }
+
   private:
     /** A scheduled callback, owned by value inside the heap. */
     struct Event

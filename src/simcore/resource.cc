@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "simcore/log.hh"
+#include "simcore/serialize.hh"
 
 namespace via
 {
@@ -70,6 +71,46 @@ Resource::resetTiming()
     std::fill(_counts.begin(), _counts.end(), std::uint16_t(0));
     _base = 0;
     _horizon = 0;
+}
+
+void
+Resource::saveState(Serializer &ser) const
+{
+    ser.tag("RSRC");
+    ser.put(_units);
+    ser.put(_base);
+    ser.put(_busy);
+    ser.put(_horizon);
+    // Nonzero bookings live only in [_base, _horizon): cycles below
+    // _base were cleared when the window slid, cycles at or beyond
+    // _horizon were never booked. Storing just that slice keeps
+    // checkpoints compact without losing a single booking.
+    Tick live = _horizon > _base
+                    ? std::min<Tick>(_horizon - _base, windowSize)
+                    : 0;
+    ser.put(live);
+    for (Tick t = 0; t < live; ++t) {
+        auto &self = const_cast<Resource &>(*this);
+        ser.put(self.slot(_base + t));
+    }
+}
+
+void
+Resource::loadState(Deserializer &des)
+{
+    des.expectTag("RSRC");
+    auto units = des.get<std::uint32_t>();
+    if (units != _units)
+        throw SerializeError("resource unit count mismatch");
+    _base = des.get<Tick>();
+    _busy = des.get<std::uint64_t>();
+    _horizon = des.get<Tick>();
+    Tick live = des.get<Tick>();
+    if (live > windowSize)
+        throw SerializeError("resource window overflow");
+    std::fill(_counts.begin(), _counts.end(), std::uint16_t(0));
+    for (Tick t = 0; t < live; ++t)
+        slot(_base + t) = des.get<std::uint16_t>();
 }
 
 

@@ -14,6 +14,9 @@
 namespace via
 {
 
+class Serializer;
+class Deserializer;
+
 /**
  * k operations per cycle, booked on a sliding window of cycles.
  *
@@ -54,6 +57,11 @@ class Resource
      * therefore be skipped across timing resets.
      */
     Tick horizon() const { return _horizon; }
+
+    /** Serialize booking state (checkpoints). */
+    void saveState(Serializer &ser) const;
+    /** Restore state saved by saveState; validates unit count. */
+    void loadState(Deserializer &des);
 
   private:
     /** Cycles tracked by the sliding window. */

@@ -11,6 +11,8 @@
 #ifndef VIA_SIMCORE_RNG_HH
 #define VIA_SIMCORE_RNG_HH
 
+#include <array>
+#include <cstddef>
 #include <cstdint>
 
 namespace via
@@ -77,6 +79,24 @@ class Rng
 
     /** Bernoulli trial. */
     bool chance(double p) { return uniform() < p; }
+
+    /** Number of 64-bit state words (xoshiro256). */
+    static constexpr std::size_t stateWords = 4;
+
+    /** Capture the generator state (machine checkpoints). */
+    std::array<std::uint64_t, stateWords>
+    state() const
+    {
+        return {_s[0], _s[1], _s[2], _s[3]};
+    }
+
+    /** Restore a state captured by state(). */
+    void
+    setState(const std::array<std::uint64_t, stateWords> &s)
+    {
+        for (std::size_t i = 0; i < stateWords; ++i)
+            _s[i] = s[i];
+    }
 
   private:
     std::uint64_t _s[4];

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "simcore/log.hh"
+#include "simcore/serialize.hh"
 
 namespace via
 {
@@ -77,6 +78,30 @@ Fivu::dispatch(const Inst &inst, Tick ready_at, const OpLatencies &lat)
                  TraceComponent::Sspm, complete, complete, extra);
     }
     return Timing{start, complete};
+}
+
+void
+Fivu::saveState(Serializer &ser) const
+{
+    ser.tag("FIVU");
+    ser.put(_nextFree);
+    _ports.saveState(ser);
+    ser.put(_stats.viaInsts);
+    ser.put(_stats.busyCycles);
+    ser.put(_stats.sspmReadCycles);
+    ser.put(_stats.sspmWriteCycles);
+}
+
+void
+Fivu::loadState(Deserializer &des)
+{
+    des.expectTag("FIVU");
+    _nextFree = des.get<Tick>();
+    _ports.loadState(des);
+    _stats.viaInsts = des.get<std::uint64_t>();
+    _stats.busyCycles = des.get<std::uint64_t>();
+    _stats.sspmReadCycles = des.get<std::uint64_t>();
+    _stats.sspmWriteCycles = des.get<std::uint64_t>();
 }
 
 } // namespace via

@@ -93,6 +93,11 @@ class Fivu
                    : (elems + _config.ports - 1) / _config.ports;
     }
 
+    /** Serialize timing state and statistics. */
+    void saveState(Serializer &ser) const;
+    /** Restore state saved by saveState. */
+    void loadState(Deserializer &des);
+
   private:
     /** Book @p elems SSPM port slots at or after @p when.
      *  @return the cycle after the last booked slot */

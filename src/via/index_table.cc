@@ -1,6 +1,7 @@
 #include "via/index_table.hh"
 
 #include "simcore/log.hh"
+#include "simcore/serialize.hh"
 
 namespace via
 {
@@ -89,6 +90,42 @@ IndexTable::clear()
     ++_stats.clears;
     VIA_TRACE_STAGE(_trace, TraceEventKind::CamClear,
                     TraceComponent::Cam, 0);
+}
+
+void
+IndexTable::saveState(Serializer &ser) const
+{
+    ser.tag("IDXT");
+    ser.put(_capacity);
+    ser.put(_bankEntries);
+    ser.putVec(_keys);
+    ser.put(_stats.searches);
+    ser.put(_stats.comparisons);
+    ser.put(_stats.banksSearched);
+    ser.put(_stats.inserts);
+    ser.put(_stats.hits);
+    ser.put(_stats.overflows);
+    ser.put(_stats.clears);
+}
+
+void
+IndexTable::loadState(Deserializer &des)
+{
+    des.expectTag("IDXT");
+    if (des.get<std::uint32_t>() != _capacity ||
+        des.get<std::uint32_t>() != _bankEntries)
+        throw SerializeError("index table geometry mismatch");
+    _keys = des.getVec<std::int64_t>(_capacity);
+    _lookup.clear();
+    for (std::size_t slot = 0; slot < _keys.size(); ++slot)
+        _lookup.emplace(_keys[slot], std::int32_t(slot));
+    _stats.searches = des.get<std::uint64_t>();
+    _stats.comparisons = des.get<std::uint64_t>();
+    _stats.banksSearched = des.get<std::uint64_t>();
+    _stats.inserts = des.get<std::uint64_t>();
+    _stats.hits = des.get<std::uint64_t>();
+    _stats.overflows = des.get<std::uint64_t>();
+    _stats.clears = des.get<std::uint64_t>();
 }
 
 } // namespace via

@@ -23,6 +23,9 @@
 namespace via
 {
 
+class Serializer;
+class Deserializer;
+
 /** Statistics for the index-tracking logic. */
 struct IndexTableStats
 {
@@ -79,6 +82,14 @@ class IndexTable
 
     IndexTableStats &stats() { return _stats; }
     const IndexTableStats &stats() const { return _stats; }
+
+    /** Serialize the tracked keys and statistics. */
+    void saveState(Serializer &ser) const;
+    /**
+     * Restore state saved by saveState; validates the geometry and
+     * rebuilds the shadow lookup map from the key array.
+     */
+    void loadState(Deserializer &des);
 
     /**
      * Attach a trace sink. CAM operations run in the functional

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "simcore/log.hh"
+#include "simcore/serialize.hh"
 
 namespace via
 {
@@ -164,6 +165,43 @@ Sspm::clearSegment(std::uint64_t lo, std::uint64_t hi)
     std::fill(_valid.begin() + std::ptrdiff_t(lo),
               _valid.begin() + std::ptrdiff_t(hi), false);
     ++_stats.bitmapClears;
+}
+
+void
+Sspm::saveState(Serializer &ser) const
+{
+    ser.tag("SSPM");
+    ser.put(std::uint64_t(_sram.size()));
+    ser.putVec(_sram);
+    ser.putBoolVec(_valid);
+    ser.put(_stats.directReads);
+    ser.put(_stats.directWrites);
+    ser.put(_stats.camReads);
+    ser.put(_stats.camWrites);
+    ser.put(_stats.bitmapClears);
+    ser.put(_stats.invalidReads);
+    _indexTable.saveState(ser);
+}
+
+void
+Sspm::loadState(Deserializer &des)
+{
+    des.expectTag("SSPM");
+    if (des.get<std::uint64_t>() != _sram.size())
+        throw SerializeError("SSPM geometry mismatch");
+    auto sram = des.getVec<std::uint64_t>(_sram.size());
+    auto valid = des.getBoolVec();
+    if (sram.size() != _sram.size() || valid.size() != _valid.size())
+        throw SerializeError("SSPM geometry mismatch");
+    _sram = std::move(sram);
+    _valid = std::move(valid);
+    _stats.directReads = des.get<std::uint64_t>();
+    _stats.directWrites = des.get<std::uint64_t>();
+    _stats.camReads = des.get<std::uint64_t>();
+    _stats.camWrites = des.get<std::uint64_t>();
+    _stats.bitmapClears = des.get<std::uint64_t>();
+    _stats.invalidReads = des.get<std::uint64_t>();
+    _indexTable.loadState(des);
 }
 
 } // namespace via

@@ -118,6 +118,11 @@ class Sspm
     IndexTable &indexTable() { return _indexTable; }
     const IndexTable &indexTable() const { return _indexTable; }
 
+    /** Serialize SRAM contents, valid bitmap, stats, index table. */
+    void saveState(Serializer &ser) const;
+    /** Restore state saved by saveState; validates the geometry. */
+    void loadState(Deserializer &des);
+
     /** Attach a trace sink (forwarded to the index table). */
     void setTrace(TraceManager *trace);
 

@@ -1,0 +1,380 @@
+/**
+ * @file
+ * The sampled-simulation subsystem (src/sample): checkpoint
+ * round-trips, functional warming fidelity, and interval-sampling
+ * estimates.
+ *
+ * The checkpoint contract under test is bit-identity: running
+ * kernel A, capturing, and continuing with kernel B must leave the
+ * machine in exactly the state a restore-then-B run reaches — every
+ * statistic equal and a re-capture byte-identical. Restoring the
+ * allocator brk with the pages is what makes post-restore
+ * allocations land at the original addresses, so the property holds
+ * for every kernel. Malformed images (bad magic, future version,
+ * truncation, trailing bytes, mismatched machine geometry) must be
+ * rejected with SerializeError, never partially applied silently.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "check/sampling_audit.hh"
+#include "cpu/machine.hh"
+#include "kernels/dispatch.hh"
+#include "kernels/histogram.hh"
+#include "kernels/reference.hh"
+#include "kernels/spma.hh"
+#include "kernels/spmm.hh"
+#include "kernels/stencil.hh"
+#include "sample/checkpoint.hh"
+#include "sample/sampling.hh"
+#include "simcore/rng.hh"
+#include "simcore/serialize.hh"
+#include "sparse/convert.hh"
+#include "sparse/csc.hh"
+#include "sparse/generators.hh"
+
+namespace via
+{
+namespace
+{
+
+using sample::Checkpoint;
+
+/** A kernel body runnable on any machine, by name. */
+std::function<void(Machine &)>
+kernelBody(const std::string &name)
+{
+    if (name == "spmv") {
+        return [](Machine &m) {
+            Rng rng(11);
+            Csr a = genUniform(96, 96, 0.05, rng);
+            DenseVector x = randomVector(a.cols(), rng);
+            auto res = kernels::spmvVia(m, a, x, "csb");
+            ASSERT_TRUE(allClose(res.y, a.multiply(x)));
+        };
+    }
+    if (name == "spma") {
+        return [](Machine &m) {
+            Rng rng(12);
+            Csr a = genUniform(80, 80, 0.06, rng);
+            Csr b = genUniform(80, 80, 0.06, rng);
+            auto res = kernels::spmaViaCsr(m, a, b);
+            ASSERT_TRUE(closeElements(res.c, addCsr(a, b), 1e-3));
+        };
+    }
+    if (name == "spmm") {
+        return [](Machine &m) {
+            Rng rng(13);
+            Csr a = genUniform(48, 48, 0.08, rng);
+            Csr b_csr = genUniform(48, 48, 0.08, rng);
+            Csc b = Csc::fromCsr(b_csr);
+            auto res = kernels::spmmViaInner(m, a, b);
+            ASSERT_TRUE(closeElements(res.c, mulCsr(a, b_csr),
+                                      1e-2));
+        };
+    }
+    if (name == "histogram") {
+        return [](Machine &m) {
+            Rng rng(14);
+            std::vector<Index> keys(600);
+            for (auto &k : keys)
+                k = Index(rng.below(128));
+            auto res = kernels::histVia(m, keys, 128);
+            ASSERT_EQ(res.hist, kernels::refHistogram(keys, 128));
+        };
+    }
+    if (name == "stencil") {
+        return [](Machine &m) {
+            Rng rng(15);
+            DenseMatrix img(24, 24);
+            for (auto &p : img.data())
+                p = Value(rng.uniform() * 255.0);
+            auto res = kernels::stencilVia(m, img);
+            DenseMatrix ref = kernels::refConvolve4x4(img);
+            ASSERT_TRUE(allClose(res.out.data(), ref.data()));
+        };
+    }
+    ADD_FAILURE() << "unknown kernel " << name;
+    return [](Machine &) {};
+}
+
+/** Every registered statistic must agree exactly. */
+void
+expectStatsEqual(Machine &a, Machine &b)
+{
+    ASSERT_EQ(a.stats().names(), b.stats().names());
+    for (const std::string &name : a.stats().names())
+        EXPECT_EQ(a.stats().get(name), b.stats().get(name))
+            << "stat " << name << " diverged";
+    EXPECT_EQ(a.cycles(), b.cycles());
+}
+
+class CheckpointPerKernel
+    : public ::testing::TestWithParam<const char *>
+{
+};
+
+// Run kernel A, capture, continue with kernel B — then restore the
+// capture into a fresh machine and run B there. Both machines must
+// be indistinguishable: every stat equal, re-capture byte-identical.
+TEST_P(CheckpointPerKernel, ResumeIsBitIdentical)
+{
+    MachineParams params{};
+    auto warm = kernelBody("histogram");
+    auto body = kernelBody(GetParam());
+
+    Machine m1(params);
+    warm(m1);
+    Checkpoint cp = Checkpoint::capture(m1);
+    body(m1);
+
+    Machine m2(params);
+    cp.restore(m2);
+    body(m2);
+
+    expectStatsEqual(m1, m2);
+    EXPECT_EQ(Checkpoint::capture(m1).bytes(),
+              Checkpoint::capture(m2).bytes());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, CheckpointPerKernel,
+                         ::testing::Values("spmv", "spma", "spmm",
+                                           "histogram", "stencil"));
+
+TEST(Checkpoint, CaptureRestoreCaptureIsByteIdentical)
+{
+    MachineParams params{};
+    Machine m1(params);
+    kernelBody("spmv")(m1);
+    Checkpoint cp = Checkpoint::capture(m1);
+
+    Machine m2(params);
+    cp.restore(m2);
+    EXPECT_EQ(cp.bytes(), Checkpoint::capture(m2).bytes());
+}
+
+TEST(Checkpoint, DiskRoundTrip)
+{
+    MachineParams params{};
+    Machine m1(params);
+    kernelBody("spma")(m1);
+    Checkpoint cp = Checkpoint::capture(m1);
+
+    std::string path = ::testing::TempDir() + "via_cp_test.bin";
+    cp.writeFile(path);
+    Checkpoint back = Checkpoint::readFile(path);
+    EXPECT_EQ(cp.bytes(), back.bytes());
+
+    Machine m2(params);
+    back.restore(m2);
+    expectStatsEqual(m1, m2);
+    std::remove(path.c_str());
+}
+
+TEST(Checkpoint, RejectsBadMagic)
+{
+    std::vector<std::uint8_t> junk(64, 0xab);
+    Machine m(MachineParams{});
+    EXPECT_THROW(Checkpoint::fromBytes(junk).restore(m),
+                 SerializeError);
+}
+
+TEST(Checkpoint, RejectsFutureVersion)
+{
+    Machine m1(MachineParams{});
+    std::vector<std::uint8_t> bytes =
+        Checkpoint::capture(m1).bytes();
+    // The version is the second 8-byte word of the header.
+    bytes[8] = std::uint8_t(Checkpoint::VERSION + 1);
+
+    Machine m2(MachineParams{});
+    EXPECT_THROW(Checkpoint::fromBytes(bytes).restore(m2),
+                 SerializeError);
+
+    // readFile validates the header eagerly too.
+    std::string path = ::testing::TempDir() + "via_cp_future.bin";
+    Checkpoint::fromBytes(bytes).writeFile(path);
+    EXPECT_THROW(Checkpoint::readFile(path), SerializeError);
+    std::remove(path.c_str());
+}
+
+TEST(Checkpoint, RejectsTruncatedImage)
+{
+    Machine m1(MachineParams{});
+    kernelBody("spmv")(m1);
+    std::vector<std::uint8_t> bytes =
+        Checkpoint::capture(m1).bytes();
+    bytes.resize(bytes.size() / 2);
+
+    Machine m2(MachineParams{});
+    EXPECT_THROW(Checkpoint::fromBytes(bytes).restore(m2),
+                 SerializeError);
+}
+
+TEST(Checkpoint, RejectsTrailingBytes)
+{
+    Machine m1(MachineParams{});
+    std::vector<std::uint8_t> bytes =
+        Checkpoint::capture(m1).bytes();
+    bytes.push_back(0);
+
+    Machine m2(MachineParams{});
+    EXPECT_THROW(Checkpoint::fromBytes(bytes).restore(m2),
+                 SerializeError);
+}
+
+TEST(Checkpoint, RejectsGeometryMismatch)
+{
+    MachineParams big{};
+    Machine m1(big);
+    Checkpoint cp = Checkpoint::capture(m1);
+
+    MachineParams small{};
+    small.via = ViaConfig::make(4, 2);
+    Machine m2(small);
+    EXPECT_THROW(cp.restore(m2), SerializeError);
+}
+
+TEST(Checkpoint, RejectsPendingEvents)
+{
+    Machine m(MachineParams{});
+    m.events().scheduleIn(10, [] {}, "test");
+    EXPECT_THROW(Checkpoint::capture(m), SerializeError);
+}
+
+TEST(Checkpoint, RngStreamRoundTrips)
+{
+    Machine m1(MachineParams{});
+    Rng rng(99);
+    rng.next(); // advance off the seed state
+    Checkpoint cp = Checkpoint::capture(m1, &rng);
+    std::uint64_t expect_a = rng.next();
+    std::uint64_t expect_b = rng.next();
+
+    Machine m2(MachineParams{});
+    Rng other(7);
+    cp.restore(m2, &other);
+    EXPECT_EQ(other.next(), expect_a);
+    EXPECT_EQ(other.next(), expect_b);
+}
+
+TEST(Checkpoint, CloneIsIndependent)
+{
+    Machine m1(MachineParams{});
+    kernelBody("spmv")(m1);
+    Checkpoint cp = Checkpoint::capture(m1);
+    Checkpoint copy = cp.clone();
+    EXPECT_EQ(cp.bytes(), copy.bytes());
+
+    // Restoring from the clone works on a fresh machine (the sweep
+    // amortization path: one warm image, many points).
+    Machine m2(MachineParams{});
+    copy.restore(m2);
+    expectStatsEqual(m1, m2);
+}
+
+// ------------------------------------------------------------------
+// Functional warming fidelity
+// ------------------------------------------------------------------
+
+// The warming walk classifies in-flight merges as hits (there is no
+// in-flight timing), but every other outcome — tags, reads/writes,
+// miss count, DRAM traffic — must match detailed execution exactly.
+TEST(Functional, WarmsCachesLikeDetailed)
+{
+    MachineParams params{};
+    Rng rng(21);
+    Csr a = genUniform(128, 128, 0.04, rng);
+    DenseVector x = randomVector(a.cols(), rng);
+
+    Machine det(params);
+    kernels::spmvVia(det, a, x, "csb");
+
+    Machine warm(params);
+    sample::SampleOptions fopts;
+    fopts.mode = sample::SimMode::Functional;
+    auto est = sample::runWith(warm, fopts, [&] {
+        auto res = kernels::spmvVia(warm, a, x, "csb");
+        EXPECT_TRUE(allClose(res.y, a.multiply(x)));
+    });
+    EXPECT_GT(est.totalInsts, 0u);
+    EXPECT_EQ(warm.cycles(), 0u);
+
+    for (std::size_t lvl = 0; lvl < 2; ++lvl) {
+        const CacheStats &d = det.memSystem().level(lvl).stats();
+        const CacheStats &w = warm.memSystem().level(lvl).stats();
+        EXPECT_EQ(w.accesses(), d.accesses()) << "level " << lvl;
+        EXPECT_EQ(w.hits, d.hits + d.mshrMerges) << "level " << lvl;
+        EXPECT_EQ(w.misses(), d.misses()) << "level " << lvl;
+        EXPECT_EQ(w.writebacks, d.writebacks) << "level " << lvl;
+    }
+    const DramStats &dd = det.memSystem().dram().stats();
+    const DramStats &wd = warm.memSystem().dram().stats();
+    EXPECT_EQ(wd.bytesRead, dd.bytesRead);
+    EXPECT_EQ(wd.bytesWritten, dd.bytesWritten);
+    EXPECT_EQ(wd.busyCycles, 0u);
+}
+
+// ------------------------------------------------------------------
+// Interval sampling
+// ------------------------------------------------------------------
+
+TEST(Sampling, ShortRunFallsBackToExact)
+{
+    MachineParams params{};
+    auto body = kernelBody("spmv");
+
+    Machine det(params);
+    body(det);
+
+    Machine smp(params);
+    sample::SampleOptions opts;
+    opts.mode = sample::SimMode::Sampled;
+    opts.interval = 1u << 30; // far longer than the run
+    auto est = sample::runWith(smp, opts, [&] { body(smp); });
+    EXPECT_TRUE(est.exact);
+    EXPECT_EQ(Tick(est.cycles), det.cycles());
+}
+
+TEST(Sampling, EstimateWithinAuditBound)
+{
+    MachineParams params{};
+    Rng rng(31);
+    Csr a = genUniform(2048, 2048, 0.01, rng);
+    DenseVector x = randomVector(a.cols(), rng);
+
+    sample::SampleOptions opts;
+    opts.mode = sample::SimMode::Sampled;
+    opts.interval = 5000;
+    opts.warmup = 300;
+    opts.measure = 700;
+    check::SamplingAudit audit = check::auditSampling(
+        params, opts,
+        [&](Machine &m) { kernels::spmvVia(m, a, x, "csb"); },
+        /*bound=*/0.10);
+    EXPECT_TRUE(audit.ok) << audit.summary();
+    EXPECT_GT(audit.intervals, 3u);
+    EXPECT_FALSE(audit.exact);
+}
+
+TEST(Sampling, OptionValidation)
+{
+    Config cfg;
+    cfg.set("mode", "sampled");
+    cfg.set("sample_interval", "1000");
+    cfg.set("sample_warmup", "200");
+    cfg.set("sample_measure", "300");
+    auto opts = sample::SampleOptions::fromConfig(cfg);
+    EXPECT_EQ(opts.mode, sample::SimMode::Sampled);
+    EXPECT_EQ(opts.interval, 1000u);
+    EXPECT_EQ(opts.warmup, 200u);
+    EXPECT_EQ(opts.measure, 300u);
+}
+
+} // namespace
+} // namespace via

@@ -1,0 +1,302 @@
+/**
+ * @file
+ * bench_report — the sampled-simulation regression gate.
+ *
+ * Runs the fig10 SpMV reference configuration (default machine, VIA
+ * CSB kernel, one large uniform matrix) under all three execution
+ * modes, wall-clocks each, and compares sampled-mode extrapolated
+ * cycles against the detailed makespan. Also measures the
+ * checkpoint layer: image size, capture/restore cost, and a
+ * SweepExecutor fan-out where every point restores from one shared
+ * warm image instead of re-running the kernel, verifying each
+ * restored machine reports the identical cycle count.
+ *
+ * The results are written as JSON (BENCH_sampling.json) and the
+ * exit code enforces the subsystem's two quantitative promises:
+ *
+ *   - sampled-mode end-to-end cycle error <= 5% of detailed
+ *   - functional-mode wall-clock speedup >= 10x over detailed
+ *
+ * CI runs this on every push (see .github/workflows/ci.yml), so a
+ * regression in either bound fails the build.
+ *
+ * Usage:
+ *   bench_report [key=value ...]
+ *
+ * Keys:
+ *   rows=N             reference matrix rows       (default 16384)
+ *   density=D          reference matrix density    (default 0.005)
+ *   seed=S             generator seed              (default 1)
+ *   format=FMT         SpMV format                 (default csb)
+ *   sample_interval=N  instructions per unit       (default 100000)
+ *   sample_warmup=N    detailed warmup per unit    (default 500)
+ *   sample_measure=N   measured insts per unit     (default 1500)
+ *   repeats=R          timing repetitions, best-of (default 5)
+ *   sweep_points=N     restore fan-out width       (default 4)
+ *   threads=T          restore fan-out workers     (default 0 = hw)
+ *   out=PATH           JSON report path   (default BENCH_sampling.json)
+ */
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <set>
+#include <string>
+
+#include "cpu/machine.hh"
+#include "cpu/machine_config.hh"
+#include "kernels/dispatch.hh"
+#include "kernels/reference.hh"
+#include "sample/checkpoint.hh"
+#include "sample/sampling.hh"
+#include "simcore/config.hh"
+#include "simcore/log.hh"
+#include "simcore/parallel.hh"
+#include "simcore/rng.hh"
+#include "sparse/generators.hh"
+
+using namespace via;
+
+namespace
+{
+
+bool
+validateKeys(const Config &cfg)
+{
+    static const std::set<std::string> valid = {
+        "rows",           "density",       "seed",
+        "format",         "sample_interval", "sample_warmup",
+        "sample_measure", "repeats",       "sweep_points",
+        "threads",        "out",
+    };
+    bool ok = true;
+    for (const std::string &key : cfg.keys()) {
+        if (valid.count(key))
+            continue;
+        std::fprintf(stderr, "bench_report: unknown key '%s'\n",
+                     key.c_str());
+        ok = false;
+    }
+    if (!ok) {
+        std::fprintf(stderr, "valid keys:");
+        for (const std::string &key : valid)
+            std::fprintf(stderr, " %s", key.c_str());
+        std::fprintf(stderr, "\n");
+    }
+    return ok;
+}
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+struct ModeTiming
+{
+    double wall = 0.0; //!< best-of-repeats seconds
+    sample::SampleEstimate est;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args;
+    for (int i = 1; i < argc; ++i)
+        args.emplace_back(argv[i]);
+    Config cfg = Config::fromArgs(args);
+    if (!validateKeys(cfg))
+        return 2;
+
+    auto rows = Index(cfg.getUInt("rows", 16384));
+    double density = cfg.getDouble("density", 0.005);
+    std::string fmt = cfg.getString("format", "csb");
+    auto repeats = std::size_t(cfg.getUInt("repeats", 5));
+    auto sweep_points = std::size_t(cfg.getUInt("sweep_points", 4));
+    std::string out_path =
+        cfg.getString("out", "BENCH_sampling.json");
+
+    sample::SampleOptions sopts;
+    sopts.interval = cfg.getUInt("sample_interval", 100000);
+    sopts.warmup = cfg.getUInt("sample_warmup", 500);
+    sopts.measure = cfg.getUInt("sample_measure", 1500);
+
+    Rng rng(cfg.getUInt("seed", 1));
+    Csr a = genUniform(rows, rows, density, rng);
+    DenseVector x = randomVector(a.cols(), rng);
+    DenseVector golden = a.multiply(x);
+    std::printf("bench_report: SpMV %s on %dx%d, %zu nnz "
+                "(fig10 reference machine)\n",
+                fmt.c_str(), a.rows(), a.cols(), a.nnz());
+
+    MachineParams params{};
+
+    // The timed region is machine construction + kernel execution:
+    // exactly the work a mode changes. Input generation, the golden
+    // reference and JSON writing are shared and excluded. Repeats
+    // interleave the modes round-robin so that host-load drift over
+    // the measurement hits every mode equally — the speedup ratios
+    // stay honest even when absolute wall clock wobbles.
+    auto timeOnce = [&](sample::SimMode mode, std::size_t r,
+                        ModeTiming &best) {
+        sample::SampleOptions mopts = sopts;
+        mopts.mode = mode;
+        auto start = std::chrono::steady_clock::now();
+        Machine m(params);
+        sample::SampleEstimate est = sample::runWith(
+            m, mopts, [&] { kernels::spmvVia(m, a, x, fmt); });
+        double wall = secondsSince(start);
+        if (r == 0 || wall < best.wall) {
+            best.wall = wall;
+            best.est = est;
+        }
+    };
+
+    ModeTiming detailed, functional, sampled;
+    for (std::size_t r = 0; r < repeats; ++r) {
+        timeOnce(sample::SimMode::Detailed, r, detailed);
+        timeOnce(sample::SimMode::Functional, r, functional);
+        timeOnce(sample::SimMode::Sampled, r, sampled);
+    }
+
+    // One verification run: every mode executes the identical
+    // architectural stream, so checking the functional result covers
+    // all three.
+    {
+        Machine m(params);
+        sample::SampleOptions mopts = sopts;
+        mopts.mode = sample::SimMode::Functional;
+        kernels::SpmvResult res;
+        sample::runWith(m, mopts,
+                        [&] { res = kernels::spmvVia(m, a, x, fmt); });
+        if (!allClose(res.y, golden)) {
+            std::fprintf(stderr,
+                         "bench_report: result MISMATCH in "
+                         "functional mode\n");
+            return 1;
+        }
+    }
+
+    double rel_error =
+        std::abs(sampled.est.cycles - detailed.est.cycles) /
+        detailed.est.cycles;
+    double func_speedup = detailed.wall / functional.wall;
+    double sampled_speedup = detailed.wall / sampled.wall;
+
+    // Checkpoint leg: capture one warm image, then fan restore out
+    // over a SweepExecutor — every point gets the full post-run
+    // machine state without re-running the kernel, and must report
+    // the identical cycle count.
+    Machine warm(params);
+    kernels::spmvVia(warm, a, x, fmt);
+    Tick warm_cycles = warm.cycles();
+
+    auto cap_start = std::chrono::steady_clock::now();
+    sample::Checkpoint cp = sample::Checkpoint::capture(warm);
+    double capture_s = secondsSince(cap_start);
+
+    SweepExecutor exec(unsigned(cfg.getUInt("threads", 0)));
+    auto restore_start = std::chrono::steady_clock::now();
+    std::vector<int> identical =
+        exec.run(sweep_points, [&](std::size_t) {
+            Machine m(params);
+            cp.clone().restore(m);
+            return m.cycles() == warm_cycles ? 1 : 0;
+        });
+    double restore_s = secondsSince(restore_start) /
+                       double(sweep_points ? sweep_points : 1);
+    bool restore_ok = true;
+    for (int id : identical)
+        restore_ok = restore_ok && id == 1;
+
+    bool error_ok = rel_error <= 0.05;
+    bool speedup_ok = func_speedup >= 10.0;
+
+    std::printf("  detailed    %8.3fs  %12.0f cycles\n",
+                detailed.wall, detailed.est.cycles);
+    std::printf("  functional  %8.3fs  (%5.1fx, %llu insts)\n",
+                functional.wall, func_speedup,
+                static_cast<unsigned long long>(
+                    functional.est.totalInsts));
+    std::printf("  sampled     %8.3fs  %12.0f cycles  (%5.1fx, "
+                "%.2f%% error, %llu windows)\n",
+                sampled.wall, sampled.est.cycles, sampled_speedup,
+                rel_error * 100.0,
+                static_cast<unsigned long long>(
+                    sampled.est.intervals));
+    std::printf("  checkpoint  %zu bytes, capture %.3fs, restore "
+                "%.3fs/point x %zu points (%s)\n",
+                cp.bytes().size(), capture_s, restore_s,
+                sweep_points,
+                restore_ok ? "bit-identical" : "MISMATCH");
+
+    std::FILE *f = std::fopen(out_path.c_str(), "w");
+    if (f == nullptr)
+        via_fatal("cannot write ", out_path);
+    std::fprintf(f, "{\n");
+    std::fprintf(f,
+                 "  \"config\": {\"kernel\": \"spmv\", \"format\": "
+                 "\"%s\", \"rows\": %d, \"nnz\": %zu, "
+                 "\"sample_interval\": %llu, \"sample_warmup\": "
+                 "%llu, \"sample_measure\": %llu},\n",
+                 fmt.c_str(), a.rows(), a.nnz(),
+                 static_cast<unsigned long long>(sopts.interval),
+                 static_cast<unsigned long long>(sopts.warmup),
+                 static_cast<unsigned long long>(sopts.measure));
+    std::fprintf(f,
+                 "  \"detailed\": {\"wall_s\": %.4f, \"cycles\": "
+                 "%.0f, \"insts\": %llu},\n",
+                 detailed.wall, detailed.est.cycles,
+                 static_cast<unsigned long long>(
+                     detailed.est.totalInsts));
+    std::fprintf(f,
+                 "  \"functional\": {\"wall_s\": %.4f, \"speedup\": "
+                 "%.2f},\n",
+                 functional.wall, func_speedup);
+    std::fprintf(f,
+                 "  \"sampled\": {\"wall_s\": %.4f, \"speedup\": "
+                 "%.2f, \"cycles\": %.0f, \"rel_error\": %.4f, "
+                 "\"windows\": %llu, \"ci_low\": %.0f, \"ci_high\": "
+                 "%.0f},\n",
+                 sampled.wall, sampled_speedup, sampled.est.cycles,
+                 rel_error,
+                 static_cast<unsigned long long>(
+                     sampled.est.intervals),
+                 sampled.est.ciLow, sampled.est.ciHigh);
+    std::fprintf(f,
+                 "  \"checkpoint\": {\"bytes\": %zu, \"capture_s\": "
+                 "%.4f, \"restore_s_per_point\": %.4f, "
+                 "\"sweep_points\": %zu, \"restore_identical\": "
+                 "%s},\n",
+                 cp.bytes().size(), capture_s, restore_s,
+                 sweep_points, restore_ok ? "true" : "false");
+    std::fprintf(f,
+                 "  \"pass\": {\"sampled_error_le_5pct\": %s, "
+                 "\"functional_speedup_ge_10x\": %s, "
+                 "\"restore_identical\": %s}\n",
+                 error_ok ? "true" : "false",
+                 speedup_ok ? "true" : "false",
+                 restore_ok ? "true" : "false");
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", out_path.c_str());
+
+    if (!error_ok)
+        std::fprintf(stderr,
+                     "bench_report: FAIL sampled cycle error %.2f%% "
+                     "> 5%%\n",
+                     rel_error * 100.0);
+    if (!speedup_ok)
+        std::fprintf(stderr,
+                     "bench_report: FAIL functional speedup %.1fx "
+                     "< 10x\n",
+                     func_speedup);
+    if (!restore_ok)
+        std::fprintf(stderr, "bench_report: FAIL restored machines "
+                             "diverged from the warm image\n");
+    return (error_ok && speedup_ok && restore_ok) ? 0 : 1;
+}

@@ -6,8 +6,8 @@
  * kernel (baseline and VIA variants) across several machine
  * configurations, diffs each result against the host golden
  * reference, and verifies the timing model's internal invariants
- * with a TimingInvariantChecker. On the first failure it prints a
- * single replayable seed and exits nonzero:
+ * with a TimingInvariantChecker. Every failing seed prints a
+ * replayable line, and the campaign exits nonzero:
  *
  *   replay: via_fuzz seeds=1 seed=<S> kernel=<K>
  *
@@ -18,6 +18,9 @@
  *   seeds=N    seeds to run                       (default 100)
  *   seed=S     first seed                         (default 1)
  *   kernel=K   all|spmv|spma|spmm|histogram|stencil (default all)
+ *   threads=N  parallel seed workers; 0 = hardware (default 1).
+ *              Per-seed verdicts and output are identical at any
+ *              thread count.
  *   verbose=1  per-seed progress on stderr
  *   inject=1   self-test: perturb a cache counter after each run so
  *              the checker must catch it and print the replay seed
@@ -44,7 +47,7 @@ bool
 validateKeys(const Config &cfg)
 {
     static const std::set<std::string> valid = {
-        "seeds", "seed", "kernel", "verbose", "inject",
+        "seeds", "seed", "kernel", "threads", "verbose", "inject",
     };
     bool ok = true;
     for (const std::string &key : cfg.keys()) {
@@ -79,6 +82,7 @@ main(int argc, char **argv)
     opts.seeds = cfg.getUInt("seeds", 100);
     opts.firstSeed = cfg.getUInt("seed", 1);
     opts.kernel = cfg.getString("kernel", "all");
+    opts.threads = unsigned(cfg.getUInt("threads", 1));
     opts.verbose = cfg.getBool("verbose", false);
 
     static const std::set<std::string> kernels = {

@@ -19,6 +19,7 @@
  *
  * Common keys:
  *   mtx=PATH        load a Matrix Market file (else synthetic)
+ *   matrix=PATH     alias for mtx= (real-world workload entry)
  *   rows=N          synthetic matrix size         (default 512)
  *   density=D       synthetic matrix density      (default 0.01)
  *   family=F        banded|uniform|rmat|blocked|diag (default uniform)
@@ -33,6 +34,22 @@
  *   json=1          dump statistics as JSON instead
  *   timeline=C      (spmv) sample IPC every C simulated cycles
  *   debug=1         per-instruction debug log to stderr
+ *
+ * Sampled simulation (the VIA run; see docs/sampling.md):
+ *   mode=M          detailed | functional | sampled (default
+ *                   detailed). functional warms caches/predictor
+ *                   and checks the result but models no timing;
+ *                   sampled extrapolates cycles from measured
+ *                   windows with a 95% confidence interval. With
+ *                   VIA_CHECK=1, mode=sampled also audits the
+ *                   estimate against a detailed run and fails on a
+ *                   >5% cycle error.
+ *   sample_interval=N  instructions per sampling unit (default 100k)
+ *   sample_warmup=N    detailed warmup per unit       (default 2000)
+ *   sample_measure=N   measured instructions per unit (default 3000)
+ *   checkpoint=PATH write the post-run machine state (all modes)
+ *   restore=PATH    restore machine state before the run; the file
+ *                   must come from an identically configured machine
  *
  * Tracing (the VIA-run Machine; see docs/tracing.md):
  *   trace=PATH      write an event trace of the VIA run
@@ -64,6 +81,8 @@
 #include <sstream>
 #include <string>
 
+#include "check/invariants.hh"
+#include "check/sampling_audit.hh"
 #include "cpu/machine.hh"
 #include "cpu/machine_config.hh"
 #include "kernels/dispatch.hh"
@@ -74,8 +93,11 @@
 #include "kernels/stencil.hh"
 #include "kernels/spmm.hh"
 #include "kernels/spmv.hh"
+#include "sample/checkpoint.hh"
+#include "sample/sampling.hh"
 #include "simcore/config.hh"
 #include "simcore/log.hh"
+#include "simcore/serialize.hh"
 #include "simcore/parallel.hh"
 #include "simcore/rng.hh"
 #include "sparse/convert.hh"
@@ -99,9 +121,12 @@ validateKeys(const Config &cfg)
 {
     static const std::set<std::string> valid = {
         // driver
-        "kernel", "mtx", "rows", "density", "family", "seed",
-        "format", "keys", "buckets", "px", "stats", "json",
+        "kernel", "mtx", "matrix", "rows", "density", "family",
+        "seed", "format", "keys", "buckets", "px", "stats", "json",
         "timeline", "debug", "inject_error",
+        // sampled simulation
+        "mode", "sample_interval", "sample_warmup", "sample_measure",
+        "checkpoint", "restore",
         // machine parameters (machineParamsFrom)
         "sspm_kb", "ports", "cam_kb", "cam_bank", "rob", "dispatch",
         "commit", "lq", "sq", "via_at_commit", "gather_overhead",
@@ -130,9 +155,18 @@ validateKeys(const Config &cfg)
     return ok;
 }
 
+/** True when no Matrix Market file was given (mtx= or matrix=). */
+bool
+syntheticInput(const Config &cfg)
+{
+    return !cfg.has("mtx") && !cfg.has("matrix");
+}
+
 Csr
 loadMatrix(const Config &cfg, Rng &rng)
 {
+    if (cfg.has("matrix"))
+        return readMatrixMarket(cfg.getString("matrix", ""));
     if (cfg.has("mtx"))
         return readMatrixMarket(cfg.getString("mtx", ""));
     auto n = Index(cfg.getUInt("rows", 512));
@@ -182,6 +216,95 @@ dumpStats(const Config &cfg, Machine &m)
         m.stats().dumpJson(std::cout);
     else if (cfg.getBool("stats", false))
         m.stats().dump(std::cout);
+}
+
+/** restore=PATH: load a machine image before the kernel runs. */
+void
+maybeRestore(const Config &cfg, Machine &m)
+{
+    if (!cfg.has("restore"))
+        return;
+    std::string path = cfg.getString("restore", "");
+    try {
+        sample::Checkpoint::readFile(path).restore(m);
+    } catch (const SerializeError &e) {
+        via_fatal("restore=", path, ": ", e.what());
+    }
+    std::printf("restored machine state from %s\n", path.c_str());
+}
+
+/** checkpoint=PATH: write the post-run machine image. */
+void
+maybeCheckpoint(const Config &cfg, const Machine &m)
+{
+    if (!cfg.has("checkpoint"))
+        return;
+    std::string path = cfg.getString("checkpoint", "");
+    try {
+        sample::Checkpoint::capture(m).writeFile(path);
+    } catch (const SerializeError &e) {
+        via_fatal("checkpoint=", path, ": ", e.what());
+    }
+    std::printf("checkpoint written to %s\n", path.c_str());
+}
+
+/** The mode=functional / mode=sampled counterpart of report(). */
+void
+reportEstimate(const std::string &name,
+               const sample::SampleOptions &sopts,
+               const sample::SampleEstimate &est)
+{
+    if (sopts.mode == sample::SimMode::Functional) {
+        std::printf("%-18s %12llu insts  (functional: no timing "
+                    "modelled)\n",
+                    name.c_str(),
+                    static_cast<unsigned long long>(est.totalInsts));
+        return;
+    }
+    if (est.exact) {
+        std::printf("%-18s %12.0f cycles  (exact: run shorter than "
+                    "one sampling unit)\n",
+                    name.c_str(), est.cycles);
+        return;
+    }
+    std::printf("%-18s %12.0f cycles  (sampled, 95%% CI "
+                "[%.0f, %.0f], %llu windows, cpi %.2f)\n",
+                name.c_str(), est.cycles, est.ciLow, est.ciHigh,
+                static_cast<unsigned long long>(est.intervals),
+                est.cpi);
+}
+
+/**
+ * Run one kernel body under mode=functional or mode=sampled: a
+ * single VIA-configured machine (no software baseline — comparative
+ * timing is detailed mode's job), optional restore before and
+ * checkpoint after, and, for sampled runs under VIA_CHECK=1, the
+ * sampled-vs-detailed error audit folded into the exit code.
+ */
+int
+runModal(const Config &cfg, const MachineParams &params,
+         const sample::SampleOptions &sopts, const std::string &name,
+         const std::function<bool(Machine &)> &body)
+{
+    Machine m(params);
+    maybeRestore(cfg, m);
+    bool ok = false;
+    sample::SampleEstimate est =
+        sample::runWith(m, sopts, [&] { ok = body(m); });
+    reportEstimate(name, sopts, est);
+    std::printf("result check: %s\n", ok ? "ok" : "MISMATCH");
+
+    if (sopts.mode == sample::SimMode::Sampled &&
+        check::envEnabled()) {
+        check::SamplingAudit audit = check::auditEstimate(
+            params, est, [&](Machine &dm) { body(dm); });
+        std::printf("%s\n", audit.summary().c_str());
+        ok = ok && audit.ok;
+    }
+
+    maybeCheckpoint(cfg, m);
+    dumpStats(cfg, m);
+    return ok ? 0 : 1;
 }
 
 /**
@@ -244,12 +367,22 @@ runSpmv(const Config &cfg, const MachineParams &params, Rng &rng)
     std::printf("SpMV: %dx%d, %zu nnz\n", a.rows(), a.cols(),
                 a.nnz());
 
+    std::string fmt = cfg.getString("format", "csb");
+    auto sopts = sample::SampleOptions::fromConfig(cfg);
+    if (sopts.mode != sample::SimMode::Detailed)
+        return runModal(cfg, params, sopts, "VIA " + fmt,
+                        [&](Machine &m) {
+                            auto res =
+                                kernels::spmvVia(m, a, x, fmt);
+                            return allClose(res.y, a.multiply(x));
+                        });
+
     Machine base(params);
     auto bres = kernels::spmvVectorCsr(base, a, x);
     report("vector CSR", base, 0);
 
-    std::string fmt = cfg.getString("format", "csb");
     Machine viam(params);
+    maybeRestore(cfg, viam);
     TraceOptions topts = TraceOptions::fromConfig(cfg);
     enableTracing(viam, topts);
     viam.tracePhase("spmv_" + fmt);
@@ -262,6 +395,7 @@ runSpmv(const Config &cfg, const MachineParams &params, Rng &rng)
     bool ok = allClose(vres.y, a.multiply(x));
     std::printf("result check: %s\n", ok ? "ok" : "MISMATCH");
     ok = finishTracing(viam, topts) && ok;
+    maybeCheckpoint(cfg, viam);
     dumpStats(cfg, viam);
     return ok ? 0 : 1;
 }
@@ -274,11 +408,21 @@ runSpma(const Config &cfg, const MachineParams &params, Rng &rng)
     std::printf("SpMA: %dx%d, %zu + %zu nnz\n", a.rows(), a.cols(),
                 a.nnz(), b.nnz());
 
+    auto sopts = sample::SampleOptions::fromConfig(cfg);
+    if (sopts.mode != sample::SimMode::Detailed)
+        return runModal(cfg, params, sopts, "VIA CAM",
+                        [&](Machine &m) {
+                            auto res = kernels::spmaViaCsr(m, a, b);
+                            return closeElements(res.c,
+                                                 addCsr(a, b), 1e-3);
+                        });
+
     Machine base(params);
     auto bres = kernels::spmaScalarCsr(base, a, b);
     report("scalar merge", base, 0);
 
     Machine viam(params);
+    maybeRestore(cfg, viam);
     TraceOptions topts = TraceOptions::fromConfig(cfg);
     enableTracing(viam, topts);
     viam.tracePhase("spma");
@@ -288,6 +432,7 @@ runSpma(const Config &cfg, const MachineParams &params, Rng &rng)
     bool ok = closeElements(vres.c, addCsr(a, b), 1e-3);
     std::printf("result check: %s\n", ok ? "ok" : "MISMATCH");
     ok = finishTracing(viam, topts) && ok;
+    maybeCheckpoint(cfg, viam);
     dumpStats(cfg, viam);
     return ok ? 0 : 1;
 }
@@ -296,7 +441,7 @@ int
 runSpmm(const Config &cfg, const MachineParams &params, Rng &rng)
 {
     Config small = cfg;
-    if (!cfg.has("rows") && !cfg.has("mtx"))
+    if (!cfg.has("rows") && syntheticInput(cfg))
         small.set("rows", "160");
     Csr a = loadMatrix(small, rng);
     Csr b_csr = loadMatrix(small, rng);
@@ -305,11 +450,22 @@ runSpmm(const Config &cfg, const MachineParams &params, Rng &rng)
                 a.rows(), a.cols(), a.nnz(), b.rows(), b.cols(),
                 b.nnz());
 
+    auto sopts = sample::SampleOptions::fromConfig(cfg);
+    if (sopts.mode != sample::SimMode::Detailed)
+        return runModal(cfg, params, sopts, "VIA CAM",
+                        [&](Machine &m) {
+                            auto res =
+                                kernels::spmmViaInner(m, a, b);
+                            return closeElements(
+                                res.c, mulCsr(a, b_csr), 1e-2);
+                        });
+
     Machine base(params);
     auto bres = kernels::spmmScalarInner(base, a, b);
     report("scalar inner", base, 0);
 
     Machine viam(params);
+    maybeRestore(cfg, viam);
     TraceOptions topts = TraceOptions::fromConfig(cfg);
     enableTracing(viam, topts);
     viam.tracePhase("spmm");
@@ -319,6 +475,7 @@ runSpmm(const Config &cfg, const MachineParams &params, Rng &rng)
     bool ok = closeElements(vres.c, mulCsr(a, b_csr), 1e-2);
     std::printf("result check: %s\n", ok ? "ok" : "MISMATCH");
     ok = finishTracing(viam, topts) && ok;
+    maybeCheckpoint(cfg, viam);
     dumpStats(cfg, viam);
     return ok ? 0 : 1;
 }
@@ -334,7 +491,19 @@ runHistogram(const Config &cfg, const MachineParams &params,
         k = Index(rng.below(std::uint64_t(buckets)));
     std::printf("histogram: %zu keys, %d buckets\n", count, buckets);
 
+    auto sopts = sample::SampleOptions::fromConfig(cfg);
+    if (sopts.mode != sample::SimMode::Detailed)
+        return runModal(cfg, params, sopts, "VIA",
+                        [&](Machine &m) {
+                            auto res =
+                                kernels::histVia(m, keys, buckets);
+                            return res.hist ==
+                                   kernels::refHistogram(keys,
+                                                         buckets);
+                        });
+
     Machine m1(params), m2(params), m3(params);
+    maybeRestore(cfg, m3);
     TraceOptions topts = TraceOptions::fromConfig(cfg);
     enableTracing(m3, topts);
     m3.tracePhase("histogram");
@@ -348,6 +517,7 @@ runHistogram(const Config &cfg, const MachineParams &params,
     bool ok = vres.hist == kernels::refHistogram(keys, buckets);
     std::printf("result check: %s\n", ok ? "ok" : "MISMATCH");
     ok = finishTracing(m3, topts) && ok;
+    maybeCheckpoint(cfg, m3);
     dumpStats(cfg, m3);
     return ok ? 0 : 1;
 }
@@ -361,11 +531,25 @@ runStencil(const Config &cfg, const MachineParams &params, Rng &rng)
         p = Value(rng.uniform() * 255.0);
     std::printf("stencil: 4x4 Gaussian on %dx%d px\n", side, side);
 
+    auto sopts = sample::SampleOptions::fromConfig(cfg);
+    if (sopts.mode != sample::SimMode::Detailed) {
+        DenseMatrix ref = kernels::refConvolve4x4(img);
+        return runModal(cfg, params, sopts, "VIA",
+                        [&](Machine &m) {
+                            auto res = kernels::stencilVia(m, img);
+                            if (cfg.getBool("inject_error", false))
+                                res.out.at(0, 0) += Value(1.0);
+                            return allClose(res.out.data(),
+                                            ref.data());
+                        });
+    }
+
     Machine base(params);
     auto bres = kernels::stencilVector(base, img);
     report("vector", base, 0);
 
     Machine viam(params);
+    maybeRestore(cfg, viam);
     TraceOptions topts = TraceOptions::fromConfig(cfg);
     enableTracing(viam, topts);
     viam.tracePhase("stencil");
@@ -379,6 +563,7 @@ runStencil(const Config &cfg, const MachineParams &params, Rng &rng)
     bool ok = allClose(vres.out.data(), ref.data());
     std::printf("result check: %s\n", ok ? "ok" : "MISMATCH");
     ok = finishTracing(viam, topts) && ok;
+    maybeCheckpoint(cfg, viam);
     dumpStats(cfg, viam);
     return ok ? 0 : 1;
 }
@@ -472,7 +657,7 @@ runSweep(const std::string &kernel, const Config &cfg, Rng &rng)
         };
     } else if (kernel == "spmm") {
         Config small = cfg;
-        if (!cfg.has("rows") && !cfg.has("mtx"))
+        if (!cfg.has("rows") && syntheticInput(cfg))
             small.set("rows", "160");
         auto a = std::make_shared<Csr>(loadMatrix(small, rng));
         auto b_csr = std::make_shared<Csr>(loadMatrix(small, rng));

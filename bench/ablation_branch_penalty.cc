@@ -24,13 +24,19 @@ using namespace via;
 int
 main(int argc, char **argv)
 {
-    Config cfg = bench::parseArgs(argc, argv);
+    Options opts = bench::benchOptions(
+        "ablation_branch_penalty",
+        "Ablation: branch mispredict penalty vs SpMA speedup");
+    opts.addUInt("count", 6, "corpus matrices", 1)
+        .addUInt("seed", 1, "corpus generator seed");
+    opts.parse(argc, argv);
+    applySelfProfOption(opts);
     CorpusSpec spec;
-    spec.count = cfg.getUInt("count", 6);
+    spec.count = opts.getUInt("count");
     spec.minRows = 512;
     spec.maxRows = 2048;
     spec.minDensity = 0.004;
-    spec.seed = cfg.getUInt("seed", 1);
+    spec.seed = opts.getUInt("seed");
     auto corpus = buildCorpus(spec);
 
     std::printf("== Ablation: mispredict penalty vs SpMA speedup "
@@ -47,7 +53,7 @@ main(int argc, char **argv)
 
     const Tick penalties[] = {Tick(0), Tick(7), Tick(14), Tick(20)};
     const std::size_t n_pen = std::size(penalties);
-    SweepExecutor exec = bench::makeExecutor(cfg);
+    SweepExecutor exec = bench::makeExecutor(opts);
     auto speedups =
         exec.run(n_pen * corpus.size(), [&](std::size_t p) {
             std::size_t pen = p / corpus.size();

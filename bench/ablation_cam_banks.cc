@@ -26,16 +26,22 @@ using namespace via;
 int
 main(int argc, char **argv)
 {
-    Config cfg = bench::parseArgs(argc, argv);
-    Rng rng(cfg.getUInt("seed", 3));
-    auto n = Index(cfg.getUInt("rows", 160));
+    Options opts = bench::benchOptions(
+        "ablation_cam_banks",
+        "Ablation: CAM bank size vs SpMM search cost");
+    opts.addUInt("rows", 160, "matrix dimension", 1)
+        .addUInt("seed", 3, "matrix generator seed");
+    opts.parse(argc, argv);
+    applySelfProfOption(opts);
+    Rng rng(opts.getUInt("seed"));
+    auto n = Index(opts.getUInt("rows"));
     Csr a = genUniform(n, n, 0.05, rng);
     Csc b = Csc::fromCsr(a);
 
     std::printf("== Ablation: CAM bank size (SpMM, %dx%d) ==\n", n,
                 n);
     const std::uint32_t banks[] = {1u, 4u, 8u, 16u, 64u, 1024u};
-    SweepExecutor exec = bench::makeExecutor(cfg);
+    SweepExecutor exec = bench::makeExecutor(opts);
     struct Counts
     {
         double searches = 0.0;

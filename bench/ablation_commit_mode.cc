@@ -28,11 +28,18 @@ using namespace via;
 int
 main(int argc, char **argv)
 {
-    Config cfg = bench::parseArgs(argc, argv);
+    Options opts = bench::benchOptions(
+        "ablation_commit_mode",
+        "Ablation: VIA commit mode (at-commit vs at-issue)");
+    opts.addUInt("count", 8, "corpus matrices", 1)
+        .addUInt("max_rows", 2048, "largest corpus dimension", 1)
+        .addUInt("seed", 1, "corpus generator seed");
+    opts.parse(argc, argv);
+    applySelfProfOption(opts);
     CorpusSpec spec;
-    spec.count = cfg.getUInt("count", 8);
-    spec.maxRows = Index(cfg.getUInt("max_rows", 2048));
-    spec.seed = cfg.getUInt("seed", 1);
+    spec.count = opts.getUInt("count");
+    spec.maxRows = Index(opts.getUInt("max_rows"));
+    spec.seed = opts.getUInt("seed");
     auto corpus = buildCorpus(spec);
 
     // Inputs first (serially, seed 66 as before), then every matrix
@@ -42,7 +49,7 @@ main(int argc, char **argv)
     for (const auto &entry : corpus)
         xs.push_back(randomVector(entry.matrix.cols(), rng));
 
-    SweepExecutor exec = bench::makeExecutor(cfg);
+    SweepExecutor exec = bench::makeExecutor(opts);
     struct Cost
     {
         double spmv = 0.0;

@@ -27,11 +27,18 @@ using namespace via;
 int
 main(int argc, char **argv)
 {
-    Config cfg = bench::parseArgs(argc, argv);
+    Options opts = bench::benchOptions(
+        "ablation_gather_cost",
+        "Ablation: gather cost vs VIA-CSB speedup");
+    opts.addUInt("count", 6, "corpus matrices", 1)
+        .addUInt("max_rows", 2048, "largest corpus dimension", 1)
+        .addUInt("seed", 1, "corpus generator seed");
+    opts.parse(argc, argv);
+    applySelfProfOption(opts);
     CorpusSpec spec;
-    spec.count = cfg.getUInt("count", 6);
-    spec.maxRows = Index(cfg.getUInt("max_rows", 2048));
-    spec.seed = cfg.getUInt("seed", 1);
+    spec.count = opts.getUInt("count");
+    spec.maxRows = Index(opts.getUInt("max_rows"));
+    spec.seed = opts.getUInt("seed");
     auto corpus = buildCorpus(spec);
 
     struct Point
@@ -53,7 +60,7 @@ main(int argc, char **argv)
     }
 
     const std::size_t n_points = std::size(points);
-    SweepExecutor exec = bench::makeExecutor(cfg);
+    SweepExecutor exec = bench::makeExecutor(opts);
     auto speedups =
         exec.run(n_points * corpus.size(), [&](std::size_t p) {
             const Point &pt = points[p / corpus.size()];

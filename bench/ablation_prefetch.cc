@@ -24,13 +24,20 @@ using namespace via;
 int
 main(int argc, char **argv)
 {
-    Config cfg = bench::parseArgs(argc, argv);
+    Options opts = bench::benchOptions(
+        "ablation_prefetch",
+        "Ablation: L2 next-N-line prefetcher");
+    opts.addUInt("count", 6, "corpus matrices", 1)
+        .addUInt("max_rows", 4096, "largest corpus dimension", 1)
+        .addUInt("seed", 1, "corpus generator seed");
+    opts.parse(argc, argv);
+    applySelfProfOption(opts);
     CorpusSpec spec;
-    spec.count = cfg.getUInt("count", 6);
+    spec.count = opts.getUInt("count");
     spec.minRows = 1024;
-    spec.maxRows = Index(cfg.getUInt("max_rows", 4096));
+    spec.maxRows = Index(opts.getUInt("max_rows"));
     spec.minDensity = 0.002;
-    spec.seed = cfg.getUInt("seed", 1);
+    spec.seed = opts.getUInt("seed");
     auto corpus = buildCorpus(spec);
 
     std::printf("== Ablation: L2 next-N-line prefetcher ==\n");
@@ -45,7 +52,7 @@ main(int argc, char **argv)
 
     const std::uint32_t degrees[] = {0u, 2u, 4u, 8u};
     const std::size_t n_deg = std::size(degrees);
-    SweepExecutor exec = bench::makeExecutor(cfg);
+    SweepExecutor exec = bench::makeExecutor(opts);
     auto speedups =
         exec.run(n_deg * corpus.size(), [&](std::size_t p) {
             MachineParams params;

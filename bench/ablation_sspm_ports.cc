@@ -26,11 +26,18 @@ using namespace via;
 int
 main(int argc, char **argv)
 {
-    Config cfg = bench::parseArgs(argc, argv);
+    Options opts = bench::benchOptions(
+        "ablation_sspm_ports",
+        "Ablation: SSPM port count vs SpMV speedup");
+    opts.addUInt("count", 6, "corpus matrices", 1)
+        .addUInt("max_rows", 2048, "largest corpus dimension", 1)
+        .addUInt("seed", 1, "corpus generator seed");
+    opts.parse(argc, argv);
+    applySelfProfOption(opts);
     CorpusSpec spec;
-    spec.count = cfg.getUInt("count", 6);
-    spec.maxRows = Index(cfg.getUInt("max_rows", 2048));
-    spec.seed = cfg.getUInt("seed", 1);
+    spec.count = opts.getUInt("count");
+    spec.maxRows = Index(opts.getUInt("max_rows"));
+    spec.seed = opts.getUInt("seed");
     auto corpus = buildCorpus(spec);
 
     Rng rng(33);
@@ -49,7 +56,7 @@ main(int argc, char **argv)
     const std::size_t n_ports = std::size(port_counts);
     // Per port count: one point per matrix plus one histogram run.
     const std::size_t per_cfg = corpus.size() + 1;
-    SweepExecutor exec = bench::makeExecutor(cfg);
+    SweepExecutor exec = bench::makeExecutor(opts);
     auto cycles =
         exec.run(n_ports * per_cfg, [&](std::size_t p) {
             MachineParams params;

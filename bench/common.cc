@@ -27,44 +27,45 @@ makeSibling(const Csr &a, Rng &rng)
     return Csr::fromCoo(std::move(coo));
 }
 
-Config
-parseArgs(int argc, char **argv)
+Options
+benchOptions(const std::string &binary,
+             const std::string &description)
 {
-    std::vector<std::string> args;
-    for (int i = 1; i < argc; ++i)
-        args.emplace_back(argv[i]);
-    return Config::fromArgs(args);
-}
-
-SweepExecutor
-makeExecutor(const Config &cfg)
-{
-    return SweepExecutor(unsigned(cfg.getUInt("threads", 0)));
-}
-
-sample::SampleOptions
-sampleOptions(const Config &cfg)
-{
-    sample::SampleOptions opts =
-        sample::SampleOptions::fromConfig(cfg);
-    if (opts.mode == sample::SimMode::Functional)
-        via_fatal("mode=functional models no timing; the bench "
-                  "harnesses need detailed or sampled");
+    Options opts(binary, description);
+    addThreadsOption(opts);
+    addSelfProfOption(opts);
     return opts;
 }
 
-TraceOptions
-traceOptions(const Config &cfg)
+SweepExecutor
+makeExecutor(const Options &opts)
 {
-    TraceOptions opts = TraceOptions::fromConfig(cfg);
-    if (opts.summary && cfg.getUInt("threads", 0) != 1) {
+    return SweepExecutor(unsigned(opts.getUInt("threads")));
+}
+
+sample::SampleOptions
+sampleOptions(const Options &opts)
+{
+    sample::SampleOptions sopts =
+        sample::SampleOptions::fromConfig(opts.config());
+    if (sopts.mode == sample::SimMode::Functional)
+        via_fatal("mode=functional models no timing; the bench "
+                  "harnesses need detailed or sampled");
+    return sopts;
+}
+
+TraceOptions
+traceOptions(const Options &opts)
+{
+    TraceOptions topts = TraceOptions::fromConfig(opts.config());
+    if (topts.summary && opts.getUInt("threads") != 1) {
         std::fprintf(stderr,
                      "trace_summary=1 requires threads=1 in the "
                      "bench harnesses (the roll-up would interleave "
                      "across workers); ignoring\n");
-        opts.summary = false;
+        topts.summary = false;
     }
-    return opts;
+    return topts;
 }
 
 void

@@ -12,6 +12,7 @@
 
 #include "sample/sampling.hh"
 #include "simcore/config.hh"
+#include "simcore/options.hh"
 #include "simcore/parallel.hh"
 #include "simcore/rng.hh"
 #include "sparse/csr.hh"
@@ -27,15 +28,21 @@ namespace via::bench
  */
 Csr makeSibling(const Csr &a, Rng &rng);
 
-/** Parse argv into a Config of key=value overrides. */
-Config parseArgs(int argc, char **argv);
+/**
+ * The shared options registry of a bench harness: threads= and
+ * selfprof= come pre-registered. The harness adds its own keys
+ * (and the machine/sample/trace groups it actually wires up), then
+ * calls parse().
+ */
+Options benchOptions(const std::string &binary,
+                     const std::string &description);
 
 /**
  * The sweep executor for a harness: honors the shared threads=N
  * key (default 0 = hardware concurrency). Output is bit-identical
  * at every thread count; threads=1 recovers serial execution.
  */
-SweepExecutor makeExecutor(const Config &cfg);
+SweepExecutor makeExecutor(const Options &opts);
 
 /**
  * The shared tracing knobs (trace=, trace_format=, trace_limit=,
@@ -45,7 +52,7 @@ SweepExecutor makeExecutor(const Config &cfg);
  * roll-up is only honored with threads=1, where output stays
  * deterministic.
  */
-TraceOptions traceOptions(const Config &cfg);
+TraceOptions traceOptions(const Options &opts);
 
 /**
  * The shared sampled-simulation knobs (mode=, sample_interval=,
@@ -55,7 +62,7 @@ TraceOptions traceOptions(const Config &cfg);
  * far beyond what detailed simulation sustains, at the documented
  * error bound (docs/sampling.md).
  */
-sample::SampleOptions sampleOptions(const Config &cfg);
+sample::SampleOptions sampleOptions(const Options &opts);
 
 /** Print an aligned table: header row + data rows. */
 void printTable(const std::vector<std::string> &header,

@@ -26,19 +26,29 @@ using namespace via;
 int
 main(int argc, char **argv)
 {
-    Config cfg = bench::parseArgs(argc, argv);
+    // Serial harness (no sweep executor), so no threads= key.
+    Options opts("energy_bw",
+                 "Processor energy and DRAM traffic: VIA vs "
+                 "vectorized CSB");
+    addSelfProfOption(opts);
+    addMachineOptions(opts);
+    opts.addUInt("count", 10, "corpus matrices", 1)
+        .addUInt("max_rows", 4096, "largest corpus dimension", 1)
+        .addUInt("seed", 1, "corpus generator seed");
+    opts.parse(argc, argv);
+    applySelfProfOption(opts);
     // The paper reports these numbers for the *best usage case*
     // (Section VII-A), so the corpus leans on the larger, denser
     // matrices where CSB blocks actually fill.
     CorpusSpec spec;
-    spec.count = cfg.getUInt("count", 10);
+    spec.count = opts.getUInt("count");
     spec.minRows = 1024;
-    spec.maxRows = Index(cfg.getUInt("max_rows", 4096));
+    spec.maxRows = Index(opts.getUInt("max_rows"));
     spec.minDensity = 0.004;
-    spec.seed = cfg.getUInt("seed", 1);
+    spec.seed = opts.getUInt("seed");
     auto corpus = buildCorpus(spec);
 
-    MachineParams params = machineParamsFrom(cfg);
+    MachineParams params = machineParamsFrom(opts.config());
     Rng rng(55);
 
     std::vector<double> energy_ratio, bw_ratio, cache_ratio;

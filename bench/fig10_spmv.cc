@@ -69,24 +69,38 @@ makeParams(const Config &cfg)
 int
 main(int argc, char **argv)
 {
-    Config cfg = bench::parseArgs(argc, argv);
-    MachineParams params = makeParams(cfg);
+    Options opts = bench::benchOptions(
+        "fig10_spmv",
+        "Figure 10: SpMV speedup of VIA over software formats");
+    addMachineOptions(opts);
+    sample::addSampleOptions(opts);
+    addTraceOptions(opts);
+    opts.addString("corpus_dir", "",
+                   "load MatrixMarket corpus from this directory "
+                   "instead of generating one")
+        .addUInt("count", 24, "generated corpus matrices", 1)
+        .addUInt("max_rows", 4096, "largest corpus dimension", 1)
+        .addUInt("seed", 1, "corpus generator seed")
+        .addUInt("vec_seed", 1234, "dense-vector seed");
+    opts.parse(argc, argv);
+    applySelfProfOption(opts);
+    MachineParams params = makeParams(opts.config());
 
     std::vector<CorpusEntry> corpus;
-    if (cfg.has("corpus_dir")) {
-        corpus = loadCorpusDir(cfg.getString("corpus_dir", ""));
+    if (opts.given("corpus_dir")) {
+        corpus = loadCorpusDir(opts.getString("corpus_dir"));
     } else {
         CorpusSpec spec;
-        spec.count = cfg.getUInt("count", 24);
-        spec.maxRows = Index(cfg.getUInt("max_rows", 4096));
-        spec.seed = cfg.getUInt("seed", 1);
+        spec.count = opts.getUInt("count");
+        spec.maxRows = Index(opts.getUInt("max_rows"));
+        spec.seed = opts.getUInt("seed");
         corpus = buildCorpus(spec);
     }
 
-    SweepExecutor exec = bench::makeExecutor(cfg);
-    std::uint64_t vec_seed = cfg.getUInt("vec_seed", 1234);
-    TraceOptions topts = bench::traceOptions(cfg);
-    sample::SampleOptions sopts = bench::sampleOptions(cfg);
+    SweepExecutor exec = bench::makeExecutor(opts);
+    std::uint64_t vec_seed = opts.getUInt("vec_seed");
+    TraceOptions topts = bench::traceOptions(opts);
+    sample::SampleOptions sopts = bench::sampleOptions(opts);
 
     auto results = exec.run(corpus.size(), [&](std::size_t i) {
         const auto &entry = corpus[i];

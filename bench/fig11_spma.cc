@@ -33,16 +33,25 @@ using namespace via;
 int
 main(int argc, char **argv)
 {
-    Config cfg = bench::parseArgs(argc, argv);
+    Options opts = bench::benchOptions(
+        "fig11_spma",
+        "Figure 11: SpMA speedup of VIA over the scalar merge");
+    addMachineOptions(opts);
+    opts.addUInt("count", 16, "corpus matrices", 1)
+        .addUInt("max_rows", 4096, "largest corpus dimension", 1)
+        .addUInt("seed", 1, "corpus generator seed")
+        .addUInt("sibling_seed", 77, "sibling-matrix seed");
+    opts.parse(argc, argv);
+    applySelfProfOption(opts);
     CorpusSpec spec;
-    spec.count = cfg.getUInt("count", 16);
-    spec.maxRows = Index(cfg.getUInt("max_rows", 4096));
-    spec.seed = cfg.getUInt("seed", 1);
+    spec.count = opts.getUInt("count");
+    spec.maxRows = Index(opts.getUInt("max_rows"));
+    spec.seed = opts.getUInt("seed");
     auto corpus = buildCorpus(spec);
 
-    MachineParams params = machineParamsFrom(cfg);
-    SweepExecutor exec = bench::makeExecutor(cfg);
-    std::uint64_t sib_seed = cfg.getUInt("sibling_seed", 77);
+    MachineParams params = machineParamsFrom(opts.config());
+    SweepExecutor exec = bench::makeExecutor(opts);
+    std::uint64_t sib_seed = opts.getUInt("sibling_seed");
 
     struct PerMatrix
     {

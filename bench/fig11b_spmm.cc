@@ -33,16 +33,24 @@ using namespace via;
 int
 main(int argc, char **argv)
 {
-    Config cfg = bench::parseArgs(argc, argv);
+    Options opts = bench::benchOptions(
+        "fig11b_spmm",
+        "Figure 11.b: SpMM speedup of VIA over scalar CSR x CSC");
+    addMachineOptions(opts);
+    opts.addUInt("count", 8, "corpus matrices", 1)
+        .addUInt("max_rows", 320, "largest corpus dimension", 1)
+        .addUInt("seed", 1, "corpus generator seed");
+    opts.parse(argc, argv);
+    applySelfProfOption(opts);
     CorpusSpec spec;
-    spec.count = cfg.getUInt("count", 8);
+    spec.count = opts.getUInt("count");
     spec.minRows = 96;
-    spec.maxRows = Index(cfg.getUInt("max_rows", 320));
-    spec.seed = cfg.getUInt("seed", 1);
+    spec.maxRows = Index(opts.getUInt("max_rows"));
+    spec.seed = opts.getUInt("seed");
     auto corpus = buildCorpus(spec);
 
-    MachineParams params = machineParamsFrom(cfg);
-    SweepExecutor exec = bench::makeExecutor(cfg);
+    MachineParams params = machineParamsFrom(opts.config());
+    SweepExecutor exec = bench::makeExecutor(opts);
 
     // Decide fits-the-CAM up front so skips print in corpus order
     // and only fitting matrices become sweep points.

@@ -49,12 +49,21 @@ makeKeys(std::size_t count, Index buckets, double hot_frac,
 int
 main(int argc, char **argv)
 {
-    Config cfg = bench::parseArgs(argc, argv);
-    auto base_keys = std::size_t(cfg.getUInt("keys", 8192));
-    auto buckets = Index(cfg.getUInt("buckets", 2048));
-    Rng rng(cfg.getUInt("seed", 5));
+    Options opts = bench::benchOptions(
+        "fig12a_histogram",
+        "Figure 12.a: histogram speedup of VIA over scalar and "
+        "vector baselines");
+    addMachineOptions(opts);
+    opts.addUInt("keys", 8192, "keys in the mid-size case", 1)
+        .addUInt("buckets", 2048, "histogram buckets", 1)
+        .addUInt("seed", 5, "key generator seed");
+    opts.parse(argc, argv);
+    applySelfProfOption(opts);
+    auto base_keys = std::size_t(opts.getUInt("keys"));
+    auto buckets = Index(opts.getUInt("buckets"));
+    Rng rng(opts.getUInt("seed"));
 
-    MachineParams params = machineParamsFrom(cfg);
+    MachineParams params = machineParamsFrom(opts.config());
 
     struct Case
     {
@@ -77,7 +86,7 @@ main(int argc, char **argv)
     for (const Case &c : cases)
         inputs.push_back(makeKeys(c.count, buckets, c.hot, rng));
 
-    SweepExecutor exec = bench::makeExecutor(cfg);
+    SweepExecutor exec = bench::makeExecutor(opts);
     struct Speedups
     {
         double vsScalar = 0.0;

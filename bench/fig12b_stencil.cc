@@ -38,10 +38,16 @@ randomImage(Index side, Rng &rng)
 int
 main(int argc, char **argv)
 {
-    Config cfg = bench::parseArgs(argc, argv);
-    Rng rng(cfg.getUInt("seed", 9));
+    Options opts = bench::benchOptions(
+        "fig12b_stencil",
+        "Figure 12.b: 4x4 Gaussian filter, VIA vs vector baseline");
+    addMachineOptions(opts);
+    opts.addUInt("seed", 9, "image generator seed");
+    opts.parse(argc, argv);
+    applySelfProfOption(opts);
+    Rng rng(opts.getUInt("seed"));
 
-    MachineParams params = machineParamsFrom(cfg);
+    MachineParams params = machineParamsFrom(opts.config());
 
     std::printf("== Figure 12.b: 4x4 Gaussian filter ==\n");
     const Index sides[] = {128, 256, 512};
@@ -49,7 +55,7 @@ main(int argc, char **argv)
     for (Index side : sides)
         images.push_back(randomImage(side, rng));
 
-    SweepExecutor exec = bench::makeExecutor(cfg);
+    SweepExecutor exec = bench::makeExecutor(opts);
     struct Point
     {
         Tick vecCycles = 0;

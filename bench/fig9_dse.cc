@@ -73,28 +73,38 @@ struct Point
 int
 main(int argc, char **argv)
 {
-    Config cfg = bench::parseArgs(argc, argv);
-    SweepExecutor exec = bench::makeExecutor(cfg);
+    Options opts = bench::benchOptions(
+        "fig9_dse", "Figure 9: SSPM size x port design space");
+    opts.addUInt("count", 8, "corpus matrices", 1)
+        .addUInt("max_rows", 8192, "largest corpus dimension", 1)
+        .addUInt("seed", 1, "corpus generator seed")
+        .addUInt("spma_rows", 4096,
+                 "largest SpMA corpus dimension", 1)
+        .addUInt("spmm_rows", 256,
+                 "largest SpMM corpus dimension", 1);
+    opts.parse(argc, argv);
+    applySelfProfOption(opts);
+    SweepExecutor exec = bench::makeExecutor(opts);
 
     CorpusSpec spec;
-    spec.count = cfg.getUInt("count", 8);
+    spec.count = opts.getUInt("count");
     // Large matrices are needed for the SSPM-size axis to matter:
     // small inputs fit a single CSB block / CAM tile at every size.
     spec.minRows = 1024;
-    spec.maxRows = Index(cfg.getUInt("max_rows", 8192));
-    spec.seed = cfg.getUInt("seed", 1);
+    spec.maxRows = Index(opts.getUInt("max_rows"));
+    spec.seed = opts.getUInt("seed");
     auto corpus = buildCorpus(spec);
 
     // SpMA stresses the CAM: denser rows so the 4 KB configuration
     // has to tile where the 16 KB one does not.
     CorpusSpec add_spec = spec;
     add_spec.minRows = 1024;
-    add_spec.maxRows = Index(cfg.getUInt("spma_rows", 4096));
+    add_spec.maxRows = Index(opts.getUInt("spma_rows"));
     add_spec.minDensity = 0.01;
     auto add_corpus = buildCorpus(add_spec);
 
     CorpusSpec mm_spec = spec;
-    mm_spec.maxRows = Index(cfg.getUInt("spmm_rows", 256));
+    mm_spec.maxRows = Index(opts.getUInt("spmm_rows"));
     mm_spec.minRows = 96;
     mm_spec.minDensity = 0.01;
     mm_spec.count = std::min<std::size_t>(spec.count, 6);

@@ -9,7 +9,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <string_view>
+#include <vector>
+
 #include "kernels/reference.hh"
+#include "simcore/options.hh"
 #include "simcore/rng.hh"
 #include "sparse/convert.hh"
 #include "sparse/corpus.hh"
@@ -119,4 +124,31 @@ BENCHMARK(BM_CorpusBuild)->Arg(4);
 
 } // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN() expanded by hand so key=value arguments go
+// through the shared Options contract (help=1 -> table + exit 0,
+// unknown key -> exit 2) while --benchmark_* flags still reach
+// google-benchmark untouched.
+int
+main(int argc, char **argv)
+{
+    Options opts("micro_formats",
+                 "Host-side sparse-format microbenchmarks "
+                 "(google-benchmark; --benchmark_* flags pass "
+                 "through)");
+    std::vector<std::string> kv;
+    std::vector<char *> gb{argv[0]};
+    for (int i = 1; i < argc; ++i) {
+        if (std::string_view(argv[i]).starts_with("--benchmark"))
+            gb.push_back(argv[i]);
+        else
+            kv.emplace_back(argv[i]);
+    }
+    opts.parse(kv);
+
+    int gb_argc = int(gb.size());
+    benchmark::Initialize(&gb_argc, gb.data());
+    if (benchmark::ReportUnrecognizedArguments(gb_argc, gb.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -17,12 +17,16 @@ int
 main(int argc, char **argv)
 {
     using namespace via;
-    Config cfg = bench::parseArgs(argc, argv);
+    Options opts("table1_config",
+                 "Table I: the evaluation's machine parameters");
+    opts.addUInt("sspm_kb", 16, "SSPM capacity in KB", 1)
+        .addUInt("ports", 2, "SSPM ports", 1);
+    opts.parse(argc, argv);
 
     MachineParams params;
-    params.via = ViaConfig::make(cfg.getUInt("sspm_kb", 16),
-                                 std::uint32_t(cfg.getUInt("ports",
-                                                           2)));
+    params.via =
+        ViaConfig::make(opts.getUInt("sspm_kb"),
+                        std::uint32_t(opts.getUInt("ports")));
 
     std::printf("== Table I: simulation parameters ==\n\n");
     params.print(std::cout);

@@ -13,8 +13,12 @@
 using namespace via;
 
 int
-main()
+main(int argc, char **argv)
 {
+    Options opts("table2_area",
+                 "Table II: SSPM area and leakage (22 nm)");
+    opts.parse(argc, argv);
+
     std::printf("== Table II: SSPM area and leakage (22 nm) ==\n\n");
 
     struct Row

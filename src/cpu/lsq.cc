@@ -1,6 +1,7 @@
 #include "cpu/lsq.hh"
 
 #include <algorithm>
+#include <functional>
 
 #include "simcore/log.hh"
 #include "simcore/serialize.hh"
@@ -18,10 +19,12 @@ StoreTracker::recordStore(Addr addr, std::uint32_t bytes, Tick when)
 {
     _ring[_next] = StoreRec{addr, addr + bytes, when};
     _next = (_next + 1) % _ring.size();
+    if (when > _maxComplete)
+        _maxComplete = when;
 }
 
 Tick
-StoreTracker::loadReady(Addr addr, std::uint32_t bytes) const
+StoreTracker::loadReadyScan(Addr addr, std::uint32_t bytes) const
 {
     Addr lo = addr;
     Addr hi = addr + bytes;
@@ -48,6 +51,7 @@ StoreTracker::resetTiming()
 {
     std::fill(_ring.begin(), _ring.end(), StoreRec{});
     _next = 0;
+    _maxComplete = 0;
 }
 
 void
@@ -65,6 +69,10 @@ SlotPool::loadState(Deserializer &des)
     if (v.size() != _freeAt.size())
         throw SerializeError("slot pool size mismatch");
     _freeAt = std::move(v);
+    // Timing depends only on the multiset of free times; restore the
+    // heap invariant regardless of the order the file stored.
+    std::make_heap(_freeAt.begin(), _freeAt.end(),
+                   std::greater<Tick>());
 }
 
 void
@@ -88,10 +96,13 @@ StoreTracker::loadState(Deserializer &des)
     std::uint64_t n = des.get();
     if (n != _ring.size())
         throw SerializeError("store tracker depth mismatch");
+    _maxComplete = 0;
     for (StoreRec &st : _ring) {
         st.lo = des.get<Addr>();
         st.hi = des.get<Addr>();
         st.complete = des.get<Tick>();
+        if (st.complete > _maxComplete)
+            _maxComplete = st.complete;
     }
     _next = std::size_t(des.get());
     if (_next >= _ring.size())

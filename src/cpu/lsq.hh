@@ -28,6 +28,11 @@ class Deserializer;
  * A pool of queue slots occupied for a time interval (LQ/SQ
  * occupancy). Allocation is gated on the earliest-free slot, which
  * is what bounds memory-level parallelism in a real core.
+ *
+ * Free times are kept as a binary min-heap, so the allocation gate
+ * is a O(1) read and a booking is one sift-down — the pools are
+ * probed per element access, where a linear min scan over a
+ * 72-entry load queue used to dominate the schedule cost.
  */
 class SlotPool
 {
@@ -38,24 +43,27 @@ class SlotPool
     {}
 
     /** Earliest tick a slot can be allocated. */
-    Tick
-    freeAt() const
-    {
-        Tick best = _freeAt[0];
-        for (Tick t : _freeAt)
-            best = t < best ? t : best;
-        return best;
-    }
+    Tick freeAt() const { return _freeAt[0]; }
 
     /** Occupy the earliest slot until @p until. */
     void
     reserve(Tick until)
     {
-        std::size_t best = 0;
-        for (std::size_t i = 1; i < _freeAt.size(); ++i)
-            if (_freeAt[i] < _freeAt[best])
-                best = i;
-        _freeAt[best] = until;
+        // Replace the min (root) and sift it down.
+        std::size_t i = 0;
+        const std::size_t n = _freeAt.size();
+        for (;;) {
+            std::size_t kid = 2 * i + 1;
+            if (kid >= n)
+                break;
+            if (kid + 1 < n && _freeAt[kid + 1] < _freeAt[kid])
+                ++kid;
+            if (_freeAt[kid] >= until)
+                break;
+            _freeAt[i] = _freeAt[kid];
+            i = kid;
+        }
+        _freeAt[i] = until;
     }
 
     void
@@ -71,7 +79,7 @@ class SlotPool
     void loadState(Deserializer &des);
 
   private:
-    std::vector<Tick> _freeAt;
+    std::vector<Tick> _freeAt; //!< min-heap of per-slot free times
 };
 
 /** Ring buffer of in-flight/recent stores for load ordering. */
@@ -86,8 +94,17 @@ class StoreTracker
     /**
      * Earliest tick a load of [addr, addr+bytes) may observe memory:
      * the max completion among overlapping tracked stores.
+     *
+     * Load-only phases skip the ring scan: with no store recorded
+     * this epoch, no entry can overlap (and no conflict can count).
      */
-    Tick loadReady(Addr addr, std::uint32_t bytes) const;
+    Tick
+    loadReady(Addr addr, std::uint32_t bytes) const
+    {
+        if (_maxComplete == 0)
+            return 0;
+        return loadReadyScan(addr, bytes);
+    }
 
     void resetTiming();
 
@@ -109,8 +126,12 @@ class StoreTracker
         Tick complete = 0;
     };
 
+    Tick loadReadyScan(Addr addr, std::uint32_t bytes) const;
+
     std::vector<StoreRec> _ring;
     std::size_t _next = 0;
+    /** Upper bound on any tracked complete tick (0 = empty epoch). */
+    Tick _maxComplete = 0;
     mutable std::uint64_t _conflicts = 0;
     TraceManager *_trace = nullptr;
 };

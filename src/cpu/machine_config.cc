@@ -62,4 +62,59 @@ machineParamsFrom(const Config &cfg)
     return p;
 }
 
+void
+addMachineOptions(Options &opts)
+{
+    // Defaults below are what machineParamsFrom resolves each key to
+    // when it is omitted; pull them from the default structs so the
+    // help table cannot drift from the model.
+    MachineParams d;
+    d.via = ViaConfig::make(16, 2);
+    const CoreParams &core = d.core;
+    const OpLatencies &lat = core.latencies;
+    const MemSystemParams &mem = d.mem;
+
+    opts.addUInt("sspm_kb", 16, "VIA scratchpad (SSPM) size in KB",
+                 1)
+        .addUInt("ports", 2, "SSPM ports (element moves per cycle)",
+                 1)
+        .addUInt("cam_kb", d.via.camBytes / 1024,
+                 "VIA CAM capacity in KB", 1)
+        .addUInt("cam_bank", d.via.bankEntries,
+                 "CAM entries compared per bank access", 1)
+        .addUInt("rob", core.robSize, "reorder-buffer entries", 1)
+        .addUInt("dispatch", core.dispatchWidth,
+                 "instructions dispatched per cycle", 1)
+        .addUInt("commit", core.commitWidth,
+                 "instructions committed per cycle", 1)
+        .addUInt("lq", core.lqEntries, "load-queue entries", 1)
+        .addUInt("sq", core.sqEntries, "store-queue entries", 1)
+        .addBool("via_at_commit", core.viaAtCommit,
+                 "strict commit-time VIA execution (Section IV-E)")
+        .addUInt("gather_overhead", lat.gatherOverhead,
+                 "fixed gather/scatter startup cycles")
+        .addUInt("gather_ports", lat.gatherPortFactor,
+                 "L1 port cycles per gathered element", 1)
+        .addUInt("mispredict", lat.mispredictPenalty,
+                 "branch mispredict refill cycles")
+        .addUInt("store_forward", lat.storeForwardPenalty,
+                 "store-to-load forwarding replay cycles")
+        .addUInt("l1_kb", mem.levels[0].sizeBytes / 1024,
+                 "L1D capacity in KB", 1)
+        .addUInt("l2_kb", mem.levels[1].sizeBytes / 1024,
+                 "L2 capacity in KB", 1)
+        .addUInt("l1_lat", mem.levels[0].hitLatency,
+                 "L1D hit latency in cycles", 1)
+        .addUInt("l2_lat", mem.levels[1].hitLatency,
+                 "L2 hit latency in cycles", 1)
+        .addUInt("mshrs", mem.levels[0].mshrs,
+                 "L1 MSHRs (L2 gets twice as many)", 1)
+        .addUInt("dram_lat", mem.dram.latency,
+                 "DRAM access latency in cycles", 1)
+        .addDouble("dram_bw", mem.dram.bytesPerCycle,
+                   "DRAM bandwidth in bytes per core cycle", 0.001)
+        .addUInt("prefetch", mem.prefetch.degree,
+                 "L2 next-N-line prefetch degree", 0, 64);
+}
+
 } // namespace via

@@ -19,12 +19,20 @@
 
 #include "cpu/core_params.hh"
 #include "simcore/config.hh"
+#include "simcore/options.hh"
 
 namespace via
 {
 
 /** Table I defaults overridden by whatever @p cfg carries. */
 MachineParams machineParamsFrom(const Config &cfg);
+
+/**
+ * Register every machineParamsFrom key with an Options registry —
+ * defaults mirror the Table I machine so the generated help table
+ * shows what each knob resolves to when omitted.
+ */
+void addMachineOptions(Options &opts);
 
 } // namespace via
 

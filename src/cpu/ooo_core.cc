@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "simcore/log.hh"
+#include "simcore/selfprof.hh"
 #include "simcore/serialize.hh"
 
 namespace via
@@ -87,6 +88,7 @@ OoOCore::scheduleMem(const Inst &inst, Tick issue)
 void
 OoOCore::push(const Inst &inst)
 {
+    selfprof::Scope prof(selfprof::Domain::Core);
     ++_stats.insts;
     FuClass cls = fuClassOf(inst.op);
 

@@ -1,6 +1,7 @@
 #include "mem/cache.hh"
 
 #include <algorithm>
+#include <functional>
 
 #include "simcore/log.hh"
 #include "simcore/serialize.hh"
@@ -21,20 +22,17 @@ Cache::Cache(const CacheParams &params)
                " lines, assoc ", params.assoc);
     _numSets = lines / params.assoc;
     via_assert(_numSets > 0, "cache too small for one set");
+    while ((std::uint32_t(1) << _lineShift) < params.lineBytes)
+        ++_lineShift;
+    _setsPow2 = (_numSets & (_numSets - 1)) == 0;
     _lines.resize(lines);
     _mshrBusyUntil.assign(params.mshrs, 0);
-}
-
-std::size_t
-Cache::setIndex(Addr line_addr) const
-{
-    return std::size_t((line_addr / _params.lineBytes) % _numSets);
 }
 
 Cache::LookupResult
 Cache::access(Addr line_addr, bool is_write)
 {
-    via_assert(line_addr % _params.lineBytes == 0,
+    via_assert((line_addr & (_params.lineBytes - 1)) == 0,
                "unaligned line address");
     if (is_write)
         ++_stats.writes;
@@ -80,7 +78,7 @@ Cache::access(Addr line_addr, bool is_write)
 void
 Cache::mergeTouch(Addr line_addr, bool is_write)
 {
-    via_assert(line_addr % _params.lineBytes == 0,
+    via_assert((line_addr & (_params.lineBytes - 1)) == 0,
                "unaligned line address");
     if (is_write)
         ++_stats.writes;
@@ -118,6 +116,7 @@ Cache::flush()
     for (auto &line : _lines)
         line = Line{};
     _inflight.clear();
+    _inflightHorizon = 0;
     std::fill(_mshrBusyUntil.begin(), _mshrBusyUntil.end(), Tick(0));
 }
 
@@ -137,18 +136,34 @@ Cache::mshrLookup(Addr line_addr, Tick when, Tick &complete) const
 Tick
 Cache::mshrFreeAt() const
 {
-    return *std::min_element(_mshrBusyUntil.begin(),
-                             _mshrBusyUntil.end());
+    return _mshrBusyUntil[0];
 }
 
 void
 Cache::mshrReserve(Addr line_addr, Tick complete, Tick stall,
                    Tick issue)
 {
-    auto slot = std::min_element(_mshrBusyUntil.begin(),
-                                 _mshrBusyUntil.end());
-    *slot = complete;
+    // _mshrBusyUntil is a min-heap: replace the root (the earliest
+    // free slot) and sift it down.
+    std::size_t i = 0;
+    const std::size_t n = _mshrBusyUntil.size();
+    for (;;) {
+        std::size_t kid = 2 * i + 1;
+        if (kid >= n)
+            break;
+        if (kid + 1 < n &&
+            _mshrBusyUntil[kid + 1] < _mshrBusyUntil[kid])
+            ++kid;
+        if (_mshrBusyUntil[kid] >= complete)
+            break;
+        _mshrBusyUntil[i] = _mshrBusyUntil[kid];
+        i = kid;
+    }
+    _mshrBusyUntil[i] = complete;
+
     _inflight[line_addr] = complete;
+    if (complete > _inflightHorizon)
+        _inflightHorizon = complete;
     _stats.mshrStallCycles += stall;
 
     if (_trace != nullptr && _trace->enabled()) {
@@ -181,6 +196,7 @@ void
 Cache::resetTiming()
 {
     _inflight.clear();
+    _inflightHorizon = 0;
     std::fill(_mshrBusyUntil.begin(), _mshrBusyUntil.end(), Tick(0));
 }
 
@@ -258,14 +274,22 @@ Cache::loadState(Deserializer &des)
 
     std::uint64_t inflight = des.get();
     _inflight.clear();
+    _inflightHorizon = 0;
     for (std::uint64_t i = 0; i < inflight; ++i) {
         Addr addr = des.get<Addr>();
-        _inflight[addr] = des.get<Tick>();
+        Tick complete = des.get<Tick>();
+        _inflight[addr] = complete;
+        if (complete > _inflightHorizon)
+            _inflightHorizon = complete;
     }
     auto mshrs = des.getVec<Tick>();
     if (mshrs.size() != _mshrBusyUntil.size())
         throw SerializeError("MSHR count mismatch");
     _mshrBusyUntil = std::move(mshrs);
+    // Timing depends only on the multiset of busy times; restore the
+    // heap invariant regardless of the order the file stored.
+    std::make_heap(_mshrBusyUntil.begin(), _mshrBusyUntil.end(),
+                   std::greater<Tick>());
 }
 
 } // namespace via

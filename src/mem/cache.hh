@@ -76,6 +76,44 @@ class Cache
     LookupResult access(Addr line_addr, bool is_write);
 
     /**
+     * Hit-only probe: on a hit, performs exactly what access() would
+     * (LRU touch, dirty update, hit accounting) and returns true. On
+     * a miss, mutates and counts nothing — the caller falls back to
+     * the full access() walk, which repeats the probe and books the
+     * miss. This is MemSystem's single-branch L1 fast path.
+     */
+    bool
+    tryHit(Addr line_addr, bool is_write)
+    {
+        Line *set = &_lines[setIndex(line_addr) * _params.assoc];
+        for (std::uint32_t way = 0; way < _params.assoc; ++way) {
+            Line &line = set[way];
+            if (line.valid && line.tag == line_addr) {
+                line.lruStamp = ++_lruClock;
+                line.dirty = line.dirty || is_write;
+                if (is_write)
+                    ++_stats.writes;
+                else
+                    ++_stats.reads;
+                ++_stats.hits;
+                return true;
+            }
+        }
+        return false;
+    }
+
+    /**
+     * True when no in-flight fill can complete after @p when: every
+     * mshrLookup at @p when would report a miss. Gates the L1 hit
+     * fast path without a hash probe per access.
+     */
+    bool
+    quiescentAt(Tick when) const
+    {
+        return when >= _inflightHorizon;
+    }
+
+    /**
      * Account an access that merged with an in-flight fill. The tag
      * was installed when the primary miss allocated, so a regular
      * access() would misclassify the merge as a hit; this counts it
@@ -154,20 +192,36 @@ class Cache
         std::uint64_t lruStamp = 0;
     };
 
-    std::size_t setIndex(Addr line_addr) const;
+    /**
+     * Line size is a power of two (asserted in the constructor), so
+     * the line number is a shift; the set fold is a mask when the
+     * set count cooperates and a modulo otherwise.
+     */
+    std::size_t
+    setIndex(Addr line_addr) const
+    {
+        Addr line = line_addr >> _lineShift;
+        if (_setsPow2)
+            return std::size_t(line) & (_numSets - 1);
+        return std::size_t(line % _numSets);
+    }
 
     /** Drop in-flight entries whose fills completed by @p horizon. */
     void pruneInflight(Tick horizon);
 
     CacheParams _params;
     std::size_t _numSets;
+    unsigned _lineShift = 0;
+    bool _setsPow2 = false;
     std::vector<Line> _lines; //!< numSets * assoc, row-major by set
     std::uint64_t _lruClock = 0;
     CacheStats _stats;
 
     /** Outstanding miss completion times, by line address. */
     std::unordered_map<Addr, Tick> _inflight;
-    /** Completion times occupying MSHR slots (unordered). */
+    /** Latest completion among _inflight entries (0 = none). */
+    Tick _inflightHorizon = 0;
+    /** Completion times occupying MSHR slots (a min-heap). */
     std::vector<Tick> _mshrBusyUntil;
 
     TraceManager *_trace = nullptr;

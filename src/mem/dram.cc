@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "simcore/log.hh"
+#include "simcore/selfprof.hh"
 #include "simcore/serialize.hh"
 
 namespace via
@@ -19,6 +20,7 @@ Dram::Dram(const DramParams &params)
 Tick
 Dram::serve(std::uint64_t bytes, Tick when, bool is_write)
 {
+    selfprof::Scope prof(selfprof::Domain::Dram);
     ++_stats.requests;
     if (is_write)
         _stats.bytesWritten += bytes;

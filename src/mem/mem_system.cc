@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "simcore/log.hh"
+#include "simcore/selfprof.hh"
 #include "simcore/serialize.hh"
 
 namespace via
@@ -64,10 +65,19 @@ MemSystem::flush()
 MemResult
 MemSystem::accessLine(Addr line_addr, bool is_write, Tick when)
 {
+    bool tracing = _trace != nullptr && _trace->enabled();
+
+    // Fast path: an L1 hit with no fill still in flight behaves
+    // exactly like the full walk below (no merge possible, no
+    // writeback on a hit) but costs one tag probe. tryHit books the
+    // hit itself; a miss falls through having touched nothing.
+    Cache &l1f = *_levels.front();
+    if (!tracing && l1f.quiescentAt(when) &&
+        l1f.tryHit(line_addr, is_write))
+        return MemResult{when + l1f.params().hitLatency, 0};
+
     Tick latency = 0;
     int hit_level = -1;
-
-    bool tracing = _trace != nullptr && _trace->enabled();
     auto probe_event = [&](std::size_t level, bool hit) {
         TraceEvent ev;
         ev.kind = hit ? TraceEventKind::CacheHit
@@ -218,6 +228,7 @@ MemSystem::warmPrefetch(Addr line_addr)
 void
 MemSystem::warmAccess(Addr addr, std::uint64_t bytes, bool is_write)
 {
+    selfprof::Scope prof(selfprof::Domain::Cache);
     via_assert(bytes > 0, "zero-byte memory access");
     const std::uint64_t line = lineBytes();
     Addr first = addr & ~(Addr(line) - 1);
@@ -276,10 +287,15 @@ MemResult
 MemSystem::access(Addr addr, std::uint64_t bytes, bool is_write,
                   Tick when)
 {
+    selfprof::Scope prof(selfprof::Domain::Cache);
     via_assert(bytes > 0, "zero-byte memory access");
     const std::uint64_t line = lineBytes();
     Addr first = addr & ~(Addr(line) - 1);
     Addr last = (addr + bytes - 1) & ~(Addr(line) - 1);
+
+    // Element accesses rarely straddle a line boundary.
+    if (first == last) [[likely]]
+        return accessLine(first, is_write, when);
 
     MemResult worst{when, 0};
     for (Addr la = first; la <= last; la += line) {

@@ -42,6 +42,20 @@ SampleOptions::fromConfig(const Config &cfg)
     return opts;
 }
 
+void
+addSampleOptions(Options &opts)
+{
+    SampleOptions d;
+    opts.addString("mode", "detailed",
+                   "simulation mode: detailed|functional|sampled")
+        .addUInt("sample_interval", d.interval,
+                 "instructions per sampling unit", 1)
+        .addUInt("sample_warmup", d.warmup,
+                 "detailed warmup instructions per unit")
+        .addUInt("sample_measure", d.measure,
+                 "measured instructions per unit", 1);
+}
+
 Sampler::Sampler(Machine &m, const SampleOptions &opts)
     : _m(m), _opts(opts)
 {

@@ -29,6 +29,7 @@
 #include "cpu/machine.hh"
 #include "sample/functional.hh"
 #include "simcore/config.hh"
+#include "simcore/options.hh"
 
 namespace via
 {
@@ -61,6 +62,13 @@ struct SampleOptions
      */
     static SampleOptions fromConfig(const Config &cfg);
 };
+
+/**
+ * Register the sampling keys (mode, sample_interval, sample_warmup,
+ * sample_measure) with an Options registry; defaults mirror
+ * SampleOptions.
+ */
+void addSampleOptions(Options &opts);
 
 /** Extrapolated whole-run timing from the measured windows. */
 struct SampleEstimate

@@ -1,88 +1,138 @@
 #include "simcore/event_queue.hh"
 
-#include "simcore/log.hh"
+#include <algorithm>
+
+#include "simcore/selfprof.hh"
 
 namespace via
 {
 
-std::uint64_t
-EventQueue::schedule(Tick when, std::function<void()> action,
-                     std::string name)
+bool
+EventQueue::heapLess(std::uint32_t a, std::uint32_t b) const
 {
-    via_assert(when >= _curTick,
-               "event '", name, "' scheduled in the past: ", when,
-               " < ", _curTick);
-    via_assert(action, "event '", name, "' has no action");
-    std::uint64_t id = _nextId++;
-    _queue.push(Event{when, id, std::move(action), std::move(name)});
-    _pending.insert(id);
+    const Event &ea = _slab[a];
+    const Event &eb = _slab[b];
+    if (ea.when != eb.when)
+        return ea.when < eb.when;
+    // Ids carry the monotone sequence number in their high bits, so
+    // comparing them directly recovers scheduling order.
+    return ea.id < eb.id;
+}
+
+void
+EventQueue::heapPush(std::uint32_t slot)
+{
+    _heap.push_back(slot);
+    std::push_heap(_heap.begin(), _heap.end(),
+                   [this](std::uint32_t a, std::uint32_t b) {
+                       return heapLess(b, a);
+                   });
+}
+
+void
+EventQueue::heapPop()
+{
+    std::pop_heap(_heap.begin(), _heap.end(),
+                  [this](std::uint32_t a, std::uint32_t b) {
+                      return heapLess(b, a);
+                  });
+    _heap.pop_back();
+}
+
+std::uint32_t
+EventQueue::allocSlot()
+{
+    if (!_freeSlots.empty()) {
+        std::uint32_t slot = _freeSlots.back();
+        _freeSlots.pop_back();
+        return slot;
+    }
+    via_assert(_slab.size() < slotMask, "event slab exhausted");
+    _slab.emplace_back();
+    return std::uint32_t(_slab.size() - 1);
+}
+
+std::uint64_t
+EventQueue::schedule(Tick when, Callback fn, void *ctx,
+                     const char *name)
+{
+    via_assert(when >= _curTick, "event '", name ? name : "",
+               "' scheduled in the past: ", when, " < ", _curTick);
+    via_assert(fn != nullptr, "event '", name ? name : "",
+               "' has no action");
+    std::uint32_t slot = allocSlot();
+    std::uint64_t id = (_nextSeq++ << slotBits) | slot;
+    _slab[slot] = Event{when, id, fn, ctx, name};
+    heapPush(slot);
+    ++_live;
     return id;
 }
 
 void
 EventQueue::cancel(std::uint64_t id)
 {
-    // Lazy cancellation: remember the id and skip it when popped.
-    // Cancelling an id that already fired (or was never scheduled)
-    // is a harmless no-op.
-    if (_pending.erase(id))
-        _cancelled.insert(id);
-}
-
-std::size_t
-EventQueue::live() const
-{
-    return _pending.size();
-}
-
-void
-EventQueue::skim()
-{
-    while (!_queue.empty()) {
-        auto it = _cancelled.find(_queue.top().id);
-        if (it == _cancelled.end())
-            return;
-        _cancelled.erase(it);
-        _queue.pop();
-    }
+    // Lazy cancellation: blank the slot's callback and let run()
+    // reclaim it when the heap pops past it. Cancelling an id that
+    // already fired (or was never scheduled) is a harmless no-op —
+    // the slot either holds a different id by now or is free.
+    auto slot = std::size_t(id & slotMask);
+    if (slot >= _slab.size())
+        return;
+    Event &ev = _slab[slot];
+    if (ev.id != id || ev.fn == nullptr)
+        return;
+    ev.fn = nullptr;
+    --_live;
 }
 
 Tick
 EventQueue::nextTick()
 {
-    skim();
-    return _queue.empty() ? MAX_TICK : _queue.top().when;
+    while (!_heap.empty()) {
+        std::uint32_t slot = _heap.front();
+        if (_slab[slot].fn != nullptr)
+            return _slab[slot].when;
+        heapPop();
+        _freeSlots.push_back(slot);
+    }
+    return MAX_TICK;
 }
 
 std::size_t
 EventQueue::run(Tick limit)
 {
+    selfprof::Scope prof(selfprof::Domain::EventQueue);
     std::size_t count = 0;
-    for (;;) {
-        skim();
-        if (_queue.empty() || _queue.top().when > limit)
+    while (!_heap.empty()) {
+        std::uint32_t slot = _heap.front();
+        Event &ev = _slab[slot];
+        if (ev.fn == nullptr) {
+            // Reclaim a cancelled slot.
+            heapPop();
+            _freeSlots.push_back(slot);
+            continue;
+        }
+        if (ev.when > limit)
             break;
-        // Move the action out before popping so the event may
-        // schedule new events (which mutate the heap) safely.
-        Event ev = _queue.top();
-        _queue.pop();
-        _pending.erase(ev.id);
         via_assert(ev.when >= _curTick, "time went backwards");
-        _curTick = ev.when;
+        // Copy the event out and free its slot before running the
+        // callback, so the callback may schedule new events (which
+        // mutate the slab and heap) safely.
+        Callback fn = ev.fn;
+        void *ctx = ev.ctx;
+        Tick when = ev.when;
+        // Blank the slot so cancel() of this (now fired) id sees a
+        // dead slot instead of stale state.
+        ev.fn = nullptr;
+        heapPop();
+        _freeSlots.push_back(slot);
+        _curTick = when;
         ++_executed;
         ++count;
-        ev.action();
+        --_live;
+        fn(ctx);
     }
     return count;
-}
-
-void
-EventQueue::advanceTo(Tick when)
-{
-    via_assert(when >= _curTick, "advanceTo(", when,
-               ") is in the past, now=", _curTick);
-    run(when);
-    _curTick = when;
 }
 
 } // namespace via

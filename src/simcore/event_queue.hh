@@ -3,23 +3,30 @@
  * A deterministic tick-based event queue.
  *
  * The timing models in this repository are cycle-driven state machines
- * clocked by OoOCore, but several components (DRAM controller, drain
- * logic, statistics dumps) want to schedule work at a future tick.
+ * clocked by OoOCore, but several components (periodic stat sampling,
+ * watchdogs, drain logic) want to schedule work at a future tick.
  * EventQueue provides that service with deterministic ordering:
  * events that fire on the same tick execute in scheduling order.
+ *
+ * Events are slab-allocated: each scheduled event occupies a slot in
+ * a recycled vector, the pending order lives in a binary min-heap of
+ * slot indices, and the callback is a plain function pointer plus a
+ * context pointer — no std::function allocation, no per-event
+ * std::string. Debug names are string literals (borrowed, never
+ * copied). Event ids encode their slot and a monotone sequence
+ * number, so cancel() is O(1) with no side table; a cancelled slot
+ * is reclaimed when the heap pops past it, which bounds all
+ * bookkeeping by the number of genuinely pending events.
  */
 
 #ifndef VIA_SIMCORE_EVENT_QUEUE_HH
 #define VIA_SIMCORE_EVENT_QUEUE_HH
 
 #include <cstddef>
-#include <functional>
-#include <queue>
-#include <string>
-#include <unordered_set>
-#include <utility>
+#include <cstdint>
 #include <vector>
 
+#include "simcore/log.hh"
 #include "simcore/types.hh"
 
 namespace via
@@ -35,6 +42,9 @@ namespace via
 class EventQueue
 {
   public:
+    /** Event callback: a free function over a context pointer. */
+    using Callback = void (*)(void *ctx);
+
     EventQueue() = default;
     EventQueue(const EventQueue &) = delete;
     EventQueue &operator=(const EventQueue &) = delete;
@@ -43,33 +53,52 @@ class EventQueue
     Tick curTick() const { return _curTick; }
 
     /**
-     * Schedule an action at an absolute tick.
+     * Schedule a callback at an absolute tick.
      *
      * @param when absolute tick; must be >= curTick()
-     * @param action callback to run
-     * @param name debug label
+     * @param fn callback to run
+     * @param ctx opaque pointer passed to @p fn; must outlive the
+     *            event
+     * @param name debug label; borrowed (pass a string literal)
      * @return an id usable with cancel()
      */
-    std::uint64_t schedule(Tick when, std::function<void()> action,
-                           std::string name = {});
+    std::uint64_t schedule(Tick when, Callback fn, void *ctx,
+                           const char *name = nullptr);
 
     /** Schedule relative to now. */
     std::uint64_t
-    scheduleIn(Tick delta, std::function<void()> action,
-               std::string name = {})
+    scheduleIn(Tick delta, Callback fn, void *ctx,
+               const char *name = nullptr)
     {
-        return schedule(_curTick + delta, std::move(action),
-                        std::move(name));
+        return schedule(_curTick + delta, fn, ctx, name);
+    }
+
+    /**
+     * Schedule a member function on @p obj:
+     *   q.schedule<&Timeline::tick>(when, &timeline);
+     */
+    template <auto MF, class T>
+    std::uint64_t
+    schedule(Tick when, T *obj, const char *name = nullptr)
+    {
+        return schedule(when, &memberThunk<MF, T>, obj, name);
+    }
+
+    template <auto MF, class T>
+    std::uint64_t
+    scheduleIn(Tick delta, T *obj, const char *name = nullptr)
+    {
+        return schedule<MF, T>(_curTick + delta, obj, name);
     }
 
     /** Lazily cancel a pending event; safe if it already fired. */
     void cancel(std::uint64_t id);
 
     /** True if no live events remain. */
-    bool empty() const { return live() == 0; }
+    bool empty() const { return _live == 0; }
 
     /** Number of live (non-cancelled, pending) events. */
-    std::size_t live() const;
+    std::size_t live() const { return _live; }
 
     /** Tick of the next live event, or MAX_TICK when empty. */
     Tick nextTick();
@@ -85,8 +114,21 @@ class EventQueue
     /**
      * Advance time to @p when, executing every event scheduled up to
      * and including that tick. curTick() ends at exactly @p when.
+     * The empty-queue case (the overwhelmingly common one on the
+     * per-instruction path) is a branch and a store.
      */
-    void advanceTo(Tick when);
+    void
+    advanceTo(Tick when)
+    {
+        via_assert(when >= _curTick, "advanceTo(", when,
+                   ") is in the past, now=", _curTick);
+        if (_heap.empty()) {
+            _curTick = when;
+            return;
+        }
+        run(when);
+        _curTick = when;
+    }
 
     /** Total events ever executed (statistic). */
     std::uint64_t executed() const { return _executed; }
@@ -99,32 +141,55 @@ class EventQueue
      */
     void resetTick(Tick when) { _curTick = when; }
 
+    /**
+     * Slots allocated in the slab (live + cancelled-but-unpopped +
+     * free). Exposed so tests can assert that cancellation
+     * bookkeeping stays bounded on long runs.
+     */
+    std::size_t slabSize() const { return _slab.size(); }
+
+    /** Cancelled events not yet reclaimed from the heap. */
+    std::size_t
+    cancelledPending() const
+    {
+        return _heap.size() - _live;
+    }
+
   private:
-    /** A scheduled callback, owned by value inside the heap. */
+    /** A scheduled callback, held by value in the slab. */
     struct Event
     {
         Tick when = 0;
-        std::uint64_t id = 0; //!< tie-breaker: scheduling order
-        std::function<void()> action;
-        std::string name;
-
-        bool
-        operator>(const Event &o) const
-        {
-            return when != o.when ? when > o.when : id > o.id;
-        }
+        std::uint64_t id = 0; //!< (seq << slotBits) | slot
+        Callback fn = nullptr; //!< nullptr marks a cancelled slot
+        void *ctx = nullptr;
+        const char *name = nullptr;
     };
 
-    /** Drop cancelled events from the top of the heap. */
-    void skim();
+    /** Slot-index width inside an event id. */
+    static constexpr unsigned slotBits = 20;
+    static constexpr std::uint64_t slotMask =
+        (std::uint64_t(1) << slotBits) - 1;
+
+    template <auto MF, class T>
+    static void
+    memberThunk(void *ctx)
+    {
+        (static_cast<T *>(ctx)->*MF)();
+    }
+
+    bool heapLess(std::uint32_t a, std::uint32_t b) const;
+    void heapPush(std::uint32_t slot);
+    void heapPop();
+    std::uint32_t allocSlot();
 
     Tick _curTick = 0;
-    std::uint64_t _nextId = 0;
+    std::uint64_t _nextSeq = 0;
     std::uint64_t _executed = 0;
-    std::priority_queue<Event, std::vector<Event>,
-                        std::greater<Event>> _queue;
-    std::unordered_set<std::uint64_t> _pending;   //!< ids in _queue
-    std::unordered_set<std::uint64_t> _cancelled; //!< pending+dead
+    std::size_t _live = 0;
+    std::vector<Event> _slab;
+    std::vector<std::uint32_t> _freeSlots;
+    std::vector<std::uint32_t> _heap; //!< slot indices, min (when,id)
 };
 
 } // namespace via

@@ -23,8 +23,6 @@ Resource::slot(Tick t)
 void
 Resource::slide(Tick when)
 {
-    if (when < _base + windowSize)
-        return;
     // Clear the cycles that fall out of the window. Bookings there
     // are in the past relative to every future request (dispatch is
     // monotone), so dropping them is safe.
@@ -38,11 +36,11 @@ Resource::slide(Tick when)
 }
 
 Tick
-Resource::acquire(Tick when, Tick occupancy)
+Resource::acquireSlow(Tick when, Tick occupancy)
 {
     via_assert(occupancy >= 1, "zero occupancy booking");
     when = std::max(when, _base);
-    slide(when + occupancy);
+    maybeSlide(when + occupancy);
 
     for (;;) {
         // Find `occupancy` consecutive cycles with spare capacity.
@@ -50,7 +48,7 @@ Resource::acquire(Tick when, Tick occupancy)
         for (Tick o = 0; o < occupancy; ++o) {
             if (slot(when + o) >= _units) {
                 when = when + o + 1;
-                slide(when + occupancy);
+                maybeSlide(when + occupancy);
                 ok = false;
                 break;
             }

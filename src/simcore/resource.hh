@@ -39,9 +39,34 @@ class Resource
      * Book @p occupancy consecutive cycles with spare capacity at or
      * after @p when.
      *
+     * The single-cycle booking (nearly every call on the
+     * per-instruction path) is inlined: one bounds check, one
+     * window-slide check, then a scan that almost always stops on
+     * its first probe.
+     *
      * @return the first booked cycle
      */
-    Tick acquire(Tick when, Tick occupancy = 1);
+    Tick
+    acquire(Tick when, Tick occupancy = 1)
+    {
+        if (occupancy == 1) [[likely]] {
+            if (when < _base)
+                when = _base;
+            maybeSlide(when + 1);
+            std::size_t idx = std::size_t(when) & (windowSize - 1);
+            while (_counts[idx] >= _units) [[unlikely]] {
+                ++when;
+                idx = (idx + 1) & (windowSize - 1);
+                maybeSlide(when + 1);
+            }
+            ++_counts[idx];
+            ++_busy;
+            if (when + 1 > _horizon)
+                _horizon = when + 1;
+            return when;
+        }
+        return acquireSlow(when, occupancy);
+    }
 
     /** Release all bookings (new kernel run). */
     void resetTiming();
@@ -64,11 +89,21 @@ class Resource
     void loadState(Deserializer &des);
 
   private:
-    /** Cycles tracked by the sliding window. */
+    /** Cycles tracked by the sliding window (a power of two). */
     static constexpr std::size_t windowSize = 1 << 16;
 
     std::uint16_t &slot(Tick t);
+
+    /** Slide check, inline; the slide itself is rare and cold. */
+    void
+    maybeSlide(Tick t)
+    {
+        if (t >= _base + windowSize) [[unlikely]]
+            slide(t);
+    }
+
     void slide(Tick when);
+    Tick acquireSlow(Tick when, Tick occupancy);
 
     std::uint32_t _units = 1;
     std::vector<std::uint16_t> _counts;

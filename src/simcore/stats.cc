@@ -45,44 +45,92 @@ Distribution::reset()
     _sum = _min = _max = 0.0;
 }
 
-void
+StatId
+StatSet::insert(Entry entry)
+{
+    // Re-registering a name replaces the view but keeps the id, so
+    // interned handles stay valid.
+    auto it = _index.find(entry.name);
+    if (it != _index.end()) {
+        _entries[it->second] = std::move(entry);
+        return it->second;
+    }
+    StatId id = _entries.size();
+    _index.emplace(entry.name, id);
+    _entries.push_back(std::move(entry));
+    return id;
+}
+
+StatId
 StatSet::addScalar(const std::string &name, const std::string &desc,
                    const std::uint64_t *value)
 {
     via_assert(value, "null counter for stat ", name);
-    _entries[name] = Entry{desc,
-                           [value] { return double(*value); }};
+    Entry e;
+    e.name = name;
+    e.desc = desc;
+    e.kind = Kind::U64;
+    e.ptr = value;
+    return insert(std::move(e));
 }
 
-void
+StatId
 StatSet::addScalar(const std::string &name, const std::string &desc,
                    const double *value)
 {
     via_assert(value, "null counter for stat ", name);
-    _entries[name] = Entry{desc, [value] { return *value; }};
+    Entry e;
+    e.name = name;
+    e.desc = desc;
+    e.kind = Kind::F64;
+    e.ptr = value;
+    return insert(std::move(e));
 }
 
-void
+StatId
 StatSet::addFormula(const std::string &name, const std::string &desc,
                     std::function<double()> fn)
 {
     via_assert(fn, "null formula for stat ", name);
-    _entries[name] = Entry{desc, std::move(fn)};
+    Entry e;
+    e.name = name;
+    e.desc = desc;
+    e.kind = Kind::Formula;
+    e.fn = std::move(fn);
+    return insert(std::move(e));
+}
+
+StatId
+StatSet::id(const std::string &name) const
+{
+    auto it = _index.find(name);
+    if (it == _index.end())
+        via_fatal("unknown statistic '", name, "'");
+    return it->second;
 }
 
 double
 StatSet::get(const std::string &name) const
 {
-    auto it = _entries.find(name);
-    if (it == _entries.end())
-        via_fatal("unknown statistic '", name, "'");
-    return it->second.eval();
+    return get(id(name));
 }
 
 bool
 StatSet::has(const std::string &name) const
 {
-    return _entries.count(name) != 0;
+    return _index.count(name) != 0;
+}
+
+std::vector<StatId>
+StatSet::sortedIds() const
+{
+    std::vector<StatId> ids(_entries.size());
+    for (StatId i = 0; i < ids.size(); ++i)
+        ids[i] = i;
+    std::sort(ids.begin(), ids.end(), [this](StatId a, StatId b) {
+        return _entries[a].name < _entries[b].name;
+    });
+    return ids;
 }
 
 std::vector<std::string>
@@ -90,8 +138,8 @@ StatSet::names() const
 {
     std::vector<std::string> out;
     out.reserve(_entries.size());
-    for (const auto &kv : _entries)
-        out.push_back(kv.first);
+    for (StatId i : sortedIds())
+        out.push_back(_entries[i].name);
     return out;
 }
 
@@ -105,12 +153,13 @@ StatSet::dumpJson(std::ostream &os) const
     char buf[40];
     os << "{";
     bool first = true;
-    for (const auto &kv : _entries) {
+    for (StatId i : sortedIds()) {
+        const Entry &e = _entries[i];
         if (!first)
             os << ",";
         first = false;
-        double v = kv.second.eval();
-        os << "\n  \"" << kv.first << "\": ";
+        double v = eval(e);
+        os << "\n  \"" << e.name << "\": ";
         if (!std::isfinite(v)) {
             os << "null";
         } else if (v == std::floor(v) && std::abs(v) < 9.0e15) {
@@ -130,11 +179,12 @@ StatSet::dumpJson(std::ostream &os) const
 void
 StatSet::dump(std::ostream &os) const
 {
-    for (const auto &kv : _entries) {
-        os << std::left << std::setw(40) << kv.first << ' '
-           << std::right << std::setw(16) << kv.second.eval();
-        if (!kv.second.desc.empty())
-            os << "  # " << kv.second.desc;
+    for (StatId i : sortedIds()) {
+        const Entry &e = _entries[i];
+        os << std::left << std::setw(40) << e.name << ' '
+           << std::right << std::setw(16) << eval(e);
+        if (!e.desc.empty())
+            os << "  # " << e.desc;
         os << '\n';
     }
 }

@@ -5,6 +5,12 @@
  * Components own plain counters and register named views of them in a
  * StatSet. The set can be dumped as a human-readable table or queried
  * programmatically by the benchmark harnesses.
+ *
+ * Entries live in a flat vector; a StatId is an index into it, so a
+ * caller on a hot path interns the name once (id()) and reads the
+ * value with an O(1) get(StatId) instead of a string-keyed map
+ * lookup per sample. Dump output is sorted by name at dump time and
+ * is byte-identical regardless of registration order.
  */
 
 #ifndef VIA_SIMCORE_STATS_HH
@@ -12,9 +18,9 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <ostream>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace via
@@ -61,6 +67,9 @@ class Distribution
     double _max = 0.0;
 };
 
+/** Interned handle to one statistic inside a StatSet. */
+using StatId = std::size_t;
+
 /**
  * A named collection of statistic views.
  *
@@ -72,16 +81,27 @@ class StatSet
 {
   public:
     /** Register a view over an integer counter. */
-    void addScalar(const std::string &name, const std::string &desc,
-                   const std::uint64_t *value);
+    StatId addScalar(const std::string &name, const std::string &desc,
+                     const std::uint64_t *value);
 
     /** Register a view over a floating-point value. */
-    void addScalar(const std::string &name, const std::string &desc,
-                   const double *value);
+    StatId addScalar(const std::string &name, const std::string &desc,
+                     const double *value);
 
     /** Register a derived quantity computed on demand. */
-    void addFormula(const std::string &name, const std::string &desc,
-                    std::function<double()> fn);
+    StatId addFormula(const std::string &name,
+                      const std::string &desc,
+                      std::function<double()> fn);
+
+    /** Intern a name into its id; fatal() if absent. */
+    StatId id(const std::string &name) const;
+
+    /** O(1) read through an interned id. */
+    double
+    get(StatId id) const
+    {
+        return eval(_entries[id]);
+    }
 
     /** Look up a statistic by name; fatal() if absent. */
     double get(const std::string &name) const;
@@ -99,13 +119,42 @@ class StatSet
     void dumpJson(std::ostream &os) const;
 
   private:
+    /**
+     * Scalar views keep their raw pointer (no std::function
+     * indirection on reads); only formulas pay for one.
+     */
+    enum class Kind : std::uint8_t { U64, F64, Formula };
+
     struct Entry
     {
+        std::string name;
         std::string desc;
-        std::function<double()> eval;
+        Kind kind = Kind::U64;
+        const void *ptr = nullptr;
+        std::function<double()> fn;
     };
 
-    std::map<std::string, Entry> _entries;
+    double
+    eval(const Entry &e) const
+    {
+        switch (e.kind) {
+        case Kind::U64:
+            return double(
+                *static_cast<const std::uint64_t *>(e.ptr));
+        case Kind::F64:
+            return *static_cast<const double *>(e.ptr);
+        case Kind::Formula:
+            return e.fn();
+        }
+        return 0.0;
+    }
+
+    StatId insert(Entry entry);
+    /** Entry indices sorted by name (dump order). */
+    std::vector<StatId> sortedIds() const;
+
+    std::vector<Entry> _entries;
+    std::unordered_map<std::string, StatId> _index;
 };
 
 } // namespace via

@@ -27,6 +27,20 @@ TraceOptions::fromConfig(const Config &cfg)
 }
 
 void
+addTraceOptions(Options &opts)
+{
+    TraceOptions d;
+    opts.addString("trace", "",
+                   "write an event trace to this path")
+        .addString("trace_format", d.format,
+                   "trace export format: perfetto|konata")
+        .addUInt("trace_limit", d.limit,
+                 "event ring capacity (oldest dropped)", 1)
+        .addBool("trace_summary", d.summary,
+                 "print a per-component event roll-up");
+}
+
+void
 enableTracing(Machine &m, const TraceOptions &opts)
 {
     if (opts.active())

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "simcore/config.hh"
+#include "simcore/options.hh"
 #include "simcore/types.hh"
 
 namespace via
@@ -41,6 +42,13 @@ struct TraceOptions
         return !path.empty() || summary;
     }
 };
+
+/**
+ * Register the tracing keys (trace, trace_format, trace_limit,
+ * trace_summary) with an Options registry; defaults mirror
+ * TraceOptions.
+ */
+void addTraceOptions(Options &opts);
 
 /** Enable tracing on @p m per the options (no-op when inactive). */
 void enableTracing(Machine &m, const TraceOptions &opts);

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "simcore/log.hh"
+#include "simcore/selfprof.hh"
 #include "simcore/serialize.hh"
 
 namespace via
@@ -23,6 +24,7 @@ Fivu::bookPorts(Tick when, std::uint32_t elems)
 Fivu::Timing
 Fivu::dispatch(const Inst &inst, Tick ready_at, const OpLatencies &lat)
 {
+    selfprof::Scope prof(selfprof::Domain::Fivu);
     via_assert(inst.isVia(), "non-VIA inst dispatched to the FIVU: ",
                mnemonic(inst.op));
 

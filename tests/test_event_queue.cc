@@ -1,6 +1,10 @@
 /**
  * @file
  * Unit tests for the deterministic event queue.
+ *
+ * Callbacks are function pointers over a context object, so each
+ * test passes a small state struct (or the test fixture's locals
+ * wrapped in one) as the context.
  */
 
 #include <gtest/gtest.h>
@@ -26,9 +30,19 @@ TEST(EventQueue, RunsEventsInTimeOrder)
 {
     EventQueue q;
     std::vector<int> order;
-    q.schedule(30, [&] { order.push_back(3); });
-    q.schedule(10, [&] { order.push_back(1); });
-    q.schedule(20, [&] { order.push_back(2); });
+    struct Tagged
+    {
+        std::vector<int> *order;
+        int tag;
+    };
+    Tagged t1{&order, 1}, t2{&order, 2}, t3{&order, 3};
+    auto push = +[](void *ctx) {
+        auto *t = static_cast<Tagged *>(ctx);
+        t->order->push_back(t->tag);
+    };
+    q.schedule(30, push, &t3);
+    q.schedule(10, push, &t1);
+    q.schedule(20, push, &t2);
     EXPECT_EQ(q.run(), 3u);
     EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
     EXPECT_EQ(q.curTick(), 30u);
@@ -37,9 +51,23 @@ TEST(EventQueue, RunsEventsInTimeOrder)
 TEST(EventQueue, SameTickRunsInScheduleOrder)
 {
     EventQueue q;
+    struct Tagged
+    {
+        std::vector<int> *order;
+        int tag;
+    };
     std::vector<int> order;
+    std::vector<Tagged> ctxs;
     for (int i = 0; i < 8; ++i)
-        q.schedule(5, [&order, i] { order.push_back(i); });
+        ctxs.push_back(Tagged{&order, i});
+    for (int i = 0; i < 8; ++i)
+        q.schedule(
+            5,
+            +[](void *ctx) {
+                auto *t = static_cast<Tagged *>(ctx);
+                t->order->push_back(t->tag);
+            },
+            &ctxs[std::size_t(i)]);
     q.run();
     for (int i = 0; i < 8; ++i)
         EXPECT_EQ(order[std::size_t(i)], i);
@@ -49,8 +77,9 @@ TEST(EventQueue, RunRespectsLimit)
 {
     EventQueue q;
     int fired = 0;
-    q.schedule(10, [&] { ++fired; });
-    q.schedule(20, [&] { ++fired; });
+    auto bump = +[](void *ctx) { ++*static_cast<int *>(ctx); };
+    q.schedule(10, bump, &fired);
+    q.schedule(20, bump, &fired);
     EXPECT_EQ(q.run(15), 1u);
     EXPECT_EQ(fired, 1);
     EXPECT_EQ(q.nextTick(), 20u);
@@ -60,8 +89,9 @@ TEST(EventQueue, CancelPreventsExecution)
 {
     EventQueue q;
     int fired = 0;
-    auto id = q.schedule(10, [&] { ++fired; });
-    q.schedule(11, [&] { ++fired; });
+    auto bump = +[](void *ctx) { ++*static_cast<int *>(ctx); };
+    auto id = q.schedule(10, bump, &fired);
+    q.schedule(11, bump, &fired);
     q.cancel(id);
     EXPECT_EQ(q.live(), 1u);
     q.run();
@@ -71,7 +101,7 @@ TEST(EventQueue, CancelPreventsExecution)
 TEST(EventQueue, CancelOfFiredEventIsNoOp)
 {
     EventQueue q;
-    auto id = q.schedule(1, [] {});
+    auto id = q.schedule(1, +[](void *) {}, nullptr);
     q.run();
     q.cancel(id); // must not crash or corrupt counts
     EXPECT_TRUE(q.empty());
@@ -80,14 +110,21 @@ TEST(EventQueue, CancelOfFiredEventIsNoOp)
 TEST(EventQueue, EventsMayScheduleEvents)
 {
     EventQueue q;
-    int depth = 0;
-    std::function<void()> chain = [&] {
-        if (++depth < 5)
-            q.scheduleIn(2, chain);
+    struct Chain
+    {
+        EventQueue *q;
+        int depth = 0;
+        void
+        tick()
+        {
+            if (++depth < 5)
+                q->scheduleIn<&Chain::tick>(2, this);
+        }
     };
-    q.schedule(0, chain);
+    Chain chain{&q};
+    q.schedule<&Chain::tick>(0, &chain);
     q.run();
-    EXPECT_EQ(depth, 5);
+    EXPECT_EQ(chain.depth, 5);
     EXPECT_EQ(q.curTick(), 8u);
 }
 
@@ -102,19 +139,56 @@ TEST(EventQueue, AdvanceToExecutesDueEvents)
 {
     EventQueue q;
     int fired = 0;
-    q.schedule(50, [&] { ++fired; });
-    q.schedule(150, [&] { ++fired; });
+    auto bump = +[](void *ctx) { ++*static_cast<int *>(ctx); };
+    q.schedule(50, bump, &fired);
+    q.schedule(150, bump, &fired);
     q.advanceTo(100);
     EXPECT_EQ(fired, 1);
     EXPECT_EQ(q.curTick(), 100u);
 }
 
+TEST(EventQueue, CancelBookkeepingStaysBounded)
+{
+    // Regression: cancel() used to record ids in an unordered_set
+    // that was never pruned, so a workload that schedules + cancels
+    // a watchdog per window grew memory without bound. The slab
+    // design reclaims cancelled slots as the heap pops past them,
+    // so repeated schedule/cancel cycles must reuse a handful of
+    // slots rather than accumulate.
+    EventQueue q;
+    auto noop = +[](void *) {};
+    for (int round = 0; round < 100000; ++round) {
+        auto watchdog = q.schedule(q.curTick() + 1000, noop, nullptr,
+                                   "watchdog");
+        q.schedule(q.curTick() + 1, noop, nullptr, "work");
+        q.cancel(watchdog);
+        q.run(q.curTick() + 1);
+    }
+    EXPECT_TRUE(q.empty());
+    // Everything pending was executed or reclaimed...
+    EXPECT_EQ(q.cancelledPending(), 0u);
+    // ...and the slab never grew past the per-round live set.
+    EXPECT_LE(q.slabSize(), 16u);
+}
+
+TEST(EventQueue, CancelledHeadDoesNotBlockNextTick)
+{
+    EventQueue q;
+    auto noop = +[](void *) {};
+    auto id = q.schedule(10, noop, nullptr);
+    q.schedule(20, noop, nullptr);
+    q.cancel(id);
+    EXPECT_EQ(q.nextTick(), 20u);
+    EXPECT_EQ(q.run(), 1u);
+}
+
 TEST(EventQueueDeathTest, SchedulingInThePastPanics)
 {
     EventQueue q;
-    q.schedule(10, [] {});
+    q.schedule(10, +[](void *) {}, nullptr);
     q.run();
-    EXPECT_DEATH(q.schedule(5, [] {}), "scheduled in the past");
+    EXPECT_DEATH(q.schedule(5, +[](void *) {}, nullptr),
+                 "scheduled in the past");
 }
 
 } // namespace

@@ -22,33 +22,44 @@ namespace
 TEST(EventsIntegration, CallbackFiresAtScheduledTick)
 {
     Machine m{MachineParams{}};
-    Tick fired_at = 0;
-    m.events().schedule(50, [&] {
-        fired_at = m.events().curTick();
-    });
+    struct Probe
+    {
+        Machine *m;
+        Tick fired_at = 0;
+        void tick() { fired_at = m->events().curTick(); }
+    };
+    Probe probe{&m};
+    m.events().schedule<&Probe::tick>(50, &probe);
     // A dependent ALU chain advances time past tick 50.
     m.simm(SReg{0}, 0);
     for (int i = 0; i < 100; ++i)
         m.salu(SReg{0}, i, SReg{0});
-    EXPECT_EQ(fired_at, 50u);
+    EXPECT_EQ(probe.fired_at, 50u);
 }
 
 TEST(EventsIntegration, PeriodicSamplerSeesMonotoneProgress)
 {
     Machine m{MachineParams{}};
-    std::vector<std::uint64_t> inst_samples;
-    auto fn = std::make_shared<std::function<void()>>();
-    *fn = [&, fn] {
-        inst_samples.push_back(m.core().stats().insts);
-        m.events().scheduleIn(200, *fn);
+    struct Sampler
+    {
+        Machine *m;
+        std::vector<std::uint64_t> inst_samples;
+        void
+        tick()
+        {
+            inst_samples.push_back(m->core().stats().insts);
+            m->events().scheduleIn<&Sampler::tick>(200, this);
+        }
     };
-    m.events().scheduleIn(200, *fn);
+    Sampler sampler{&m};
+    m.events().scheduleIn<&Sampler::tick>(200, &sampler);
 
     Rng rng(1);
     Csr a = genUniform(128, 128, 0.05, rng);
     DenseVector x = randomVector(a.cols(), rng);
     kernels::spmvVectorCsr(m, a, x);
 
+    const auto &inst_samples = sampler.inst_samples;
     ASSERT_GE(inst_samples.size(), 3u);
     for (std::size_t i = 1; i < inst_samples.size(); ++i)
         EXPECT_GE(inst_samples[i], inst_samples[i - 1]);

@@ -243,7 +243,7 @@ TEST(Checkpoint, RejectsGeometryMismatch)
 TEST(Checkpoint, RejectsPendingEvents)
 {
     Machine m(MachineParams{});
-    m.events().scheduleIn(10, [] {}, "test");
+    m.events().scheduleIn(10, +[](void *) {}, nullptr, "test");
     EXPECT_THROW(Checkpoint::capture(m), SerializeError);
 }
 

@@ -1,56 +1,59 @@
 /**
  * @file
- * bench_report — the sampled-simulation regression gate.
+ * bench_report — the quantitative regression gates.
  *
- * Runs the fig10 SpMV reference configuration (default machine, VIA
- * CSB kernel, one large uniform matrix) under all three execution
- * modes, wall-clocks each, and compares sampled-mode extrapolated
- * cycles against the detailed makespan. Also measures the
- * checkpoint layer: image size, capture/restore cost, and a
- * SweepExecutor fan-out where every point restores from one shared
- * warm image instead of re-running the kernel, verifying each
- * restored machine reports the identical cycle count.
- *
- * The results are written as JSON (BENCH_sampling.json) and the
- * exit code enforces the subsystem's two quantitative promises:
+ * Default leg (sampled simulation): runs the fig10 SpMV reference
+ * configuration (default machine, VIA CSB kernel, one large uniform
+ * matrix) under all three execution modes, wall-clocks each, and
+ * compares sampled-mode extrapolated cycles against the detailed
+ * makespan. Also measures the checkpoint layer: image size,
+ * capture/restore cost, and a SweepExecutor fan-out where every
+ * point restores from one shared warm image instead of re-running
+ * the kernel, verifying each restored machine reports the identical
+ * cycle count. Results go to BENCH_sampling.json and the exit code
+ * enforces:
  *
  *   - sampled-mode end-to-end cycle error <= 5% of detailed
  *   - functional-mode wall-clock speedup >= 10x over detailed
  *
- * CI runs this on every push (see .github/workflows/ci.yml), so a
- * regression in either bound fails the build.
+ * simspeed=1 leg (detailed-mode simulator speed): wall-clocks the
+ * fig10 SpMV and fig11 SpMA reference workloads in detailed mode
+ * (timed region = machine construction + kernel, best-of-repeats),
+ * fingerprints the statistics (cycles, instructions, and an FNV-64
+ * hash of the full JSON stats dump), and gates against the
+ * committed BENCH_simspeed.json:
+ *
+ *   - the stats fingerprint must match the baseline exactly (a
+ *     speedup that changes simulated behavior is a bug, not a win)
+ *   - host ns per simulated cycle must not regress >10%
+ *
+ * When the baseline file is missing the leg bootstraps: it writes
+ * the report and passes. CI runs both legs on every push (see
+ * .github/workflows/ci.yml).
  *
  * Usage:
- *   bench_report [key=value ...]
- *
- * Keys:
- *   rows=N             reference matrix rows       (default 16384)
- *   density=D          reference matrix density    (default 0.005)
- *   seed=S             generator seed              (default 1)
- *   format=FMT         SpMV format                 (default csb)
- *   sample_interval=N  instructions per unit       (default 100000)
- *   sample_warmup=N    detailed warmup per unit    (default 500)
- *   sample_measure=N   measured insts per unit     (default 1500)
- *   repeats=R          timing repetitions, best-of (default 5)
- *   sweep_points=N     restore fan-out width       (default 4)
- *   threads=T          restore fan-out workers     (default 0 = hw)
- *   out=PATH           JSON report path   (default BENCH_sampling.json)
+ *   bench_report [key=value ...]      (help=1 for the key table)
  */
 
 #include <chrono>
 #include <cmath>
 #include <cstdio>
-#include <set>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "cpu/machine.hh"
 #include "cpu/machine_config.hh"
 #include "kernels/dispatch.hh"
 #include "kernels/reference.hh"
+#include "kernels/spma.hh"
 #include "sample/checkpoint.hh"
 #include "sample/sampling.hh"
 #include "simcore/config.hh"
 #include "simcore/log.hh"
+#include "simcore/options.hh"
 #include "simcore/parallel.hh"
 #include "simcore/rng.hh"
 #include "sparse/generators.hh"
@@ -59,32 +62,6 @@ using namespace via;
 
 namespace
 {
-
-bool
-validateKeys(const Config &cfg)
-{
-    static const std::set<std::string> valid = {
-        "rows",           "density",       "seed",
-        "format",         "sample_interval", "sample_warmup",
-        "sample_measure", "repeats",       "sweep_points",
-        "threads",        "out",
-    };
-    bool ok = true;
-    for (const std::string &key : cfg.keys()) {
-        if (valid.count(key))
-            continue;
-        std::fprintf(stderr, "bench_report: unknown key '%s'\n",
-                     key.c_str());
-        ok = false;
-    }
-    if (!ok) {
-        std::fprintf(stderr, "valid keys:");
-        for (const std::string &key : valid)
-            std::fprintf(stderr, " %s", key.c_str());
-        std::fprintf(stderr, "\n");
-    }
-    return ok;
-}
 
 double
 secondsSince(std::chrono::steady_clock::time_point start)
@@ -100,32 +77,298 @@ struct ModeTiming
     sample::SampleEstimate est;
 };
 
+// ==================================================================
+// simspeed=1: the detailed-mode simulator speed gate.
+// ==================================================================
+
+/**
+ * Seed-build wall clocks of the two legs (same timed region, same
+ * best-of-3 discipline, measured on the build predating the event
+ * queue / stats / schedule fast-path overhaul). The committed
+ * report's speedup_vs_seed fields are relative to these.
+ */
+constexpr double kSeedWallSpmv = 1.4200;
+constexpr double kSeedWallSpma = 0.4172;
+
+std::uint64_t
+fnv64(const std::string &text)
+{
+    std::uint64_t h = 1469598103934665603ull;
+    for (unsigned char c : text) {
+        h ^= c;
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+/** One timed workload: wall clock plus the stats fingerprint. */
+struct SpeedLeg
+{
+    std::string name;
+    double seedWall = 0.0; //!< seed-build wall clock (constant)
+    double wall = 0.0;     //!< best-of-repeats seconds
+    Tick cycles = 0;
+    std::uint64_t insts = 0;
+    std::uint64_t statsHash = 0; //!< FNV-64 of the JSON stats dump
+
+    double
+    nsPerCycle() const
+    {
+        return cycles ? wall * 1e9 / double(cycles) : 0.0;
+    }
+    double
+    mips() const
+    {
+        return wall > 0.0 ? double(insts) / wall / 1e6 : 0.0;
+    }
+};
+
+/**
+ * Time one kernel, best-of @p repeats. The timed region is machine
+ * construction + kernel execution — exactly the code the detailed
+ * hot path covers; input generation is excluded.
+ */
+template <typename RunFn>
+SpeedLeg
+timeLeg(const std::string &name, double seed_wall,
+        std::size_t repeats, RunFn &&run)
+{
+    SpeedLeg leg;
+    leg.name = name;
+    leg.seedWall = seed_wall;
+    for (std::size_t r = 0; r < repeats; ++r) {
+        auto start = std::chrono::steady_clock::now();
+        Machine m((MachineParams()));
+        run(m);
+        double wall = secondsSince(start);
+        if (r == 0 || wall < leg.wall)
+            leg.wall = wall;
+        leg.cycles = m.cycles();
+        leg.insts = m.core().stats().insts;
+        std::ostringstream os;
+        m.stats().dumpJson(os);
+        leg.statsHash = fnv64(os.str());
+    }
+    return leg;
+}
+
+/** The {...} object following "name" in @p text ("" if absent). */
+std::string
+jsonSection(const std::string &text, const std::string &name)
+{
+    auto pos = text.find("\"" + name + "\"");
+    if (pos == std::string::npos)
+        return "";
+    auto open = text.find('{', pos);
+    auto close = text.find('}', open);
+    if (open == std::string::npos || close == std::string::npos)
+        return "";
+    return text.substr(open, close - open + 1);
+}
+
+bool
+jsonNumber(const std::string &sect, const std::string &key,
+           double &out)
+{
+    auto pos = sect.find("\"" + key + "\":");
+    if (pos == std::string::npos)
+        return false;
+    out = std::strtod(sect.c_str() + pos + key.size() + 3, nullptr);
+    return true;
+}
+
+bool
+jsonHash(const std::string &sect, const std::string &key,
+         std::uint64_t &out)
+{
+    auto pos = sect.find("\"" + key + "\": \"");
+    if (pos == std::string::npos)
+        return false;
+    out = std::strtoull(sect.c_str() + pos + key.size() + 5,
+                        nullptr, 16);
+    return true;
+}
+
+int
+runSimspeed(const Options &opts)
+{
+    auto repeats = std::size_t(opts.getUInt("repeats"));
+    std::string out_path = opts.getString("simspeed_out");
+    std::string base_path = opts.getString("simspeed_baseline");
+    if (base_path.empty())
+        base_path = out_path;
+
+    std::printf("bench_report: simspeed gate (detailed mode, "
+                "best of %zu)\n",
+                repeats);
+
+    std::vector<SpeedLeg> legs;
+    {
+        // fig10 reference workload: SpMV, VIA CSB.
+        Rng rng(1);
+        Csr a = genUniform(16384, 16384, 0.005, rng);
+        DenseVector x = randomVector(a.cols(), rng);
+        legs.push_back(timeLeg("spmv", kSeedWallSpmv, repeats,
+                               [&](Machine &m) {
+                                   kernels::spmvVia(m, a, x, "csb");
+                               }));
+    }
+    {
+        // fig11 reference workload: SpMA, VIA CAM.
+        Rng rng(1);
+        Csr a = genUniform(8192, 8192, 0.004, rng);
+        Csr b = genUniform(8192, 8192, 0.004, rng);
+        legs.push_back(timeLeg("spma", kSeedWallSpma, repeats,
+                               [&](Machine &m) {
+                                   kernels::spmaViaCsr(m, a, b);
+                               }));
+    }
+
+    for (const SpeedLeg &leg : legs)
+        std::printf("  %-5s %8.3fs  %10llu cycles  %8llu insts  "
+                    "%7.1f ns/cyc  %6.2f MIPS  %5.2fx vs seed\n",
+                    leg.name.c_str(), leg.wall,
+                    static_cast<unsigned long long>(leg.cycles),
+                    static_cast<unsigned long long>(leg.insts),
+                    leg.nsPerCycle(), leg.mips(),
+                    leg.seedWall / leg.wall);
+
+    // Gate against the committed baseline, if one exists.
+    bool stats_ok = true;
+    bool speed_ok = true;
+    std::ifstream in(base_path);
+    if (in) {
+        std::stringstream ss;
+        ss << in.rdbuf();
+        std::string text = ss.str();
+        for (const SpeedLeg &leg : legs) {
+            std::string sect = jsonSection(text, leg.name);
+            double bcycles = 0, binsts = 0, bns = 0;
+            std::uint64_t bhash = 0;
+            if (sect.empty() ||
+                !jsonNumber(sect, "cycles", bcycles) ||
+                !jsonNumber(sect, "insts", binsts) ||
+                !jsonNumber(sect, "ns_per_cycle", bns) ||
+                !jsonHash(sect, "stats_fnv64", bhash)) {
+                std::fprintf(stderr,
+                             "bench_report: baseline %s lacks leg "
+                             "'%s'\n",
+                             base_path.c_str(), leg.name.c_str());
+                stats_ok = false;
+                continue;
+            }
+            if (double(leg.cycles) != bcycles ||
+                double(leg.insts) != binsts ||
+                leg.statsHash != bhash) {
+                std::fprintf(
+                    stderr,
+                    "bench_report: FAIL %s stats fingerprint "
+                    "changed (cycles %llu vs %.0f, insts %llu vs "
+                    "%.0f, hash %016llx vs %016llx)\n",
+                    leg.name.c_str(),
+                    static_cast<unsigned long long>(leg.cycles),
+                    bcycles,
+                    static_cast<unsigned long long>(leg.insts),
+                    binsts,
+                    static_cast<unsigned long long>(leg.statsHash),
+                    static_cast<unsigned long long>(bhash));
+                stats_ok = false;
+            }
+            if (leg.nsPerCycle() > bns * 1.10) {
+                std::fprintf(stderr,
+                             "bench_report: FAIL %s host time "
+                             "%.1f ns/cycle > baseline %.1f +10%%\n",
+                             leg.name.c_str(), leg.nsPerCycle(),
+                             bns);
+                speed_ok = false;
+            }
+        }
+    } else {
+        std::printf("  no baseline at %s; bootstrapping\n",
+                    base_path.c_str());
+    }
+
+    std::FILE *f = std::fopen(out_path.c_str(), "w");
+    if (f == nullptr)
+        via_fatal("cannot write ", out_path);
+    std::fprintf(f, "{\n");
+    for (const SpeedLeg &leg : legs)
+        std::fprintf(
+            f,
+            "  \"%s\": {\"wall_s\": %.4f, \"cycles\": %llu, "
+            "\"insts\": %llu, \"ns_per_cycle\": %.3f, \"mips\": "
+            "%.3f, \"stats_fnv64\": \"%016llx\", \"seed_wall_s\": "
+            "%.4f, \"speedup_vs_seed\": %.2f},\n",
+            leg.name.c_str(), leg.wall,
+            static_cast<unsigned long long>(leg.cycles),
+            static_cast<unsigned long long>(leg.insts),
+            leg.nsPerCycle(), leg.mips(),
+            static_cast<unsigned long long>(leg.statsHash),
+            leg.seedWall, leg.seedWall / leg.wall);
+    std::fprintf(f,
+                 "  \"pass\": {\"stats_identical\": %s, "
+                 "\"ns_per_cycle_within_10pct\": %s}\n}\n",
+                 stats_ok ? "true" : "false",
+                 speed_ok ? "true" : "false");
+    std::fclose(f);
+    std::printf("wrote %s\n", out_path.c_str());
+
+    return (stats_ok && speed_ok) ? 0 : 1;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    std::vector<std::string> args;
-    for (int i = 1; i < argc; ++i)
-        args.emplace_back(argv[i]);
-    Config cfg = Config::fromArgs(args);
-    if (!validateKeys(cfg))
-        return 2;
+    Options opts("bench_report",
+                 "Quantitative regression gates: sampled "
+                 "simulation and checkpointing (default), or "
+                 "detailed-mode simulator speed (simspeed=1)");
+    opts.addUInt("rows", 16384, "reference matrix rows", 1)
+        .addDouble("density", 0.005, "reference matrix density",
+                   0.0, 1.0)
+        .addUInt("seed", 1, "generator seed")
+        .addString("format", "csb", "SpMV format: csr|spc5|sell|csb")
+        .addUInt("sample_interval", 100000,
+                 "instructions per sampling unit", 1)
+        .addUInt("sample_warmup", 500,
+                 "detailed warmup instructions per unit")
+        .addUInt("sample_measure", 1500,
+                 "measured instructions per unit", 1)
+        .addUInt("repeats", 5, "timing repetitions, best-of", 1)
+        .addUInt("sweep_points", 4, "restore fan-out width")
+        .addString("out", "BENCH_sampling.json",
+                   "sampling-leg JSON report path")
+        .addFlag("simspeed",
+                 "run the detailed-mode simulator speed gate "
+                 "instead of the sampling leg")
+        .addString("simspeed_out", "BENCH_simspeed.json",
+                   "simspeed-leg JSON report path")
+        .addString("simspeed_baseline", "",
+                   "baseline JSON to gate against (default: the "
+                   "simspeed_out path)");
+    addThreadsOption(opts);
+    addSelfProfOption(opts);
+    opts.parse(argc, argv);
+    applySelfProfOption(opts);
 
-    auto rows = Index(cfg.getUInt("rows", 16384));
-    double density = cfg.getDouble("density", 0.005);
-    std::string fmt = cfg.getString("format", "csb");
-    auto repeats = std::size_t(cfg.getUInt("repeats", 5));
-    auto sweep_points = std::size_t(cfg.getUInt("sweep_points", 4));
-    std::string out_path =
-        cfg.getString("out", "BENCH_sampling.json");
+    if (opts.getBool("simspeed"))
+        return runSimspeed(opts);
+
+    auto rows = Index(opts.getUInt("rows"));
+    double density = opts.getDouble("density");
+    std::string fmt = opts.getString("format");
+    auto repeats = std::size_t(opts.getUInt("repeats"));
+    auto sweep_points = std::size_t(opts.getUInt("sweep_points"));
+    std::string out_path = opts.getString("out");
 
     sample::SampleOptions sopts;
-    sopts.interval = cfg.getUInt("sample_interval", 100000);
-    sopts.warmup = cfg.getUInt("sample_warmup", 500);
-    sopts.measure = cfg.getUInt("sample_measure", 1500);
+    sopts.interval = opts.getUInt("sample_interval");
+    sopts.warmup = opts.getUInt("sample_warmup");
+    sopts.measure = opts.getUInt("sample_measure");
 
-    Rng rng(cfg.getUInt("seed", 1));
+    Rng rng(opts.getUInt("seed"));
     Csr a = genUniform(rows, rows, density, rng);
     DenseVector x = randomVector(a.cols(), rng);
     DenseVector golden = a.multiply(x);
@@ -199,7 +442,7 @@ main(int argc, char **argv)
     sample::Checkpoint cp = sample::Checkpoint::capture(warm);
     double capture_s = secondsSince(cap_start);
 
-    SweepExecutor exec(unsigned(cfg.getUInt("threads", 0)));
+    SweepExecutor exec(unsigned(opts.getUInt("threads")));
     auto restore_start = std::chrono::steady_clock::now();
     std::vector<int> identical =
         exec.run(sweep_points, [&](std::size_t) {

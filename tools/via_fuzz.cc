@@ -35,55 +35,36 @@
 #include "check/fuzz.hh"
 #include "check/invariants.hh"
 #include "cpu/machine.hh"
-#include "simcore/config.hh"
+#include "simcore/options.hh"
 
 using namespace via;
-
-namespace
-{
-
-/** Unknown keys are an error, same contract as via_sim. */
-bool
-validateKeys(const Config &cfg)
-{
-    static const std::set<std::string> valid = {
-        "seeds", "seed", "kernel", "threads", "verbose", "inject",
-    };
-    bool ok = true;
-    for (const std::string &key : cfg.keys()) {
-        if (valid.count(key))
-            continue;
-        std::fprintf(stderr, "via_fuzz: unknown key '%s'\n",
-                     key.c_str());
-        ok = false;
-    }
-    if (!ok) {
-        std::fprintf(stderr, "valid keys:");
-        for (const std::string &key : valid)
-            std::fprintf(stderr, " %s", key.c_str());
-        std::fprintf(stderr, "\n");
-    }
-    return ok;
-}
-
-} // namespace
 
 int
 main(int argc, char **argv)
 {
-    std::vector<std::string> args;
-    for (int i = 1; i < argc; ++i)
-        args.emplace_back(argv[i]);
-    Config cfg = Config::fromArgs(args);
-    if (!validateKeys(cfg))
-        return 2;
+    Options args("via_fuzz",
+                 "Deterministic differential fuzzer: adversarial "
+                 "inputs, every kernel, result + invariant checks");
+    args.addUInt("seeds", 100, "seeds to run", 1)
+        .addUInt("seed", 1, "first seed")
+        .addString("kernel", "all",
+                   "all|spmv|spma|spmm|histogram|stencil")
+        .addUInt("threads", 1,
+                 "parallel seed workers (0 = hardware concurrency)")
+        .addFlag("verbose", "per-seed progress on stderr")
+        .addFlag("inject",
+                 "self-test: corrupt a cache counter after each "
+                 "run so the checker must catch it");
+    addSelfProfOption(args);
+    args.parse(argc, argv);
+    applySelfProfOption(args);
 
     check::FuzzOptions opts;
-    opts.seeds = cfg.getUInt("seeds", 100);
-    opts.firstSeed = cfg.getUInt("seed", 1);
-    opts.kernel = cfg.getString("kernel", "all");
-    opts.threads = unsigned(cfg.getUInt("threads", 1));
-    opts.verbose = cfg.getBool("verbose", false);
+    opts.seeds = args.getUInt("seeds");
+    opts.firstSeed = args.getUInt("seed");
+    opts.kernel = args.getString("kernel");
+    opts.threads = unsigned(args.getUInt("threads"));
+    opts.verbose = args.getBool("verbose");
 
     static const std::set<std::string> kernels = {
         "all", "spmv", "spma", "spmm", "histogram", "stencil"};
@@ -93,7 +74,7 @@ main(int argc, char **argv)
         return 2;
     }
 
-    if (cfg.getBool("inject", false)) {
+    if (args.getBool("inject")) {
         // Deliberately corrupt a cache counter after each kernel
         // run: the invariant checker must flag every run and print
         // a replayable seed (exercised by CTest).

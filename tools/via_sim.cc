@@ -14,8 +14,11 @@
  *
  * Kernels: spmv | spma | spmm | histogram | stencil
  *
- * Unknown keys are an error (exit 2) and print the valid set, so a
- * typo like treads=4 cannot silently run a default configuration.
+ * Keys are registered with the shared Options registry
+ * (simcore/options.hh): help=1 / --help prints the generated key
+ * table, and an unknown key is an error (exit 2) printing the valid
+ * set, so a typo like treads=4 cannot silently run a default
+ * configuration.
  *
  * Common keys:
  *   mtx=PATH        load a Matrix Market file (else synthetic)
@@ -77,7 +80,6 @@
 #include <functional>
 #include <iostream>
 #include <memory>
-#include <set>
 #include <sstream>
 #include <string>
 
@@ -97,6 +99,7 @@
 #include "sample/sampling.hh"
 #include "simcore/config.hh"
 #include "simcore/log.hh"
+#include "simcore/options.hh"
 #include "simcore/serialize.hh"
 #include "simcore/parallel.hh"
 #include "simcore/rng.hh"
@@ -111,48 +114,58 @@ namespace
 {
 
 /**
- * Reject unknown key=value arguments. Every key any code path might
- * read — kernel selection, machine parameters, kernel inputs,
- * tracing and sweep knobs — is listed here; a typo (treads=4) exits
- * nonzero with the valid set instead of silently running defaults.
+ * The full key table: driver keys here, the machine / sampling /
+ * tracing groups from their owning layers. A typo (treads=4) exits
+ * 2 with the valid set instead of silently running defaults.
  */
-bool
-validateKeys(const Config &cfg)
+Options
+simOptions()
 {
-    static const std::set<std::string> valid = {
-        // driver
-        "kernel", "mtx", "matrix", "rows", "density", "family",
-        "seed", "format", "keys", "buckets", "px", "stats", "json",
-        "timeline", "debug", "inject_error",
-        // sampled simulation
-        "mode", "sample_interval", "sample_warmup", "sample_measure",
-        "checkpoint", "restore",
-        // machine parameters (machineParamsFrom)
-        "sspm_kb", "ports", "cam_kb", "cam_bank", "rob", "dispatch",
-        "commit", "lq", "sq", "via_at_commit", "gather_overhead",
-        "gather_ports", "mispredict", "store_forward", "l1_kb",
-        "l2_kb", "l1_lat", "l2_lat", "mshrs", "dram_lat", "dram_bw",
-        "prefetch",
-        // tracing
-        "trace", "trace_format", "trace_limit", "trace_summary",
-        // sweep mode
-        "sweep", "sweep_kb", "sweep_ports", "threads",
-    };
-    bool ok = true;
-    for (const std::string &key : cfg.keys()) {
-        if (valid.count(key))
-            continue;
-        std::fprintf(stderr, "via_sim: unknown key '%s'\n",
-                     key.c_str());
-        ok = false;
-    }
-    if (!ok) {
-        std::fprintf(stderr, "valid keys:");
-        for (const std::string &key : valid)
-            std::fprintf(stderr, " %s", key.c_str());
-        std::fprintf(stderr, "\n");
-    }
-    return ok;
+    Options opts("via_sim",
+                 "Run one kernel on one matrix, with and without "
+                 "VIA (spmv|spma|spmm|histogram|stencil); sweep=1 "
+                 "runs a grid of SSPM configurations instead");
+    opts.addString("kernel", "",
+                   "kernel to run (or first positional argument)")
+        .addString("mtx", "",
+                   "Matrix Market input (default: synthetic)")
+        .addString("matrix", "", "alias for mtx=")
+        .addUInt("rows", 512, "synthetic matrix dimension", 1)
+        .addDouble("density", 0.01, "synthetic matrix density",
+                   0.0, 1.0)
+        .addString("family", "uniform",
+                   "synthetic family: "
+                   "banded|uniform|rmat|blocked|diag")
+        .addUInt("seed", 1, "input generator seed")
+        .addString("format", "csb",
+                   "spmv sparse format: csr|spc5|sell|csb")
+        .addUInt("keys", 16384, "histogram input size", 1)
+        .addUInt("buckets", 1024, "histogram buckets", 1)
+        .addUInt("px", 256, "stencil image side", 1)
+        .addFlag("stats", "dump the full statistics tables")
+        .addFlag("json", "dump statistics as JSON instead")
+        .addUInt("timeline", 0,
+                 "(spmv) sample IPC every N simulated cycles")
+        .addFlag("debug", "per-instruction debug log to stderr")
+        .addFlag("inject_error",
+                 "(stencil) perturb the VIA result to exercise "
+                 "the failure path")
+        .addString("checkpoint", "",
+                   "write the post-run machine state here")
+        .addString("restore", "",
+                   "restore machine state before the run")
+        .addFlag("sweep",
+                 "run the VIA kernel across sweep_kb x sweep_ports")
+        .addString("sweep_kb", "4,8,16",
+                   "SSPM sizes in KB to sweep (comma list)")
+        .addString("sweep_ports", "2,4",
+                   "SSPM port counts to sweep (comma list)");
+    addThreadsOption(opts);
+    addSelfProfOption(opts);
+    addMachineOptions(opts);
+    sample::addSampleOptions(opts);
+    addTraceOptions(opts);
+    return opts;
 }
 
 /** True when no Matrix Market file was given (mtx= or matrix=). */
@@ -324,14 +337,19 @@ struct Timeline
     {
         if (window == 0)
             return;
-        auto tick_fn = std::make_shared<std::function<void()>>();
-        *tick_fn = [this, &m, window, tick_fn] {
-            samples.push_back(
-                Sample{m.events().curTick(),
-                       m.core().stats().insts});
-            m.events().scheduleIn(window, *tick_fn, "timeline");
-        };
-        m.events().scheduleIn(window, *tick_fn, "timeline");
+        _machine = &m;
+        _window = window;
+        m.events().scheduleIn<&Timeline::tick>(window, this,
+                                               "timeline");
+    }
+
+    void
+    tick()
+    {
+        samples.push_back(Sample{_machine->events().curTick(),
+                                 _machine->core().stats().insts});
+        _machine->events().scheduleIn<&Timeline::tick>(_window, this,
+                                                       "timeline");
     }
 
     void
@@ -357,6 +375,8 @@ struct Timeline
     }
 
     std::vector<Sample> samples;
+    Machine *_machine = nullptr;
+    Tick _window = 0;
 };
 
 int
@@ -787,34 +807,34 @@ runSweep(const std::string &kernel, const Config &cfg, Rng &rng)
 int
 main(int argc, char **argv)
 {
-    if (argc < 2) {
-        std::fprintf(stderr,
-                     "usage: via_sim <spmv|spma|spmm|histogram|"
-                     "stencil> [key=value ...]\n");
-        return 2;
-    }
+    Options opts = simOptions();
 
     // The kernel is either the first positional argument or a
-    // kernel= key; everything else is key=value.
+    // kernel= key; everything else is key=value (or --help).
     std::string kernel;
     int first = 1;
-    if (std::string(argv[1]).find('=') == std::string::npos) {
-        kernel = argv[1];
-        first = 2;
+    if (argc >= 2) {
+        std::string head = argv[1];
+        if (head.find('=') == std::string::npos && head[0] != '-') {
+            kernel = head;
+            first = 2;
+        }
     }
     std::vector<std::string> args;
     for (int i = first; i < argc; ++i)
         args.emplace_back(argv[i]);
-    Config cfg = Config::fromArgs(args);
+    opts.parse(args);
+    applySelfProfOption(opts);
+    const Config &cfg = opts.config();
     if (kernel.empty())
-        kernel = cfg.getString("kernel", "");
+        kernel = opts.getString("kernel");
     if (kernel.empty()) {
-        std::fprintf(stderr, "via_sim: no kernel given (positional "
-                             "or kernel=...)\n");
+        std::fprintf(stderr,
+                     "usage: via_sim <spmv|spma|spmm|histogram|"
+                     "stencil> [key=value ...]\n"
+                     "       (via_sim help=1 for the key table)\n");
         return 2;
     }
-    if (!validateKeys(cfg))
-        return 2;
 
     if (cfg.getBool("debug", false))
         setLogLevel(LogLevel::Debug);

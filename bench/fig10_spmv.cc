@@ -19,6 +19,14 @@
  *                   [sample_warmup=N] [sample_measure=N]
  *                   [trace=PATH] [trace_format=perfetto|konata]
  *                   [trace_limit=N] [trace_summary=1]
+ *                   [cores=N] [partition=static|steal] [llc_banks=B]
+ *
+ * With cores>1 the CSR and CSB columns compare the parallel kernel
+ * variants on the multi-core machine (docs/multicore.md); SPC5 and
+ * Sell-C-sigma are inherently sequential over their block/chunk
+ * streams and keep their single-core numbers. cores>1 requires
+ * mode=detailed. cores=1 (the default) is the unchanged,
+ * bit-identical single-core path.
  *
  * mode=sampled replaces every kernel's detailed cycle count with
  * the interval-sampling extrapolation (docs/sampling.md), making
@@ -36,6 +44,8 @@
 #include "common.hh"
 #include "cpu/machine.hh"
 #include "cpu/machine_config.hh"
+#include "cpu/multi_machine.hh"
+#include "kernels/parallel.hh"
 #include "kernels/runner.hh"
 #include "kernels/spmv.hh"
 #include "simcore/rng.hh"
@@ -73,6 +83,7 @@ main(int argc, char **argv)
         "fig10_spmv",
         "Figure 10: SpMV speedup of VIA over software formats");
     addMachineOptions(opts);
+    addMultiCoreOptions(opts);
     sample::addSampleOptions(opts);
     addTraceOptions(opts);
     opts.addString("corpus_dir", "",
@@ -102,6 +113,14 @@ main(int argc, char **argv)
     TraceOptions topts = bench::traceOptions(opts);
     sample::SampleOptions sopts = bench::sampleOptions(opts);
 
+    auto cores = unsigned(opts.getUInt("cores"));
+    auto part =
+        kernels::parsePartition(opts.getString("partition"));
+    if (cores > 1 && sopts.mode != sample::SimMode::Detailed)
+        via_fatal("cores>1 supports mode=detailed only");
+    SharedLlcParams llcp =
+        sharedLlcParamsFrom(opts.config(), params, cores);
+
     auto results = exec.run(corpus.size(), [&](std::size_t i) {
         const auto &entry = corpus[i];
         const Csr &a = entry.matrix;
@@ -127,9 +146,21 @@ main(int argc, char **argv)
         Spc5 spc5 = Spc5::fromCsr(a, vl);
         SellCSigma sell = SellCSigma::fromCsr(a, vl, 4 * vl);
 
+        // cores>1: the csr/csb columns compare the parallel kernel
+        // variants on the multi-core machine; each run gets a fresh
+        // machine set, and the makespan is the slowest core.
+        auto run_par = [&](const std::string &fmt, bool via) {
+            MultiMachine mm(params, cores, llcp);
+            return double(kernels::spmvParallel(mm, a, x, fmt, part,
+                                                via)
+                              .cycles);
+        };
+
         pm.nnzPerBlock = csb.meanNnzPerNonEmptyBlock();
-        pm.spCsr = run(kernels::spmvVectorCsr, a) /
-                   run(kernels::spmvViaCsr, a);
+        pm.spCsr = cores == 1
+                       ? run(kernels::spmvVectorCsr, a) /
+                             run(kernels::spmvViaCsr, a)
+                       : run_par("csr", false) / run_par("csr", true);
         pm.spSpc5 = run(kernels::spmvVectorSpc5, spc5) /
                     run(kernels::spmvViaSpc5, spc5);
         pm.spSell = run(kernels::spmvVectorSell, sell) /
@@ -144,7 +175,11 @@ main(int argc, char **argv)
             finishTracing(m, topts, "_" + entry.name);
             return est.cycles;
         }();
-        pm.spCsb = run(kernels::spmvVectorCsb, csb) / via_csb;
+        pm.spCsb = cores == 1
+                       ? run(kernels::spmvVectorCsb, csb) / via_csb
+                       : run_par("csb", false) / run_par("csb", true);
+        // The vs-scalar reference column stays single-core: there is
+        // no parallel scalar-CSB kernel to compare against.
         pm.spCsbScalar =
             run(kernels::spmvScalarCsb, csb) / via_csb;
 

@@ -6,8 +6,10 @@
 
 #include "check/invariants.hh"
 #include "cpu/machine.hh"
+#include "cpu/multi_machine.hh"
 #include "kernels/dispatch.hh"
 #include "kernels/histogram.hh"
+#include "kernels/parallel.hh"
 #include "kernels/reference.hh"
 #include "kernels/spma.hh"
 #include "kernels/spmm.hh"
@@ -53,12 +55,26 @@ appendf(std::string &out, const char *fmt, ...)
 }
 
 void
-printReplay(const SeedCtx &ctx, const std::string &kernel)
+printReplay(const SeedCtx &ctx, const std::string &kernel,
+            bool multicore = false)
 {
-    appendf(ctx.out,
-            "replay: via_fuzz seeds=1 seed=%llu kernel=%s\n",
+    appendf(ctx.out, "replay: via_fuzz seeds=1 seed=%llu kernel=%s",
             static_cast<unsigned long long>(ctx.seed),
             kernel.c_str());
+    // Single-core replay lines stay byte-identical to the
+    // pre-multicore fuzzer; only a multi-core failure needs the
+    // extra knob to reproduce.
+    if (multicore)
+        appendf(ctx.out, " cores=%u", ctx.opts.cores);
+    appendf(ctx.out, "\n");
+}
+
+/** The seed's partitioning policy (even = static, odd = steal). */
+kernels::Partition
+seedPartition(std::uint64_t seed)
+{
+    return (seed & 1) ? kernels::Partition::Steal
+                      : kernels::Partition::Static;
 }
 
 /**
@@ -96,6 +112,52 @@ runOne(const SeedCtx &ctx, const MachineParams &params,
     return false;
 }
 
+/**
+ * Multi-core counterpart of runOne: a fresh opts.cores-core
+ * MultiMachine with an invariant checker attached to every core;
+ * @p body runs the parallel kernel and returns whether the result
+ * matched the golden. The inject hook hits core 0, so the self-test
+ * covers the multi-core checkers too.
+ */
+bool
+runOneMulti(const SeedCtx &ctx, const MachineParams &params,
+            const std::string &kernel, const std::string &label,
+            const std::function<bool(MultiMachine &)> &body)
+{
+    MultiMachine mm(params, ctx.opts.cores);
+    mm.attachCheckers();
+    bool ref_ok = body(mm);
+    if (ctx.opts.inject)
+        ctx.opts.inject(mm.core(0));
+    bool inv_ok = true;
+    unsigned bad_core = 0;
+    for (unsigned c = 0; c < mm.cores() && inv_ok; ++c) {
+        if (!mm.core(c).checker()->checkAll()) {
+            inv_ok = false;
+            bad_core = c;
+        }
+    }
+    ++ctx.stats.kernelRuns;
+    if (ref_ok && inv_ok)
+        return true;
+
+    ++ctx.stats.failures;
+    appendf(ctx.out,
+            "via_fuzz: FAIL %s cores=%u partition=%s config=%s "
+            "seed=%llu (%s)\n",
+            label.c_str(), ctx.opts.cores,
+            kernels::partitionName(seedPartition(ctx.seed)),
+            params.via.name().c_str(),
+            static_cast<unsigned long long>(ctx.seed),
+            !ref_ok ? "reference mismatch" : "invariant violation");
+    if (!inv_ok) {
+        appendf(ctx.out, "core %u:\n", bad_core);
+        ctx.out += mm.core(bad_core).checker()->report();
+    }
+    printReplay(ctx, kernel, true);
+    return false;
+}
+
 bool
 fuzzSpmv(const SeedCtx &ctx, const MachineParams &params, Rng &rng)
 {
@@ -121,6 +183,27 @@ fuzzSpmv(const SeedCtx &ctx, const MachineParams &params, Rng &rng)
                     }))
             return false;
     }
+    if (ctx.opts.cores > 1) {
+        kernels::Partition part = seedPartition(ctx.seed);
+        // Only csr and csb have parallel variants (spc5/sell are
+        // sequential over their block/chunk streams).
+        for (const std::string &fmt : {"csr", "csb"}) {
+            for (bool via : {false, true}) {
+                if (!runOneMulti(
+                        ctx, params, "spmv",
+                        "kernel=spmv format=" + fmt + " variant=" +
+                            (via ? "via" : "base"),
+                        [&](MultiMachine &mm) {
+                            return allClose(
+                                kernels::spmvParallel(mm, a, x, fmt,
+                                                      part, via)
+                                    .y,
+                                golden);
+                        }))
+                    return false;
+            }
+        }
+    }
     return true;
 }
 
@@ -142,10 +225,25 @@ fuzzSpma(const SeedCtx &ctx, const MachineParams &params, Rng &rng)
                     return diff(kernels::spmaScalarCsr(m, a, b));
                 }))
         return false;
-    return runOne(ctx, params, "spma", "kernel=spma variant=via",
-                  [&](Machine &m) {
-                      return diff(kernels::spmaViaCsr(m, a, b));
-                  });
+    if (!runOne(ctx, params, "spma", "kernel=spma variant=via",
+                [&](Machine &m) {
+                    return diff(kernels::spmaViaCsr(m, a, b));
+                }))
+        return false;
+    if (ctx.opts.cores > 1) {
+        kernels::Partition part = seedPartition(ctx.seed);
+        for (bool via : {false, true}) {
+            if (!runOneMulti(ctx, params, "spma",
+                             std::string("kernel=spma variant=") +
+                                 (via ? "via" : "scalar"),
+                             [&](MultiMachine &mm) {
+                                 return diff(kernels::spmaParallel(
+                                     mm, a, b, part, via));
+                             }))
+                return false;
+        }
+    }
+    return true;
 }
 
 bool
@@ -166,16 +264,34 @@ fuzzSpmm(const SeedCtx &ctx, const MachineParams &params, Rng &rng)
                     return diff(kernels::spmmScalarInner(m, a, b));
                 }))
         return false;
+    bool via_fits = a.maxRowNnz() <= Index(params.via.camEntries());
     // The VIA kernel loads whole A rows into the CAM; rows longer
     // than the table cannot run on this configuration.
-    if (a.maxRowNnz() > Index(params.via.camEntries())) {
+    if (!via_fits)
         ++ctx.stats.skipped;
-        return true;
+    else if (!runOne(ctx, params, "spmm", "kernel=spmm variant=via",
+                     [&](Machine &m) {
+                         return diff(kernels::spmmViaInner(m, a, b));
+                     }))
+        return false;
+    if (ctx.opts.cores > 1) {
+        kernels::Partition part = seedPartition(ctx.seed);
+        for (bool via : {false, true}) {
+            if (via && !via_fits) {
+                ++ctx.stats.skipped;
+                continue;
+            }
+            if (!runOneMulti(ctx, params, "spmm",
+                             std::string("kernel=spmm variant=") +
+                                 (via ? "via" : "scalar"),
+                             [&](MultiMachine &mm) {
+                                 return diff(kernels::spmmParallel(
+                                     mm, a, b, part, via));
+                             }))
+                return false;
+        }
     }
-    return runOne(ctx, params, "spmm", "kernel=spmm variant=via",
-                  [&](Machine &m) {
-                      return diff(kernels::spmmViaInner(m, a, b));
-                  });
+    return true;
 }
 
 bool
@@ -209,11 +325,27 @@ fuzzHistogram(const SeedCtx &ctx, const MachineParams &params,
                         kernels::histVector(m, keys, buckets));
                 }))
         return false;
-    return runOne(ctx, params, "histogram",
-                  "kernel=histogram variant=via", [&](Machine &m) {
-                      return diff(
-                          kernels::histVia(m, keys, buckets));
-                  });
+    if (!runOne(ctx, params, "histogram",
+                "kernel=histogram variant=via", [&](Machine &m) {
+                    return diff(
+                        kernels::histVia(m, keys, buckets));
+                }))
+        return false;
+    if (ctx.opts.cores > 1) {
+        kernels::Partition part = seedPartition(ctx.seed);
+        for (bool via : {false, true}) {
+            if (!runOneMulti(
+                    ctx, params, "histogram",
+                    std::string("kernel=histogram variant=") +
+                        (via ? "via" : "vector"),
+                    [&](MultiMachine &mm) {
+                        return diff(kernels::histParallel(
+                            mm, keys, buckets, part, via));
+                    }))
+                return false;
+        }
+    }
+    return true;
 }
 
 bool
@@ -235,10 +367,26 @@ fuzzStencil(const SeedCtx &ctx, const MachineParams &params,
                     return diff(kernels::stencilVector(m, img));
                 }))
         return false;
-    return runOne(ctx, params, "stencil",
-                  "kernel=stencil variant=via", [&](Machine &m) {
-                      return diff(kernels::stencilVia(m, img));
-                  });
+    if (!runOne(ctx, params, "stencil",
+                "kernel=stencil variant=via", [&](Machine &m) {
+                    return diff(kernels::stencilVia(m, img));
+                }))
+        return false;
+    if (ctx.opts.cores > 1) {
+        kernels::Partition part = seedPartition(ctx.seed);
+        for (bool via : {false, true}) {
+            if (!runOneMulti(
+                    ctx, params, "stencil",
+                    std::string("kernel=stencil variant=") +
+                        (via ? "via" : "vector"),
+                    [&](MultiMachine &mm) {
+                        return diff(kernels::stencilParallel(
+                            mm, img, part, via));
+                    }))
+                return false;
+        }
+    }
+    return true;
 }
 
 /** One seed's complete, order-independent verdict. */

@@ -53,6 +53,17 @@ struct FuzzOptions
     bool verbose = false;         //!< per-seed progress on stderr
 
     /**
+     * With cores > 1 each seed additionally runs the parallel
+     * kernel variants (src/kernels/parallel.hh) on a cores-core
+     * MultiMachine, diffed against the same host goldens with an
+     * invariant checker on every core. The partitioning policy
+     * alternates with the seed's parity (even = static, odd =
+     * steal), so both schedulers fuzz without a separate knob; a
+     * failing multi-core run's replay line carries cores=N.
+     */
+    unsigned cores = 1;
+
+    /**
      * Self-test hook: applied to each machine after its kernel ran
      * but before the invariant checks, so a deliberate counter
      * perturbation must be caught and reported with a replay seed.
@@ -90,7 +101,8 @@ Csr genAdversarial(Rng &rng);
  * Run the campaign (parallel when opts.threads != 1; per-seed
  * verdicts and output are deterministic at any thread count).
  * Returns the totals; failures != 0 means at least one replay line
- * ("replay: via_fuzz seeds=1 seed=... kernel=...") was printed.
+ * ("replay: via_fuzz seeds=1 seed=... kernel=...", with a trailing
+ * " cores=N" when the failing run was multi-core) was printed.
  */
 FuzzStats runFuzz(const FuzzOptions &opts);
 

@@ -34,6 +34,20 @@ rawToF(ElemType t, std::uint64_t raw)
 } // namespace
 
 Machine::Machine(const MachineParams &params)
+    : Machine(params, nullptr, nullptr, 0)
+{
+}
+
+Machine::Machine(const MachineParams &params,
+                 BackingStore &shared_store, SharedLlc &llc,
+                 unsigned core_id)
+    : Machine(params, &shared_store, &llc, core_id)
+{
+}
+
+Machine::Machine(const MachineParams &params,
+                 BackingStore *shared_store, SharedLlc *llc,
+                 unsigned core_id)
     : _params(params),
       _memSys(std::make_unique<MemSystem>(params.mem)),
       _sspm(std::make_unique<Sspm>(params.via)),
@@ -42,6 +56,12 @@ Machine::Machine(const MachineParams &params)
       _func(std::make_unique<sample::FunctionalExecutor>(*_memSys,
                                                          *_core))
 {
+    if (shared_store != nullptr)
+        _mem = shared_store;
+    // Attach before registering stats so the hierarchy knows to
+    // skip its (unused) private DRAM counters.
+    if (llc != nullptr)
+        _memSys->attachShared(llc, core_id);
     _core->attachEvents(&_events);
     _memSys->registerStats(_stats);
     _core->registerStats(_stats);
@@ -229,6 +249,9 @@ Machine::saveState(Serializer &ser) const
     if (!_events.empty())
         throw SerializeError("cannot checkpoint a machine with "
                              "pending events");
+    if (_mem != &_store)
+        throw SerializeError("multi-core machines cannot be "
+                             "checkpointed (shared memory)");
 
     ser.tag("MACH");
     ser.put(_params.valueType);
@@ -252,6 +275,9 @@ Machine::loadState(Deserializer &des)
 {
     if (!_events.empty())
         throw SerializeError("cannot restore over pending events");
+    if (_mem != &_store)
+        throw SerializeError("multi-core machines cannot be "
+                             "restored (shared memory)");
 
     des.expectTag("MACH");
     if (des.get<ElemType>() != _params.valueType ||
@@ -332,7 +358,7 @@ Machine::sload(SReg dst, Addr addr, std::uint32_t bytes,
 {
     via_assert(bytes >= 1 && bytes <= 8, "bad scalar load size");
     std::uint64_t raw = 0;
-    _store.read(addr, &raw, bytes);
+    _mem->read(addr, &raw, bytes);
     if (bytes == 4) {
         // Sign-extend 32-bit loads: indices are int32.
         raw = std::uint64_t(std::int64_t(std::int32_t(raw)));
@@ -351,7 +377,7 @@ Machine::sstore(Addr addr, SReg src, std::uint32_t bytes,
 {
     via_assert(bytes >= 1 && bytes <= 8, "bad scalar store size");
     std::uint64_t raw = sregRaw(src);
-    _store.write(addr, &raw, bytes);
+    _mem->write(addr, &raw, bytes);
 
     Inst inst = makeInst(Op::SStore, 0, REG_NONE, sid(src),
                          sid(addr_dep));
@@ -364,10 +390,10 @@ Machine::sloadF(SReg dst, Addr addr, ElemType t, SReg addr_dep)
 {
     double v;
     if (t == ElemType::F64) {
-        v = _store.load<double>(addr);
+        v = _mem->load<double>(addr);
     } else {
         via_assert(t == ElemType::F32, "sloadF needs an FP type");
-        v = double(_store.load<float>(addr));
+        v = double(_mem->load<float>(addr));
     }
     setSregF(dst, v);
 
@@ -381,10 +407,10 @@ Machine::sstoreF(Addr addr, SReg src, ElemType t, SReg addr_dep)
 {
     double v = sregF(src);
     if (t == ElemType::F64) {
-        _store.store<double>(addr, v);
+        _mem->store<double>(addr, v);
     } else {
         via_assert(t == ElemType::F32, "sstoreF needs an FP type");
-        _store.store<float>(addr, float(v));
+        _mem->store<float>(addr, float(v));
     }
 
     Inst inst = makeInst(Op::SStore, 0, REG_NONE, sid(src),
@@ -403,7 +429,7 @@ Machine::vload(VReg dst, Addr addr, ElemType t, int vl, SReg addr_dep)
     VecValue &d = _vrf[dst.id];
     for (std::uint32_t l = 0; l < n; ++l) {
         std::uint64_t raw = 0;
-        _store.read(addr + Addr(l) * eb, &raw, eb);
+        _mem->read(addr + Addr(l) * eb, &raw, eb);
         if (t == ElemType::I32)
             raw = std::uint64_t(std::int64_t(std::int32_t(raw)));
         d.raw[l] = raw;
@@ -424,7 +450,7 @@ Machine::vstore(Addr addr, VReg src, ElemType t, int vl,
     std::uint32_t eb = elemBytes(t);
     const VecValue &s = _vrf[src.id];
     for (std::uint32_t l = 0; l < n; ++l)
-        _store.write(addr + Addr(l) * eb, &s.raw[l], eb);
+        _mem->write(addr + Addr(l) * eb, &s.raw[l], eb);
 
     Inst inst = makeInst(Op::VStore, int(n), REG_NONE, vid(src),
                          sid(addr_dep));
@@ -444,7 +470,7 @@ Machine::vgather(VReg dst, Addr base, VReg idx, ElemType t, int vl)
     for (std::uint32_t l = 0; l < n; ++l) {
         Addr a = base + Addr(ix.i(l)) * eb;
         std::uint64_t raw = 0;
-        _store.read(a, &raw, eb);
+        _mem->read(a, &raw, eb);
         if (t == ElemType::I32)
             raw = std::uint64_t(std::int64_t(std::int32_t(raw)));
         d.raw[l] = raw;
@@ -467,7 +493,7 @@ Machine::vscatter(Addr base, VReg idx, VReg src, ElemType t, int vl)
                          vid(src));
     for (std::uint32_t l = 0; l < n; ++l) {
         Addr a = base + Addr(ix.i(l)) * eb;
-        _store.write(a, &s.raw[l], eb);
+        _mem->write(a, &s.raw[l], eb);
         inst.addAccess(a, eb, true);
     }
     issue(inst);

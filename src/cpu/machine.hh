@@ -88,6 +88,16 @@ class Machine
     explicit Machine(const MachineParams &params);
 
     /**
+     * Construct one core of a multi-core machine: architectural
+     * memory is the caller's @p shared_store (shared by all cores),
+     * and this core's private cache levels route their misses to
+     * @p llc tagged with @p core_id. The caller (MultiMachine) owns
+     * both and must outlive this Machine.
+     */
+    Machine(const MachineParams &params, BackingStore &shared_store,
+            SharedLlc &llc, unsigned core_id);
+
+    /**
      * Runs the attached invariant checker (if any) and aborts on
      * violation; with VIA_CHECK=1 every Machine teardown therefore
      * verifies the whole run. Out of line for the checker's type.
@@ -95,8 +105,8 @@ class Machine
     ~Machine();
 
     // --- subsystem access ---------------------------------------
-    BackingStore &mem() { return _store; }
-    const BackingStore &mem() const { return _store; }
+    BackingStore &mem() { return *_mem; }
+    const BackingStore &mem() const { return *_mem; }
     MemSystem &memSystem() { return *_memSys; }
     const MemSystem &memSystem() const { return *_memSys; }
     Sspm &sspm() { return *_sspm; }
@@ -386,6 +396,10 @@ class Machine
   private:
     enum class ArithKind : std::uint8_t { Add, Sub, Mul };
 
+    /** Common constructor; null pointers mean single-core. */
+    Machine(const MachineParams &params, BackingStore *shared_store,
+            SharedLlc *llc, unsigned core_id);
+
     std::uint32_t resolveVl(ElemType t, int vl) const;
     Inst makeInst(Op op, int vl, std::int16_t dst, std::int16_t s0,
                   std::int16_t s1 = REG_NONE,
@@ -409,6 +423,9 @@ class Machine
 
     MachineParams _params;
     BackingStore _store;
+    /** Architectural memory: own _store, or the shared multi-core
+     *  store. All emit semantics go through this pointer. */
+    BackingStore *_mem = &_store;
     std::unique_ptr<MemSystem> _memSys;
     std::unique_ptr<Sspm> _sspm;
     std::unique_ptr<Fivu> _fivu;

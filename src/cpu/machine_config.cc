@@ -117,4 +117,27 @@ addMachineOptions(Options &opts)
                  "L2 next-N-line prefetch degree", 0, 64);
 }
 
+void
+addMultiCoreOptions(Options &opts)
+{
+    SharedLlcParams d;
+    opts.addUInt("cores", 1,
+                 "number of cores (1 = the bit-identical "
+                 "single-core machine)",
+                 1, 32)
+        .addString("partition", "static",
+                   "multi-core work partitioning: static|steal")
+        .addUInt("llc_banks", d.banks,
+                 "shared-LLC bank pipes (cores>1)", 1, 64);
+}
+
+SharedLlcParams
+sharedLlcParamsFrom(const Config &cfg, const MachineParams &params,
+                    unsigned cores)
+{
+    SharedLlcParams llc = SharedLlcParams::from(params.mem, cores);
+    llc.banks = std::uint32_t(cfg.getUInt("llc_banks", llc.banks));
+    return llc;
+}
+
 } // namespace via

@@ -18,6 +18,7 @@
 #define VIA_CPU_MACHINE_CONFIG_HH
 
 #include "cpu/core_params.hh"
+#include "mem/shared_llc.hh"
 #include "simcore/config.hh"
 #include "simcore/options.hh"
 
@@ -33,6 +34,24 @@ MachineParams machineParamsFrom(const Config &cfg);
  * shows what each knob resolves to when omitted.
  */
 void addMachineOptions(Options &opts);
+
+/**
+ * Register the multi-core keys (cores=, partition=, llc_banks=)
+ * with the harnesses that implement a cores>1 path. Kept separate
+ * from addMachineOptions so a harness without a multi-core mode
+ * rejects cores= as an unknown key instead of silently running
+ * single-core.
+ */
+void addMultiCoreOptions(Options &opts);
+
+/**
+ * Shared-LLC parameters for a cores>1 run: the private hierarchy's
+ * last level scaled by the core count (SharedLlcParams::from), with
+ * the llc_banks= override applied.
+ */
+SharedLlcParams sharedLlcParamsFrom(const Config &cfg,
+                                    const MachineParams &params,
+                                    unsigned cores);
 
 } // namespace via
 

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The multi-core machine: N Machines over one shared LLC and DRAM.
+ *
+ * Each core is a full single-core Machine (private L1, SSPM, FIVU,
+ * index table, OoO core) whose architectural memory is this
+ * object's shared BackingStore and whose last private cache level
+ * misses into the shared SharedLlc. Parallel kernels
+ * (src/kernels/parallel.hh) drive the cores with partitioned work;
+ * each core's emit stream is independent, so per-core timing stays
+ * deterministic and the shared level resolves contention and
+ * coherence analytically.
+ *
+ * cores=1 drivers must construct a plain Machine instead: the
+ * single-core path is bit-identical to the pre-multicore simulator
+ * and is what the benchmark fingerprints are pinned to.
+ */
+
+#ifndef VIA_CPU_MULTI_MACHINE_HH
+#define VIA_CPU_MULTI_MACHINE_HH
+
+#include <memory>
+#include <vector>
+
+#include "cpu/machine.hh"
+#include "mem/shared_llc.hh"
+
+namespace via
+{
+
+/** N cores, one shared LLC, one shared DRAM, one shared memory. */
+class MultiMachine
+{
+  public:
+    /**
+     * Build @p cores cores from @p params. Each core keeps only the
+     * first (L1) private cache level; the remaining levels are
+     * replaced by the shared LLC described by @p llc_params
+     * (typically SharedLlcParams::from(params.mem, cores)).
+     */
+    MultiMachine(const MachineParams &params, unsigned cores,
+                 const SharedLlcParams &llc_params);
+
+    /** Convenience: derive the LLC from the last private level. */
+    MultiMachine(const MachineParams &params, unsigned cores);
+
+    unsigned cores() const { return unsigned(_cores.size()); }
+    Machine &core(unsigned i) { return *_cores.at(i); }
+    const Machine &core(unsigned i) const { return *_cores.at(i); }
+
+    BackingStore &mem() { return _store; }
+    const BackingStore &mem() const { return _store; }
+    SharedLlc &llc() { return *_llc; }
+    const SharedLlc &llc() const { return *_llc; }
+
+    /** Shared-level statistics (llc.*, dram.*). Per-core counters
+     *  live in core(i).stats(). */
+    StatSet &stats() { return _stats; }
+
+    /** Makespan: the slowest core's commit front. */
+    Tick cycles() const;
+
+    /**
+     * Enable tracing on every core (independent per-core rings) and
+     * attribute shared-level events to core 0's sink.
+     */
+    void enableTracing(std::size_t limit);
+
+    /** Attach invariant checkers to every core. */
+    void attachCheckers();
+
+    const MachineParams &params() const { return _params; }
+
+    /** The per-core parameter derivation (exposed for tests). */
+    static MachineParams privateParams(const MachineParams &params);
+
+  private:
+    MachineParams _params;
+    BackingStore _store;
+    std::unique_ptr<SharedLlc> _llc;
+    std::vector<std::unique_ptr<Machine>> _cores;
+    StatSet _stats;
+};
+
+} // namespace via
+
+#endif // VIA_CPU_MULTI_MACHINE_HH

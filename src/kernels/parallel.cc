@@ -1,0 +1,1064 @@
+#include "kernels/parallel.hh"
+
+#include <algorithm>
+
+#include "kernels/kernel_utils.hh"
+#include "kernels/reference.hh"
+#include "sparse/coo.hh"
+#include "simcore/log.hh"
+
+namespace via::kernels
+{
+
+namespace
+{
+
+constexpr ElemType VT = ElemType::F32;
+constexpr ElemType IT = ElemType::I32;
+
+/** Steal cuts the iteration space into this many chunks per core. */
+constexpr Index kStealChunksPerCore = 8;
+
+Index
+stealChunk(Index n, unsigned cores)
+{
+    Index parts = Index(cores) * kStealChunksPerCore;
+    return std::max<Index>(1, (n + parts - 1) / parts);
+}
+
+/**
+ * Hand contiguous ranges of [0, n) to per-core bodies. Static: one
+ * balanced range per core. Steal: chunks in range order, each to the
+ * core whose commit front is earliest at assignment time (greedy
+ * least-loaded; ties resolve to the lowest core id, so the schedule
+ * is deterministic).
+ */
+template <typename Body>
+void
+dispatchUnits(MultiMachine &mm, Index n, Partition part, Body &&body)
+{
+    const unsigned cores = mm.cores();
+    if (n <= 0)
+        return;
+    if (cores == 1) {
+        body(0, 0, n);
+        return;
+    }
+    if (part == Partition::Static) {
+        // The assignment is static, but the *emission* interleaves
+        // chunk-sized slices of the per-core ranges round-robin.
+        // The cores run concurrently, so their timelines must
+        // advance together: the shared LLC banks and DRAM pipe book
+        // cycles on a sliding window (Resource), and emitting one
+        // core's whole share first would slide the window past its
+        // siblings' start times, serializing them behind it.
+        auto ranges = staticRanges(n, cores);
+        const Index chunk = stealChunk(n, cores);
+        for (bool more = true; more;) {
+            more = false;
+            for (unsigned c = 0; c < cores; ++c) {
+                Index lo = ranges[c].first;
+                if (lo >= ranges[c].second)
+                    continue;
+                Index hi =
+                    std::min<Index>(lo + chunk, ranges[c].second);
+                body(c, lo, hi);
+                ranges[c].first = hi;
+                if (hi < ranges[c].second)
+                    more = true;
+            }
+        }
+        return;
+    }
+    const Index chunk = stealChunk(n, cores);
+    for (Index lo = 0; lo < n; lo += chunk) {
+        Index hi = std::min<Index>(lo + chunk, n);
+        unsigned best = 0;
+        for (unsigned c = 1; c < cores; ++c)
+            if (mm.core(c).cycles() < mm.core(best).cycles())
+                best = c;
+        body(best, lo, hi);
+    }
+}
+
+/**
+ * Pre-computed per-core range lists, for kernels that must see all
+ * of a core's work before emitting (the histogram's bucket-tiled
+ * passes re-walk the core's whole key share per bucket range).
+ * Steal becomes round-robin chunk interleaving: chunk costs are
+ * uniform, so least-loaded and round-robin coincide.
+ */
+std::vector<std::vector<std::pair<Index, Index>>>
+assignRanges(unsigned cores, Index n, Partition part)
+{
+    std::vector<std::vector<std::pair<Index, Index>>> out(cores);
+    if (n <= 0)
+        return out;
+    if (cores == 1) {
+        out[0].push_back({0, n});
+        return out;
+    }
+    if (part == Partition::Static) {
+        // Same contiguous share per core as dispatchUnits' static
+        // split, but sliced into chunk-sized consecutive pieces so
+        // the caller can interleave emission across cores (one
+        // piece per core per round) and keep the concurrent
+        // timelines within the shared resources' booking windows.
+        auto ranges = staticRanges(n, cores);
+        const Index chunk = stealChunk(n, cores);
+        for (unsigned c = 0; c < cores; ++c)
+            for (Index lo = ranges[c].first; lo < ranges[c].second;
+                 lo += chunk)
+                out[c].push_back(
+                    {lo, std::min<Index>(lo + chunk,
+                                         ranges[c].second)});
+        return out;
+    }
+    const Index chunk = stealChunk(n, cores);
+    unsigned c = 0;
+    for (Index lo = 0; lo < n; lo += chunk) {
+        out[c].push_back({lo, std::min<Index>(lo + chunk, n)});
+        c = (c + 1) % cores;
+    }
+    return out;
+}
+
+/** Which core produced a row's slice of a per-core output array. */
+struct RowSlice
+{
+    int core = -1;
+    Index start = 0;
+    Index count = 0;
+};
+
+} // namespace
+
+Partition
+parsePartition(const std::string &name)
+{
+    if (name == "static")
+        return Partition::Static;
+    if (name == "steal")
+        return Partition::Steal;
+    via_fatal("unknown partition '", name, "' (static, steal)");
+}
+
+const char *
+partitionName(Partition p)
+{
+    return p == Partition::Static ? "static" : "steal";
+}
+
+std::vector<std::pair<Index, Index>>
+staticRanges(Index n, unsigned cores)
+{
+    std::vector<std::pair<Index, Index>> out;
+    out.reserve(cores);
+    Index base = n / Index(cores);
+    Index rem = n % Index(cores);
+    Index lo = 0;
+    for (unsigned c = 0; c < cores; ++c) {
+        Index len = base + (Index(c) < rem ? 1 : 0);
+        out.push_back({lo, lo + len});
+        lo += len;
+    }
+    return out;
+}
+
+// --------------------------------------------------------------- SpMV
+
+namespace
+{
+
+SpmvResult
+spmvParallelCsr(MultiMachine &mm, const Csr &a, const DenseVector &x,
+                Partition part, bool via)
+{
+    Machine &m0 = mm.core(0);
+    Addr row_ptr = upload(m0, a.rowPtr());
+    Addr col_idx = upload(m0, a.colIdx());
+    Addr values = upload(m0, a.values());
+    Addr xa = upload(m0, x);
+    Addr ya = allocValues(m0, std::size_t(a.rows()));
+
+    const bool x_fits =
+        via && std::uint64_t(a.cols()) <=
+                   m0.sspm().config().sramEntries();
+    std::vector<char> staged(mm.cores(), 0);
+
+    dispatchUnits(mm, a.rows(), part, [&](unsigned c, Index lo_r,
+                                          Index hi_r) {
+        Machine &m = mm.core(c);
+        const int vl = int(m.vl());
+        VReg v_val{0}, v_col{1}, v_x{2}, v_acc{3}, v_idx{4},
+            v_prod{5};
+        SReg s_end{1}, s_acc{5}, s_k{0}, s_r{7}, s_i{2};
+
+        if (x_fits && !staged[c]) {
+            // Stage the dense vector in this core's scratchpad once.
+            m.vidxClear();
+            for (Index i = 0; i < a.cols(); i += vl) {
+                int n = std::min<Index>(vl, a.cols() - i);
+                m.vload(v_x, xa + 4 * Addr(i), VT, n);
+                m.viotaI(v_idx, i);
+                m.vidxLoadD(v_x, v_idx, n);
+                m.salu(s_i, i + vl, s_i);
+                m.sbranch(s_i);
+            }
+            staged[c] = 1;
+        }
+
+        for (Index r = lo_r; r < hi_r; ++r) {
+            m.sload(s_end, row_ptr + 4 * (Addr(r) + 1), 4);
+            m.vbroadcastF(v_acc, 0.0);
+            Index lo = a.rowPtr()[std::size_t(r)];
+            Index end = a.rowPtr()[std::size_t(r) + 1];
+            for (Index k = lo; k < end; k += vl) {
+                int n = std::min<Index>(vl, end - k);
+                m.vload(v_val, values + 4 * Addr(k), VT, n);
+                m.vload(v_col, col_idx + 4 * Addr(k), IT, n);
+                if (x_fits) {
+                    m.vidxMulD(v_val, v_col, ViaOut::Vrf, v_prod, 0,
+                               n);
+                } else {
+                    m.vgather(v_x, xa, v_col, VT, n);
+                    m.vmulF(v_prod, v_val, v_x, n);
+                }
+                m.vaddF(v_acc, v_acc, v_prod, n);
+                m.salu(s_k, k + vl, s_k);
+                m.sbranch(s_k);
+            }
+            m.vredsumF(s_acc, v_acc);
+            m.sstoreF(ya + 4 * Addr(r), s_acc, VT);
+            m.salu(s_r, r + 1, s_r);
+            m.sbranch(s_r);
+        }
+    });
+
+    return SpmvResult{downloadValues(m0, ya, std::size_t(a.rows())),
+                      mm.cycles()};
+}
+
+SpmvResult
+spmvParallelCsb(MultiMachine &mm, const Csr &csr_a,
+                const DenseVector &x, Partition part, bool via)
+{
+    Machine &m0 = mm.core(0);
+    const Csb a = Csb::fromCsr(csr_a, viaCsbBeta(m0));
+
+    Addr packed = upload(m0, a.packedIdx());
+    Addr values = upload(m0, a.values());
+    Addr block_ptr = upload(m0, a.blockPtr());
+    Addr xa = upload(m0, x);
+    Addr ya = allocValues(m0, std::size_t(a.rows()));
+
+    const Index beta = a.beta();
+    const auto col_bits = a.colBits();
+    const Index bcols = a.blockCols();
+    if (via)
+        via_assert(std::uint64_t(2 * beta) <=
+                       m0.sspm().config().sramEntries(),
+                   "CSB block side ", beta, " does not fit the SSPM");
+
+    // Block rows partition: each owns y rows [br*beta, (br+1)*beta).
+    dispatchUnits(mm, a.blockRows(), part, [&](unsigned c,
+                                               Index br_lo,
+                                               Index br_hi) {
+        Machine &m = mm.core(c);
+        const int vl = int(m.vl());
+
+        if (!via) {
+            VReg v_idx{0}, v_val{1}, v_col{2}, v_row{3}, v_x{4},
+                v_y{5}, v_prod{6};
+            SReg s_end{1}, s_k{0}, s_b{7};
+            for (Index br = br_lo; br < br_hi; ++br) {
+                for (Index bc = 0; bc < bcols; ++bc) {
+                    Index b = br * bcols + bc;
+                    m.sload(s_end, block_ptr + 4 * (Addr(b) + 1), 4);
+                    Index lo = a.blockPtr()[std::size_t(b)];
+                    Index end = a.blockPtr()[std::size_t(b) + 1];
+                    if (lo == end) {
+                        m.sbranch(s_end);
+                        continue;
+                    }
+                    Addr row_base = ya + 4 * Addr(br) * Addr(beta);
+                    Addr col_base = xa + 4 * Addr(bc) * Addr(beta);
+                    for (Index k = lo; k < end; k += vl) {
+                        int n = std::min<Index>(vl, end - k);
+                        m.vload(v_idx, packed + 4 * Addr(k), IT, n);
+                        m.vload(v_val, values + 4 * Addr(k), VT, n);
+                        m.vandI(v_col, v_idx, beta - 1, n);
+                        m.vshrI(v_row, v_idx, col_bits, n);
+                        m.vgather(v_x, col_base, v_col, VT, n);
+                        m.vmulF(v_prod, v_val, v_x, n);
+                        m.vconflict(v_y, v_row, n);
+                        m.vmergeIdx(v_prod, v_prod, v_row, n);
+                        m.vgather(v_y, row_base, v_row, VT, n);
+                        m.vaddF(v_y, v_y, v_prod, n);
+                        m.vscatter(row_base, v_row, v_y, VT, n);
+                        m.salu(s_k, k + vl, s_k);
+                        m.sbranch(s_k);
+                    }
+                    m.salu(s_b, b + 1, s_b);
+                    m.sbranch(s_b);
+                }
+            }
+            return;
+        }
+
+        VReg v_idx{0}, v_val{1}, v_x{2}, v_out{3};
+        SReg s_end{1}, s_k{0}, s_b{7}, s_i{2};
+        const std::int64_t y_off = beta;
+
+        m.vidxClear();
+        for (Index br = br_lo; br < br_hi; ++br) {
+            Index row_lo = br * beta;
+            Index row_hi = std::min<Index>(row_lo + beta, a.rows());
+            for (Index bc = 0; bc < bcols; ++bc) {
+                Index b = br * bcols + bc;
+                m.sload(s_end, block_ptr + 4 * (Addr(b) + 1), 4);
+                Index lo = a.blockPtr()[std::size_t(b)];
+                Index end = a.blockPtr()[std::size_t(b) + 1];
+                if (lo == end) {
+                    m.sbranch(s_end);
+                    continue;
+                }
+                Index col_lo = bc * beta;
+                Index col_hi =
+                    std::min<Index>(col_lo + beta, a.cols());
+                for (Index i = col_lo; i < col_hi; i += vl) {
+                    int n = std::min<Index>(vl, col_hi - i);
+                    m.vload(v_x, xa + 4 * Addr(i), VT, n);
+                    m.viotaI(v_idx, i - col_lo);
+                    m.vidxLoadD(v_x, v_idx, n);
+                    m.salu(s_i, i + vl, s_i);
+                    m.sbranch(s_i);
+                }
+                for (Index k = lo; k < end; k += vl) {
+                    int n = std::min<Index>(vl, end - k);
+                    m.vload(v_idx, packed + 4 * Addr(k), IT, n);
+                    m.vload(v_val, values + 4 * Addr(k), VT, n);
+                    m.vidxBlkMulD(v_val, v_idx, col_bits, y_off, n);
+                    m.salu(s_k, k + vl, s_k);
+                    m.sbranch(s_k);
+                }
+                m.salu(s_b, b + 1, s_b);
+                m.sbranch(s_b);
+            }
+            for (Index i = row_lo; i < row_hi; i += vl) {
+                int n = std::min<Index>(vl, row_hi - i);
+                m.viotaI(v_idx, y_off + (i - row_lo));
+                m.vidxMov(v_out, v_idx, n);
+                m.vstore(ya + 4 * Addr(i), v_out, VT, n, s_i);
+                m.salu(s_i, i + vl, s_i);
+                m.sbranch(s_i);
+            }
+            m.vidxClearSegment(std::uint64_t(y_off),
+                               std::uint64_t(y_off + beta));
+        }
+    });
+
+    return SpmvResult{downloadValues(m0, ya, std::size_t(a.rows())),
+                      mm.cycles()};
+}
+
+} // namespace
+
+SpmvResult
+spmvParallel(MultiMachine &mm, const Csr &a, const DenseVector &x,
+             const std::string &fmt, Partition part, bool via)
+{
+    via_assert(a.cols() == Index(x.size()), "SpMV shape mismatch");
+    if (fmt == "csr")
+        return spmvParallelCsr(mm, a, x, part, via);
+    if (fmt == "csb")
+        return spmvParallelCsb(mm, a, x, part, via);
+    via_fatal("spmv format '", fmt,
+              "' has no multi-core variant (csr, csb)");
+}
+
+// --------------------------------------------------------------- SpMA
+
+SpmaResult
+spmaParallel(MultiMachine &mm, const Csr &a, const Csr &b,
+             Partition part, bool via)
+{
+    via_assert(a.rows() == b.rows() && a.cols() == b.cols(),
+               "SpMA shape mismatch");
+    Machine &m0 = mm.core(0);
+    Addr a_ptr = upload(m0, a.rowPtr());
+    Addr a_col = upload(m0, a.colIdx());
+    Addr a_val = upload(m0, a.values());
+    Addr b_ptr = upload(m0, b.rowPtr());
+    Addr b_col = upload(m0, b.colIdx());
+    Addr b_val = upload(m0, b.values());
+
+    // Chunks move between cores under stealing, so every core gets a
+    // full worst-case output region; the host stitches rows back
+    // together afterwards.
+    const std::size_t worst = a.nnz() + b.nnz();
+    const unsigned cores = mm.cores();
+    std::vector<Addr> c_col(cores), c_val(cores), c_ptr(cores);
+    for (unsigned c = 0; c < cores; ++c) {
+        c_col[c] = m0.mem().alloc(worst * sizeof(Index));
+        c_val[c] = m0.mem().alloc(worst * sizeof(Value));
+        c_ptr[c] = m0.mem().alloc((std::size_t(a.rows()) + 1) *
+                                  sizeof(Index));
+    }
+    std::vector<Index> out(cores, 0);
+    std::vector<RowSlice> slices(std::size_t(a.rows()));
+
+    dispatchUnits(mm, a.rows(), part, [&](unsigned c, Index lo_r,
+                                          Index hi_r) {
+        Machine &m = mm.core(c);
+        for (Index r = lo_r; r < hi_r; ++r) {
+            Index row_start = out[c];
+            Index ka = a.rowPtr()[std::size_t(r)];
+            Index kb = b.rowPtr()[std::size_t(r)];
+            Index ea = a.rowPtr()[std::size_t(r) + 1];
+            Index eb = b.rowPtr()[std::size_t(r) + 1];
+
+            if (!via) {
+                SReg s_ka{0}, s_kb{1}, s_acol{2}, s_bcol{3}, s_v{4},
+                    s_v2{5}, s_out{6}, s_r{7};
+                m.sload(s_ka, a_ptr + 4 * (Addr(r) + 1), 4);
+                m.sload(s_kb, b_ptr + 4 * (Addr(r) + 1), 4);
+
+                auto emit_copy = [&](Addr col_arr, Addr val_arr,
+                                     Index k, SReg cursor) {
+                    m.sload(s_acol, col_arr + 4 * Addr(k), 4);
+                    m.sloadF(s_v, val_arr + 4 * Addr(k), VT);
+                    m.sstore(c_col[c] + 4 * Addr(out[c]), s_acol, 4);
+                    m.sstoreF(c_val[c] + 4 * Addr(out[c]), s_v, VT);
+                    m.salu(cursor, k + 1, cursor);
+                    m.sbranch(cursor);
+                };
+
+                while (ka < ea && kb < eb) {
+                    m.sload(s_acol, a_col + 4 * Addr(ka), 4);
+                    m.sload(s_bcol, b_col + 4 * Addr(kb), 4);
+                    m.salu(s_v, 0, s_acol, s_bcol);
+                    Index ca = a.colIdx()[std::size_t(ka)];
+                    Index cb = b.colIdx()[std::size_t(kb)];
+                    m.sbranchData(s_v, 1, ca == cb);
+                    if (ca != cb)
+                        m.sbranchData(s_v, 2, ca < cb);
+                    if (ca == cb) {
+                        m.sloadF(s_v, a_val + 4 * Addr(ka), VT);
+                        m.sloadF(s_v2, b_val + 4 * Addr(kb), VT);
+                        m.sfadd(s_v, s_v, s_v2);
+                        m.sstore(c_col[c] + 4 * Addr(out[c]), s_acol,
+                                 4);
+                        m.sstoreF(c_val[c] + 4 * Addr(out[c]), s_v,
+                                  VT);
+                        m.salu(s_ka, ka + 1, s_ka);
+                        m.salu(s_kb, kb + 1, s_kb);
+                        ++ka;
+                        ++kb;
+                    } else if (ca < cb) {
+                        m.sloadF(s_v, a_val + 4 * Addr(ka), VT);
+                        m.sstore(c_col[c] + 4 * Addr(out[c]), s_acol,
+                                 4);
+                        m.sstoreF(c_val[c] + 4 * Addr(out[c]), s_v,
+                                  VT);
+                        m.salu(s_ka, ka + 1, s_ka);
+                        ++ka;
+                    } else {
+                        m.sloadF(s_v, b_val + 4 * Addr(kb), VT);
+                        m.sstore(c_col[c] + 4 * Addr(out[c]), s_bcol,
+                                 4);
+                        m.sstoreF(c_val[c] + 4 * Addr(out[c]), s_v,
+                                  VT);
+                        m.salu(s_kb, kb + 1, s_kb);
+                        ++kb;
+                    }
+                    m.salu(s_out, out[c] + 1, s_out);
+                    ++out[c];
+                }
+                while (ka < ea) {
+                    emit_copy(a_col, a_val, ka, s_ka);
+                    ++ka;
+                    ++out[c];
+                }
+                while (kb < eb) {
+                    emit_copy(b_col, b_val, kb, s_kb);
+                    ++kb;
+                    ++out[c];
+                }
+                m.sstore(c_ptr[c] + 4 * (Addr(r) + 1), s_out, 4);
+                m.salu(s_r, r + 1, s_r);
+                m.sbranch(s_r);
+            } else {
+                const int vl = int(m.vl());
+                const auto cam_cap =
+                    Index(m.sspm().config().camEntries());
+                VReg v_col{0}, v_val{1}, v_keys{2}, v_out{3},
+                    v_dummy{4};
+                SReg s_ea{0}, s_eb{1}, s_cnt{2}, s_k{3}, s_out{6},
+                    s_r{7};
+                m.sload(s_ea, a_ptr + 4 * (Addr(r) + 1), 4);
+                m.sload(s_eb, b_ptr + 4 * (Addr(r) + 1), 4);
+
+                while (ka < ea || kb < eb) {
+                    Index seg_a_end = ka, seg_b_end = kb;
+                    Index budget = cam_cap;
+                    while (budget > 0 &&
+                           (seg_a_end < ea || seg_b_end < eb)) {
+                        Index ca =
+                            seg_a_end < ea
+                                ? a.colIdx()[std::size_t(seg_a_end)]
+                                : a.cols();
+                        Index cb =
+                            seg_b_end < eb
+                                ? b.colIdx()[std::size_t(seg_b_end)]
+                                : b.cols();
+                        if (ca <= cb)
+                            ++seg_a_end;
+                        if (cb <= ca)
+                            ++seg_b_end;
+                        --budget;
+                    }
+                    m.vidxClear();
+                    for (Index k = ka; k < seg_a_end; k += vl) {
+                        int n = std::min<Index>(vl, seg_a_end - k);
+                        m.vload(v_col, a_col + 4 * Addr(k), IT, n);
+                        m.vload(v_val, a_val + 4 * Addr(k), VT, n);
+                        m.vidxLoadC(v_val, v_col, n);
+                        m.salu(s_k, k + vl, s_k);
+                        m.sbranch(s_k);
+                    }
+                    for (Index k = kb; k < seg_b_end; k += vl) {
+                        int n = std::min<Index>(vl, seg_b_end - k);
+                        m.vload(v_col, b_col + 4 * Addr(k), IT, n);
+                        m.vload(v_val, b_val + 4 * Addr(k), VT, n);
+                        m.vidxAddC(v_val, v_col, ViaOut::Sspm,
+                                   v_dummy, n);
+                        m.salu(s_k, k + vl, s_k);
+                        m.sbranch(s_k);
+                    }
+                    m.vidxCount(s_cnt);
+                    auto cnt = Index(m.sregI(s_cnt));
+                    for (Index i = 0; i < cnt; i += vl) {
+                        int n = std::min<Index>(vl, cnt - i);
+                        m.vidxKeys(v_keys, std::uint32_t(i), n);
+                        m.vidxVals(v_out, std::uint32_t(i), n);
+                        m.vstore(c_col[c] + 4 * Addr(out[c] + i),
+                                 v_keys, IT, n, s_cnt);
+                        m.vstore(c_val[c] + 4 * Addr(out[c] + i),
+                                 v_out, VT, n, s_cnt);
+                        m.salu(s_k, i + vl, s_k);
+                        m.sbranch(s_k);
+                    }
+                    out[c] += cnt;
+                    ka = seg_a_end;
+                    kb = seg_b_end;
+                }
+                m.sstore(c_ptr[c] + 4 * (Addr(r) + 1), s_out, 4);
+                m.salu(s_r, r + 1, s_r);
+                m.sbranch(s_r);
+            }
+            slices[std::size_t(r)] =
+                RowSlice{int(c), row_start, out[c] - row_start};
+        }
+    });
+
+    // Stitch the per-core slices back into one canonical matrix.
+    std::vector<std::vector<Index>> cols_out(cores);
+    std::vector<DenseVector> vals_out(cores);
+    for (unsigned c = 0; c < cores; ++c) {
+        cols_out[c] =
+            downloadIndices(m0, c_col[c], std::size_t(out[c]));
+        vals_out[c] =
+            downloadValues(m0, c_val[c], std::size_t(out[c]));
+    }
+    Coo coo(a.rows(), a.cols());
+    for (Index r = 0; r < a.rows(); ++r) {
+        const RowSlice &s = slices[std::size_t(r)];
+        for (Index k = 0; k < s.count; ++k) {
+            auto idx = std::size_t(s.start + k);
+            coo.add(r, cols_out[unsigned(s.core)][idx],
+                    vals_out[unsigned(s.core)][idx]);
+        }
+    }
+    return SpmaResult{Csr::fromCoo(std::move(coo)), mm.cycles()};
+}
+
+// --------------------------------------------------------------- SpMM
+
+SpmmResult
+spmmParallel(MultiMachine &mm, const Csr &a, const Csc &b,
+             Partition part, bool via)
+{
+    via_assert(a.cols() == b.rows(), "SpMM shape mismatch");
+    Machine &m0 = mm.core(0);
+    Addr a_ptr = upload(m0, a.rowPtr());
+    Addr a_col = upload(m0, a.colIdx());
+    Addr a_val = upload(m0, a.values());
+    Addr b_ptr = upload(m0, b.colPtr());
+    Addr b_row = upload(m0, b.rowIdx());
+    Addr b_val = upload(m0, b.values());
+
+    std::size_t bound =
+        std::size_t(a.rows()) * std::size_t(b.cols());
+    std::size_t alt =
+        a.nnz() * std::size_t(std::max<Index>(b.maxColNnz(), 1));
+    bound = std::min(bound, alt + 1);
+
+    const unsigned cores = mm.cores();
+    std::vector<Addr> c_col(cores), c_val(cores), c_ptr(cores);
+    for (unsigned c = 0; c < cores; ++c) {
+        c_col[c] = m0.mem().alloc(bound * sizeof(Index));
+        c_val[c] = m0.mem().alloc(bound * sizeof(Value));
+        c_ptr[c] = m0.mem().alloc((std::size_t(a.rows()) + 1) *
+                                  sizeof(Index));
+    }
+    std::vector<Index> out(cores, 0);
+    std::vector<RowSlice> slices(std::size_t(a.rows()));
+
+    if (via) {
+        const auto cam_cap = Index(m0.sspm().config().camEntries());
+        via_assert(a.maxRowNnz() <= cam_cap, "A row exceeds the CAM (",
+                   cam_cap, " entries)");
+    }
+
+    dispatchUnits(mm, a.rows(), part, [&](unsigned c, Index lo_r,
+                                          Index hi_r) {
+        Machine &m = mm.core(c);
+        const int vl = int(m.vl());
+        for (Index r = lo_r; r < hi_r; ++r) {
+            Index row_start = out[c];
+            Index a_lo = a.rowPtr()[std::size_t(r)];
+            Index a_hi = a.rowPtr()[std::size_t(r) + 1];
+
+            if (!via) {
+                SReg s_ka{0}, s_kb{1}, s_ai{2}, s_bi{3}, s_v{4},
+                    s_v2{5}, s_acc{6}, s_out{7}, s_j{8}, s_r{9};
+                m.sload(s_ka, a_ptr + 4 * (Addr(r) + 1), 4);
+                if (a_lo == a_hi) {
+                    m.sbranch(s_ka);
+                    m.sstore(c_ptr[c] + 4 * (Addr(r) + 1), s_out, 4);
+                    slices[std::size_t(r)] =
+                        RowSlice{int(c), row_start, 0};
+                    continue;
+                }
+                for (Index j = 0; j < b.cols(); ++j) {
+                    m.sload(s_kb, b_ptr + 4 * (Addr(j) + 1), 4);
+                    m.sbranch(s_kb);
+                    Index b_lo = b.colPtr()[std::size_t(j)];
+                    Index b_hi = b.colPtr()[std::size_t(j) + 1];
+                    if (b_lo == b_hi)
+                        continue;
+                    m.salu(s_acc, 0);
+                    Index ka = a_lo, kb = b_lo;
+                    bool any = false;
+                    while (ka < a_hi && kb < b_hi) {
+                        m.sload(s_ai, a_col + 4 * Addr(ka), 4);
+                        m.sload(s_bi, b_row + 4 * Addr(kb), 4);
+                        m.salu(s_v, 0, s_ai, s_bi);
+                        Index ca = a.colIdx()[std::size_t(ka)];
+                        Index cb = b.rowIdx()[std::size_t(kb)];
+                        m.sbranchData(s_v, 11, ca == cb);
+                        if (ca != cb)
+                            m.sbranchData(s_v, 12, ca < cb);
+                        if (ca == cb) {
+                            m.sloadF(s_v, a_val + 4 * Addr(ka), VT);
+                            m.sloadF(s_v2, b_val + 4 * Addr(kb), VT);
+                            m.sfmul(s_v, s_v, s_v2);
+                            m.sfadd(s_acc, s_acc, s_v);
+                            m.salu(s_ka, ka + 1, s_ka);
+                            m.salu(s_kb, kb + 1, s_kb);
+                            ++ka;
+                            ++kb;
+                            any = true;
+                        } else if (ca < cb) {
+                            m.salu(s_ka, ka + 1, s_ka);
+                            ++ka;
+                        } else {
+                            m.salu(s_kb, kb + 1, s_kb);
+                            ++kb;
+                        }
+                    }
+                    if (any) {
+                        m.simm(s_v, j);
+                        m.sstore(c_col[c] + 4 * Addr(out[c]), s_v,
+                                 4);
+                        m.sstoreF(c_val[c] + 4 * Addr(out[c]), s_acc,
+                                  VT);
+                        m.salu(s_out, out[c] + 1, s_out);
+                        ++out[c];
+                    }
+                    m.salu(s_j, j + 1, s_j);
+                    m.sbranch(s_j);
+                }
+                m.sstore(c_ptr[c] + 4 * (Addr(r) + 1), s_out, 4);
+                m.salu(s_r, r + 1, s_r);
+                m.sbranch(s_r);
+            } else {
+                VReg v_col{0}, v_val{1}, v_prod{2}, v_acc{3};
+                SReg s_ka{0}, s_kb{1}, s_acc{2}, s_out{7}, s_j{8},
+                    s_r{9}, s_k{10};
+                m.sload(s_ka, a_ptr + 4 * (Addr(r) + 1), 4);
+                if (a_lo == a_hi) {
+                    m.sbranch(s_ka);
+                    m.sstore(c_ptr[c] + 4 * (Addr(r) + 1), s_out, 4);
+                    slices[std::size_t(r)] =
+                        RowSlice{int(c), row_start, 0};
+                    continue;
+                }
+                m.vidxClear();
+                for (Index k = a_lo; k < a_hi; k += vl) {
+                    int n = std::min<Index>(vl, a_hi - k);
+                    m.vload(v_col, a_col + 4 * Addr(k), IT, n);
+                    m.vload(v_val, a_val + 4 * Addr(k), VT, n);
+                    m.vidxLoadC(v_val, v_col, n);
+                    m.salu(s_k, k + vl, s_k);
+                    m.sbranch(s_k);
+                }
+                for (Index j = 0; j < b.cols(); ++j) {
+                    m.sload(s_kb, b_ptr + 4 * (Addr(j) + 1), 4);
+                    m.sbranch(s_kb);
+                    Index b_lo = b.colPtr()[std::size_t(j)];
+                    Index b_hi = b.colPtr()[std::size_t(j) + 1];
+                    if (b_lo == b_hi)
+                        continue;
+                    m.vbroadcastF(v_acc, 0.0);
+                    bool any = false;
+                    for (Index k = b_lo; k < b_hi; k += vl) {
+                        int n = std::min<Index>(vl, b_hi - k);
+                        m.vload(v_col, b_row + 4 * Addr(k), IT, n);
+                        m.vload(v_val, b_val + 4 * Addr(k), VT, n);
+                        m.vidxMulC(v_val, v_col, ViaOut::Vrf, v_prod,
+                                   n);
+                        m.vaddF(v_acc, v_acc, v_prod, n);
+                        m.salu(s_k, k + vl, s_k);
+                        m.sbranch(s_k);
+                    }
+                    for (Index k = b_lo; k < b_hi && !any; ++k) {
+                        Index row = b.rowIdx()[std::size_t(k)];
+                        const auto &acols = a.colIdx();
+                        any = std::binary_search(
+                            acols.begin() + a_lo,
+                            acols.begin() + a_hi, row);
+                    }
+                    m.vredsumF(s_acc, v_acc);
+                    if (any) {
+                        m.simm(s_k, j);
+                        m.sstore(c_col[c] + 4 * Addr(out[c]), s_k,
+                                 4);
+                        m.sstoreF(c_val[c] + 4 * Addr(out[c]), s_acc,
+                                  VT);
+                        m.salu(s_out, out[c] + 1, s_out);
+                        ++out[c];
+                    }
+                    m.salu(s_j, j + 1, s_j);
+                    m.sbranch(s_j);
+                }
+                m.sstore(c_ptr[c] + 4 * (Addr(r) + 1), s_out, 4);
+                m.salu(s_r, r + 1, s_r);
+                m.sbranch(s_r);
+            }
+            slices[std::size_t(r)] =
+                RowSlice{int(c), row_start, out[c] - row_start};
+        }
+    });
+
+    // Concatenate the per-core row slices in row order.
+    std::vector<std::vector<Index>> cols_dl(cores);
+    std::vector<DenseVector> vals_dl(cores);
+    for (unsigned c = 0; c < cores; ++c) {
+        cols_dl[c] =
+            downloadIndices(m0, c_col[c], std::size_t(out[c]));
+        vals_dl[c] =
+            downloadValues(m0, c_val[c], std::size_t(out[c]));
+    }
+    std::vector<Index> ptr(std::size_t(a.rows()) + 1, 0);
+    std::vector<Index> cols_cat;
+    DenseVector vals_cat;
+    for (Index r = 0; r < a.rows(); ++r) {
+        const RowSlice &s = slices[std::size_t(r)];
+        for (Index k = 0; k < s.count; ++k) {
+            auto idx = std::size_t(s.start + k);
+            cols_cat.push_back(cols_dl[unsigned(s.core)][idx]);
+            vals_cat.push_back(vals_dl[unsigned(s.core)][idx]);
+        }
+        ptr[std::size_t(r) + 1] = Index(cols_cat.size());
+    }
+    return SpmmResult{Csr::fromParts(a.rows(), b.cols(),
+                                     std::move(ptr),
+                                     std::move(cols_cat),
+                                     std::move(vals_cat)),
+                      mm.cycles()};
+}
+
+// ---------------------------------------------------------- Histogram
+
+HistResult
+histParallel(MultiMachine &mm, const std::vector<Index> &keys,
+             Index buckets, Partition part, bool via)
+{
+    for (Index k : keys)
+        via_assert(k >= 0 && k < buckets, "key ", k, " outside [0, ",
+                   buckets, ")");
+
+    Machine &m0 = mm.core(0);
+    Addr key_arr = upload(m0, keys);
+    Addr hist = allocValues(m0, std::size_t(buckets));
+    const unsigned cores = mm.cores();
+    std::vector<Addr> partial(cores);
+    for (unsigned c = 0; c < cores; ++c)
+        partial[c] = allocValues(m0, std::size_t(buckets));
+
+    // The bucket-tiled VIA flow re-walks a core's whole key share
+    // once per bucket range, so each core needs its full range list
+    // up front (pre-assigned rather than dispatched per chunk).
+    auto shares = assignRanges(cores, Index(keys.size()), part);
+    std::size_t rounds = 0;
+    for (unsigned c = 0; c < cores; ++c)
+        rounds = std::max(rounds, shares[c].size());
+
+    // Emission interleaves across cores, one range per core per
+    // round: the cores run concurrently, and emitting one core's
+    // whole share first would slide the shared resources' booking
+    // windows past its siblings' start times (see dispatchUnits).
+    if (!via) {
+        VReg v_keys{0}, v_cf{1}, v_ones{2}, v_cnt{3}, v_old{4};
+        SReg s_i{3};
+        for (unsigned c = 0; c < cores; ++c)
+            if (!shares[c].empty())
+                mm.core(c).vbroadcastF(v_ones, 1.0);
+        for (std::size_t j = 0; j < rounds; ++j)
+            for (unsigned c = 0; c < cores; ++c) {
+                if (j >= shares[c].size())
+                    continue;
+                Machine &m = mm.core(c);
+                const int vl = int(m.vl());
+                auto [lo, hi] = shares[c][j];
+                for (Index i = lo; i < hi; i += vl) {
+                    int n = std::min<Index>(vl, hi - i);
+                    m.vload(v_keys, key_arr + 4 * Addr(i), IT, n);
+                    m.vconflict(v_cf, v_keys, n);
+                    m.vmergeIdx(v_cnt, v_ones, v_keys, n);
+                    m.vgather(v_old, partial[c], v_keys, VT, n);
+                    m.vaddF(v_old, v_old, v_cnt, n);
+                    m.vscatter(partial[c], v_keys, v_old, VT, n);
+                    m.salu(s_i, i + vl, s_i);
+                    m.sbranch(s_i);
+                }
+            }
+    } else {
+        auto capacity = Index(m0.sspm().config().sramEntries());
+        VReg v_keys{0}, v_cf{1}, v_ones{2}, v_idx{3}, v_out{4},
+            v_dummy{5}, v_lo{6}, v_hi{7}, v_mask{8}, v_m2{9};
+        SReg s_i{3};
+        for (unsigned c = 0; c < cores; ++c)
+            if (!shares[c].empty())
+                mm.core(c).vbroadcastF(v_ones, 1.0);
+
+        for (Index blo = 0; blo < buckets; blo += capacity) {
+            Index bhi = std::min<Index>(blo + capacity, buckets);
+            bool tiled = buckets > capacity;
+            for (unsigned c = 0; c < cores; ++c) {
+                if (shares[c].empty())
+                    continue;
+                Machine &m = mm.core(c);
+                m.vidxClear();
+                if (tiled) {
+                    m.vbroadcastI(v_lo, blo);
+                    m.vbroadcastI(v_hi, bhi);
+                }
+            }
+            for (std::size_t j = 0; j < rounds; ++j)
+                for (unsigned c = 0; c < cores; ++c) {
+                    if (j >= shares[c].size())
+                        continue;
+                    Machine &m = mm.core(c);
+                    const int vl = int(m.vl());
+                    auto [lo, hi] = shares[c][j];
+                    for (Index i = lo; i < hi; i += vl) {
+                        int n = std::min<Index>(vl, hi - i);
+                        m.vload(v_keys, key_arr + 4 * Addr(i), IT,
+                                n);
+                        if (tiled) {
+                            m.vcmpLtI(v_mask, v_keys, v_hi, n);
+                            m.vcmpLtI(v_m2, v_keys, v_lo, n);
+                            m.vsubI(v_mask, v_mask, v_m2, n);
+                            int active = 0;
+                            for (int l = 0; l < n; ++l)
+                                active += m.vreg(v_mask).i(l) != 0;
+                            m.vsubI(v_keys, v_keys, v_lo, n);
+                            m.vcompress(v_keys, v_keys, v_mask, n);
+                            if (active == 0) {
+                                m.sbranch(s_i);
+                                continue;
+                            }
+                            m.vconflict(v_cf, v_keys, active);
+                            m.vidxAddD(v_ones, v_keys, ViaOut::Sspm,
+                                       v_dummy, 0, active);
+                        } else {
+                            m.vconflict(v_cf, v_keys, n);
+                            m.vidxAddD(v_ones, v_keys, ViaOut::Sspm,
+                                       v_dummy, 0, n);
+                        }
+                        m.salu(s_i, i + vl, s_i);
+                        m.sbranch(s_i);
+                    }
+                }
+            for (unsigned c = 0; c < cores; ++c) {
+                if (shares[c].empty())
+                    continue;
+                Machine &m = mm.core(c);
+                const int vl = int(m.vl());
+                for (Index i = blo; i < bhi; i += vl) {
+                    int n = std::min<Index>(vl, bhi - i);
+                    m.viotaI(v_idx, i - blo);
+                    m.vidxMov(v_out, v_idx, n);
+                    m.vstore(partial[c] + 4 * Addr(i), v_out, VT, n,
+                             s_i);
+                    m.salu(s_i, i + vl, s_i);
+                    m.sbranch(s_i);
+                }
+            }
+        }
+    }
+
+    // Core 0 reduces the partial histograms. The reduction runs on
+    // core 0's own timeline after its share; the barrier itself is
+    // not modeled beyond cycles() taking the slowest core.
+    {
+        const int vl = int(m0.vl());
+        VReg v_acc{0}, v_p{1};
+        SReg s_i{3};
+        for (Index i = 0; i < buckets; i += vl) {
+            int n = std::min<Index>(vl, buckets - i);
+            m0.vbroadcastF(v_acc, 0.0);
+            for (unsigned c = 0; c < cores; ++c) {
+                m0.vload(v_p, partial[c] + 4 * Addr(i), VT, n);
+                m0.vaddF(v_acc, v_acc, v_p, n);
+            }
+            m0.vstore(hist + 4 * Addr(i), v_acc, VT, n, s_i);
+            m0.salu(s_i, i + vl, s_i);
+            m0.sbranch(s_i);
+        }
+    }
+    return HistResult{downloadValues(m0, hist, std::size_t(buckets)),
+                      mm.cycles()};
+}
+
+// ------------------------------------------------------------ Stencil
+
+StencilResult
+stencilParallel(MultiMachine &mm, const DenseMatrix &img,
+                Partition part, bool via)
+{
+    via_assert(img.rows() >= 4 && img.cols() >= 4, "image too small");
+    Machine &m0 = mm.core(0);
+    Addr img_a = upload(m0, img.data());
+    const auto &f = gaussian4x4();
+    Addr filt = upload(m0, std::vector<Value>(f.begin(), f.end()));
+    const Index W = img.cols();
+    const Index out_rows = img.rows() - 3;
+    const Index out_cols = img.cols() - 3;
+    Addr out = m0.mem().alloc(std::size_t(out_rows) *
+                              std::size_t(out_cols) * sizeof(Value));
+
+    std::vector<char> primed(mm.cores(), 0);
+
+    dispatchUnits(mm, out_rows, part, [&](unsigned c, Index lo,
+                                          Index hi) {
+        Machine &m = mm.core(c);
+        const int vl = int(m.vl());
+        VReg v_f0{0}, v_f1{1}, v_pat0{2}, v_pat1{3}, v_base{4},
+            v_idx{5}, v_tap{6}, v_p0{7}, v_p1{8}, v_stage{9};
+        SReg s_acc{0}, s_x{1}, s_y{2}, s_i{3};
+
+        if (!primed[c]) {
+            // Filter taps and neighbourhood patterns live in this
+            // core's registers for the whole kernel.
+            m.vload(v_f0, filt, VT);
+            m.vload(v_f1, filt + 4 * 8, VT);
+            std::vector<std::int64_t> pat0, pat1;
+            for (std::int64_t l = 0; l < 8; ++l) {
+                pat0.push_back((l / 4) * W + l % 4);
+                pat1.push_back((l / 4 + 2) * W + l % 4);
+            }
+            m.vpatternI(v_pat0, pat0);
+            m.vpatternI(v_pat1, pat1);
+            primed[c] = 1;
+        }
+
+        if (!via) {
+            for (Index y = lo; y < hi; ++y) {
+                for (Index x = 0; x < out_cols; ++x) {
+                    std::int64_t base = std::int64_t(y) * W + x;
+                    m.vbroadcastI(v_base, base);
+                    m.vaddI(v_idx, v_pat0, v_base);
+                    m.vgather(v_tap, img_a, v_idx, VT);
+                    m.vmulF(v_p0, v_tap, v_f0);
+                    m.vaddI(v_idx, v_pat1, v_base);
+                    m.vgather(v_tap, img_a, v_idx, VT);
+                    m.vmulF(v_p1, v_tap, v_f1);
+                    m.vaddF(v_p0, v_p0, v_p1);
+                    m.vredsumF(s_acc, v_p0);
+                    m.sstoreF(out + 4 * Addr(y * out_cols + x),
+                              s_acc, VT);
+                    m.salu(s_x, x + 1, s_x);
+                    m.sbranch(s_x);
+                }
+                m.salu(s_y, y + 1, s_y);
+                m.sbranch(s_y);
+            }
+            return;
+        }
+
+        auto entries = Index(m.sspm().config().sramEntries());
+        Index seg_rows = std::min<Index>(entries / W, img.rows());
+        via_assert(seg_rows >= 4, "image row (", W, " px) too wide "
+                   "for the SSPM segment staging");
+
+        // A core's stripe stages its own image segments, halo rows
+        // included (neighbouring stripes re-read up to 3 rows).
+        for (Index seg = lo; seg < hi; seg += seg_rows - 3) {
+            Index ilo = seg;
+            Index ihi = std::min<Index>(ilo + seg_rows, img.rows());
+            m.vidxClear();
+            Index seg_elems = (ihi - ilo) * W;
+            for (Index i = 0; i < seg_elems; i += vl) {
+                int n = std::min<Index>(vl, seg_elems - i);
+                m.vload(v_stage, img_a + 4 * Addr(ilo * W + i), VT,
+                        n);
+                m.viotaI(v_idx, i);
+                m.vidxLoadD(v_stage, v_idx, n);
+                m.salu(s_i, i + vl, s_i);
+                m.sbranch(s_i);
+            }
+            Index y_hi = std::min<Index>(ihi - 3, hi);
+            for (Index y = seg; y < y_hi; ++y) {
+                for (Index x = 0; x < out_cols; ++x) {
+                    std::int64_t base = std::int64_t(y - ilo) * W + x;
+                    m.vbroadcastI(v_base, base);
+                    m.vaddI(v_idx, v_pat0, v_base);
+                    m.vidxMulD(v_f0, v_idx, ViaOut::Vrf, v_p0, 0);
+                    m.vaddI(v_idx, v_pat1, v_base);
+                    m.vidxMulD(v_f1, v_idx, ViaOut::Vrf, v_p1, 0);
+                    m.vaddF(v_p0, v_p0, v_p1);
+                    m.vredsumF(s_acc, v_p0);
+                    m.sstoreF(out + 4 * Addr(y * out_cols + x),
+                              s_acc, VT);
+                    m.salu(s_x, x + 1, s_x);
+                    m.sbranch(s_x);
+                }
+                m.salu(s_y, y + 1, s_y);
+                m.sbranch(s_y);
+            }
+            if (y_hi >= hi)
+                break;
+        }
+    });
+
+    DenseMatrix o(out_rows, out_cols);
+    o.data() = m0.mem().readArray<Value>(
+        out, std::size_t(out_rows) * std::size_t(out_cols));
+    return StencilResult{std::move(o), mm.cycles()};
+}
+
+} // namespace via::kernels

@@ -110,6 +110,31 @@ Cache::contains(Addr line_addr) const
     return false;
 }
 
+bool
+Cache::containsDirty(Addr line_addr) const
+{
+    const Line *set = &_lines[setIndex(line_addr) * _params.assoc];
+    for (std::uint32_t way = 0; way < _params.assoc; ++way)
+        if (set[way].valid && set[way].tag == line_addr)
+            return set[way].dirty;
+    return false;
+}
+
+bool
+Cache::invalidate(Addr line_addr)
+{
+    Line *set = &_lines[setIndex(line_addr) * _params.assoc];
+    for (std::uint32_t way = 0; way < _params.assoc; ++way) {
+        Line &line = set[way];
+        if (line.valid && line.tag == line_addr) {
+            bool dirty = line.dirty;
+            line = Line{};
+            return dirty;
+        }
+    }
+    return false;
+}
+
 void
 Cache::flush()
 {
@@ -118,6 +143,8 @@ Cache::flush()
     _inflight.clear();
     _inflightHorizon = 0;
     std::fill(_mshrBusyUntil.begin(), _mshrBusyUntil.end(), Tick(0));
+    _recentFills.clear();
+    _fillNext = 0;
 }
 
 bool
@@ -127,9 +154,21 @@ Cache::mshrLookup(Addr line_addr, Tick when, Tick &complete) const
     // already landed, not an in-flight miss. It is reclaimed by the
     // horizon sweep in mshrReserve; a const lookup never mutates.
     auto it = _inflight.find(line_addr);
-    if (it == _inflight.end() || it->second <= when)
+    if (it == _inflight.end() || it->second.complete <= when)
         return false;
-    complete = it->second;
+    complete = it->second.complete;
+    return true;
+}
+
+bool
+Cache::mshrLookup(Addr line_addr, Tick when, Tick &complete,
+                  Tick &issue) const
+{
+    auto it = _inflight.find(line_addr);
+    if (it == _inflight.end() || it->second.complete <= when)
+        return false;
+    complete = it->second.complete;
+    issue = it->second.issue;
     return true;
 }
 
@@ -137,6 +176,28 @@ Tick
 Cache::mshrFreeAt() const
 {
     return _mshrBusyUntil[0];
+}
+
+Tick
+Cache::mshrFreeAt(Tick when) const
+{
+    const std::size_t cap = _mshrBusyUntil.size();
+    // A fill occupies an MSHR over [issue, complete): an interval
+    // booked entirely in the future holds no slot at `when`. The
+    // ring is bounded (4 x cap), so the scan is cheap.
+    std::vector<Tick> live;
+    live.reserve(cap);
+    for (const auto &f : _recentFills)
+        if (f.issue <= when && when < f.complete)
+            live.push_back(f.complete);
+    if (live.size() < cap)
+        return when;
+    // A slot frees once the in-flight count drops below capacity:
+    // at the (live - cap + 1)-th earliest completion.
+    std::size_t k = live.size() - cap;
+    std::nth_element(live.begin(),
+                     live.begin() + std::ptrdiff_t(k), live.end());
+    return live[k];
 }
 
 void
@@ -161,10 +222,26 @@ Cache::mshrReserve(Addr line_addr, Tick complete, Tick stall,
     }
     _mshrBusyUntil[i] = complete;
 
-    _inflight[line_addr] = complete;
+    _inflight[line_addr] = Inflight{complete,
+                                    std::min(issue, complete)};
     if (complete > _inflightHorizon)
         _inflightHorizon = complete;
     _stats.mshrStallCycles += stall;
+
+    // Record the occupancy interval for mshrFreeAt(Tick). The ring
+    // overwrites oldest-first; fills evicted while still live make
+    // the query optimistic, never more conservative.
+    if (_trackFills) {
+        if (_recentFills.empty())
+            _recentFills.reserve(4 * n);
+        FillSpan span{std::min(issue, complete), complete};
+        if (_recentFills.size() < 4 * n) {
+            _recentFills.push_back(span);
+        } else {
+            _recentFills[_fillNext] = span;
+            _fillNext = (_fillNext + 1) % _recentFills.size();
+        }
+    }
 
     if (_trace != nullptr && _trace->enabled()) {
         TraceEvent ev;
@@ -185,7 +262,7 @@ void
 Cache::pruneInflight(Tick horizon)
 {
     for (auto it = _inflight.begin(); it != _inflight.end();) {
-        if (it->second <= horizon)
+        if (it->second.complete <= horizon)
             it = _inflight.erase(it);
         else
             ++it;
@@ -198,6 +275,8 @@ Cache::resetTiming()
     _inflight.clear();
     _inflightHorizon = 0;
     std::fill(_mshrBusyUntil.begin(), _mshrBusyUntil.end(), Tick(0));
+    _recentFills.clear();
+    _fillNext = 0;
 }
 
 void
@@ -229,8 +308,10 @@ Cache::saveState(Serializer &ser) const
 
     // Sorted by address so the byte stream does not depend on the
     // hash map's iteration order.
-    std::vector<std::pair<Addr, Tick>> inflight(_inflight.begin(),
-                                                _inflight.end());
+    std::vector<std::pair<Addr, Tick>> inflight;
+    inflight.reserve(_inflight.size());
+    for (const auto &[addr, entry] : _inflight)
+        inflight.push_back({addr, entry.complete});
     std::sort(inflight.begin(), inflight.end());
     ser.put(std::uint64_t(inflight.size()));
     for (const auto &[addr, complete] : inflight) {
@@ -278,7 +359,7 @@ Cache::loadState(Deserializer &des)
     for (std::uint64_t i = 0; i < inflight; ++i) {
         Addr addr = des.get<Addr>();
         Tick complete = des.get<Tick>();
-        _inflight[addr] = complete;
+        _inflight[addr] = Inflight{complete, 0};
         if (complete > _inflightHorizon)
             _inflightHorizon = complete;
     }

@@ -124,6 +124,16 @@ class Cache
     /** Probe without modifying state (for tests/inspection). */
     bool contains(Addr line_addr) const;
 
+    /** Probe without modifying state; true when present and dirty. */
+    bool containsDirty(Addr line_addr) const;
+
+    /**
+     * Coherence invalidation: drop @p line_addr if present.
+     * @return true when the dropped line was dirty (the caller owns
+     *         propagating the writeback / dirty-forward)
+     */
+    bool invalidate(Addr line_addr);
+
     /** Invalidate everything (e.g. between benchmark phases). */
     void flush();
 
@@ -155,6 +165,24 @@ class Cache
     Tick mshrFreeAt() const;
 
     /**
+     * Earliest tick at or after @p when with a free MSHR, judged by
+     * the in-flight fills themselves rather than the reservation
+     * heap. The heap assumes reservations arrive in time order —
+     * true for a private cache fed by one core's monotone dispatch,
+     * wrong for a shared cache fed by interleaved core timelines:
+     * after one core books a stretch of misses, the heap holds only
+     * that core's latest completions, and a sibling core accessing
+     * at an earlier tick would be gated behind them even though at
+     * its tick most MSHRs are genuinely free. Counting the fills
+     * actually in flight at @p when is booking-order-independent.
+     * Requires trackFillSpans(true).
+     */
+    Tick mshrFreeAt(Tick when) const;
+
+    /** Record fill intervals for mshrFreeAt(Tick) (shared LLC). */
+    void trackFillSpans(bool on) { _trackFills = on; }
+
+    /**
      * Occupy the earliest MSHR slot until @p complete for the miss
      * to @p line_addr. @p stall (issue delay caused by MSHR
      * pressure) is recorded for statistics; @p issue (when the miss
@@ -173,6 +201,18 @@ class Cache
 
     /** If the line has an in-flight miss, returns its completion. */
     bool mshrLookup(Addr line_addr, Tick when, Tick &complete) const;
+
+    /**
+     * As above, but also reports when the in-flight fill issued.
+     * A shared cache fed by interleaved core timelines needs the
+     * issue tick to decide whether a merge is physically sensible:
+     * a fill booked by a core running ahead in simulated time has
+     * not issued yet from a lagging requester's viewpoint — the
+     * lagging request is first in time order and must fetch the
+     * line itself rather than stall until the future fill lands.
+     */
+    bool mshrLookup(Addr line_addr, Tick when, Tick &complete,
+                    Tick &issue) const;
 
     const CacheParams &params() const { return _params; }
     CacheStats &stats() { return _stats; }
@@ -218,9 +258,36 @@ class Cache
     CacheStats _stats;
 
     /** Outstanding miss completion times, by line address. */
-    std::unordered_map<Addr, Tick> _inflight;
+    /**
+     * One in-flight fill. The issue tick exists for the time-aware
+     * queries only (shared LLC); checkpoints persist just the
+     * completion, restoring issue = 0 ("issued long ago"), which is
+     * exact for the private hierarchies that checkpoints cover.
+     */
+    struct Inflight
+    {
+        Tick complete = 0;
+        Tick issue = 0;
+    };
+    std::unordered_map<Addr, Inflight> _inflight;
     /** Latest completion among _inflight entries (0 = none). */
     Tick _inflightHorizon = 0;
+
+    /**
+     * Issue/completion intervals of recent fills, a bounded ring
+     * for the time-aware mshrFreeAt(Tick) occupancy query. Opt-in
+     * (trackFillSpans) so private caches do not pay the per-miss
+     * append; not checkpointed: only the shared LLC (which has no
+     * checkpoint path) enables and consults it.
+     */
+    struct FillSpan
+    {
+        Tick issue = 0;
+        Tick complete = 0;
+    };
+    std::vector<FillSpan> _recentFills;
+    std::size_t _fillNext = 0;
+    bool _trackFills = false;
     /** Completion times occupying MSHR slots (a min-heap). */
     std::vector<Tick> _mshrBusyUntil;
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "mem/shared_llc.hh"
 #include "simcore/log.hh"
 #include "simcore/selfprof.hh"
 #include "simcore/serialize.hh"
@@ -46,6 +47,17 @@ MemSystem::MemSystem(const MemSystemParams &params)
                    "all levels must share one line size");
         _levels.push_back(std::make_unique<Cache>(lp));
     }
+}
+
+void
+MemSystem::attachShared(SharedLlc *shared, unsigned core_id)
+{
+    via_assert(shared != nullptr, "null shared LLC");
+    via_assert(shared->params().cache.lineBytes == lineBytes(),
+               "shared LLC line size must match the private levels");
+    _shared = shared;
+    _coreId = core_id;
+    shared->attachCore(core_id, this);
 }
 
 std::uint32_t
@@ -118,6 +130,8 @@ MemSystem::accessLine(Addr line_addr, bool is_write, Tick when)
         if (res.victimDirty) {
             if (i + 1 < _levels.size())
                 _levels[i + 1]->access(res.victimLine, true);
+            else if (_shared)
+                _shared->writeback(_coreId, res.victimLine, when);
             else
                 _dram.serve(cache.params().lineBytes, when, true);
         }
@@ -131,7 +145,8 @@ MemSystem::accessLine(Addr line_addr, bool is_write, Tick when)
     if (hit_level == 0)
         return MemResult{when + latency, 0};
 
-    if (hit_level < 0 && _params.prefetch.degree > 0)
+    if (hit_level < 0 && _shared == nullptr &&
+        _params.prefetch.degree > 0)
         prefetchAfter(line_addr, when);
 
     // The miss leaves L1 only when an L1 MSHR is available; a
@@ -147,8 +162,14 @@ MemSystem::accessLine(Addr line_addr, bool is_write, Tick when)
     if (hit_level > 0) {
         complete = issue + latency;
     } else {
-        Tick fill = _dram.serve(last.params().lineBytes, issue,
-                                false);
+        // The shared LLC (multi-core) or the private DRAM fills the
+        // line; either way the fill serializes behind this
+        // hierarchy's private latencies.
+        Tick fill =
+            _shared ? _shared->access(_coreId, line_addr, is_write,
+                                      issue)
+                    : _dram.serve(last.params().lineBytes, issue,
+                                  false);
         complete = std::max(fill, issue + latency);
         if (_levels.size() > 1)
             last.mshrReserve(line_addr, complete, 0, issue);
@@ -196,6 +217,8 @@ MemSystem::warmLine(Addr line_addr, bool is_write)
         if (res.victimDirty) {
             if (i + 1 < _levels.size())
                 _levels[i + 1]->warmAccess(res.victimLine, true);
+            else if (_shared)
+                _shared->warmWriteback(_coreId, res.victimLine);
             else
                 _dram.warmTraffic(cache.params().lineBytes, true);
         }
@@ -203,6 +226,10 @@ MemSystem::warmLine(Addr line_addr, bool is_write)
             return;
     }
 
+    if (_shared) {
+        _shared->warmAccess(_coreId, line_addr, is_write);
+        return;
+    }
     _dram.warmTraffic(_levels.back()->params().lineBytes, false);
     if (_params.prefetch.degree > 0)
         warmPrefetch(line_addr);
@@ -336,6 +363,10 @@ MemSystem::registerStats(StatSet &stats) const
                                         : 0.0;
                          });
     }
+    // In shared-LLC mode the private DRAM and prefetcher serve no
+    // traffic; their stats live on the shared level instead.
+    if (_shared != nullptr)
+        return;
     const DramStats &ds = _dram.stats();
     stats.addScalar("mem.dram.requests", "DRAM requests",
                     &ds.requests);

@@ -24,6 +24,8 @@
 namespace via
 {
 
+class SharedLlc;
+
 /** Parameters for the full hierarchy. */
 struct MemSystemParams
 {
@@ -88,6 +90,18 @@ class MemSystem
     Dram &dram() { return _dram; }
     const Dram &dram() const { return _dram; }
 
+    /**
+     * Route last-private-level misses and writebacks to a shared
+     * LLC instead of the private DRAM (multi-core mode). The private
+     * DRAM then serves no traffic, the private prefetcher is
+     * disabled (the shared level prefetches), and @p core_id tags
+     * this hierarchy's requests for coherence and contention.
+     */
+    void attachShared(SharedLlc *shared, unsigned core_id);
+
+    SharedLlc *shared() const { return _shared; }
+    unsigned coreId() const { return _coreId; }
+
     /** Register all hierarchy statistics under "mem.". */
     void registerStats(StatSet &stats) const;
 
@@ -127,6 +141,8 @@ class MemSystem
     Dram _dram;
     std::uint64_t _prefetches = 0;
     TraceManager *_trace = nullptr;
+    SharedLlc *_shared = nullptr;
+    unsigned _coreId = 0;
 };
 
 } // namespace via

@@ -30,11 +30,21 @@ Distribution::sample(double v)
     ++_count;
     _sum += v;
 
+    // Clamp in the double domain before any integer conversion: a
+    // cast of NaN or a value outside int64's range is undefined
+    // behaviour, so out-of-range samples (v == _hi included, which
+    // floors to one past the last bucket) are routed to the end
+    // buckets without ever casting them.
     double width = (_hi - _lo) / double(_buckets.size());
-    auto idx = static_cast<std::int64_t>(std::floor((v - _lo) / width));
-    idx = std::clamp<std::int64_t>(idx, 0,
-                                   std::int64_t(_buckets.size()) - 1);
-    ++_buckets[std::size_t(idx)];
+    double pos = std::floor((v - _lo) / width);
+    std::size_t idx;
+    if (!(pos > 0.0))
+        idx = 0; // below range, first bucket, or NaN
+    else if (pos >= double(_buckets.size()))
+        idx = _buckets.size() - 1;
+    else
+        idx = static_cast<std::size_t>(pos);
+    ++_buckets[idx];
 }
 
 void

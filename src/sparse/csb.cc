@@ -66,20 +66,31 @@ Csb::blockCols() const
     return (_cols + _beta - 1) / _beta;
 }
 
-Index
+std::int64_t
 Csb::numBlocks() const
 {
-    return blockRows() * blockCols();
+    return gridBlocks(_rows, _cols, _beta);
 }
 
-Index
+std::int64_t
+Csb::gridBlocks(Index rows, Index cols, Index beta)
+{
+    // Widen before multiplying: each dimension's block count fits an
+    // Index but their product can exceed 2^31 (e.g. 4M rows x 4M
+    // cols at beta = 16 is ~6.6e10 blocks).
+    std::int64_t brows = (std::int64_t(rows) + beta - 1) / beta;
+    std::int64_t bcols = (std::int64_t(cols) + beta - 1) / beta;
+    return brows * bcols;
+}
+
+std::int64_t
 Csb::blockId(Index block_row, Index block_col) const
 {
     via_assert(block_row >= 0 && block_row < blockRows() &&
                    block_col >= 0 && block_col < blockCols(),
                "block (", block_row, ",", block_col,
                ") outside grid");
-    return block_row * blockCols() + block_col;
+    return std::int64_t(block_row) * blockCols() + block_col;
 }
 
 Index
@@ -110,10 +121,10 @@ Coo
 Csb::toCoo() const
 {
     Coo coo(_rows, _cols);
-    Index bcols = blockCols();
-    for (Index b = 0; b < numBlocks(); ++b) {
-        Index base_row = (b / bcols) * _beta;
-        Index base_col = (b % bcols) * _beta;
+    std::int64_t bcols = blockCols();
+    for (std::int64_t b = 0; b < numBlocks(); ++b) {
+        Index base_row = Index(b / bcols) * _beta;
+        Index base_col = Index(b % bcols) * _beta;
         for (Index k = _blockPtr[std::size_t(b)];
              k < _blockPtr[std::size_t(b) + 1]; ++k) {
             Index packed = _packedIdx[std::size_t(k)];
@@ -136,10 +147,10 @@ Csb::validate() const
                "index / data length mismatch");
     via_assert(std::size_t(_blockPtr.back()) == _values.size(),
                "block_ptr end does not match nnz");
-    Index bcols = blockCols();
-    for (Index b = 0; b < numBlocks(); ++b) {
-        Index base_row = (b / bcols) * _beta;
-        Index base_col = (b % bcols) * _beta;
+    std::int64_t bcols = blockCols();
+    for (std::int64_t b = 0; b < numBlocks(); ++b) {
+        Index base_row = Index(b / bcols) * _beta;
+        Index base_col = Index(b % bcols) * _beta;
         for (Index k = _blockPtr[std::size_t(b)];
              k < _blockPtr[std::size_t(b) + 1]; ++k) {
             Index packed = _packedIdx[std::size_t(k)];

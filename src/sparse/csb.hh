@@ -14,6 +14,7 @@
 #ifndef VIA_SPARSE_CSB_HH
 #define VIA_SPARSE_CSB_HH
 
+#include <cstdint>
 #include <vector>
 
 #include "sparse/coo.hh"
@@ -45,7 +46,19 @@ class Csb
 
     Index blockRows() const; //!< blocks per column of the grid
     Index blockCols() const; //!< blocks per row of the grid
-    Index numBlocks() const;
+
+    /**
+     * Blocks in the grid. 64-bit: a million-row matrix with a small
+     * beta has blockRows * blockCols > 2^31 even though every
+     * per-dimension count still fits an Index.
+     */
+    std::int64_t numBlocks() const;
+
+    /**
+     * Grid size for a (rows, cols, beta) shape without building the
+     * matrix — the overflow-prone product in one testable place.
+     */
+    static std::int64_t gridBlocks(Index rows, Index cols, Index beta);
 
     const std::vector<Index> &blockPtr() const { return _blockPtr; }
     const std::vector<Index> &packedIdx() const { return _packedIdx; }
@@ -55,7 +68,7 @@ class Csb
     Index blockNnz(Index block_row, Index block_col) const;
 
     /** Linear block id of (block_row, block_col). */
-    Index blockId(Index block_row, Index block_col) const;
+    std::int64_t blockId(Index block_row, Index block_col) const;
 
     /** Density of a block: nnz / beta^2. */
     double blockDensity(Index block_row, Index block_col) const;

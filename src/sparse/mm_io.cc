@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdint>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "simcore/log.hh"
@@ -52,14 +54,21 @@ readMatrixMarketStream(std::istream &in, const std::string &what)
         if (!line.empty() && line[0] != '%')
             break;
     }
+    // Size-line counters are explicitly 64-bit: `long` is 32 bits
+    // on LLP64 platforms, where a billion-edge graph's entry count
+    // would silently wrap negative and fail the check below.
     std::istringstream sizes(line);
-    long rows = 0, cols = 0, entries = 0;
+    std::int64_t rows = 0, cols = 0, entries = 0;
     sizes >> rows >> cols >> entries;
     if (rows <= 0 || cols <= 0 || entries < 0)
         via_fatal(what, ": bad size line '", line, "'");
+    if (rows > std::numeric_limits<Index>::max() ||
+        cols > std::numeric_limits<Index>::max())
+        via_fatal(what, ": matrix dimensions ", rows, "x", cols,
+                  " exceed the 32-bit simulated index type");
 
     Coo coo(static_cast<Index>(rows), static_cast<Index>(cols));
-    for (long e = 0; e < entries; ++e) {
+    for (std::int64_t e = 0; e < entries; ++e) {
         if (!std::getline(in, line))
             via_fatal(what, ": truncated after ", e, " of ",
                       entries, " entries");
@@ -68,7 +77,7 @@ readMatrixMarketStream(std::istream &in, const std::string &what)
             continue;
         }
         std::istringstream ls(line);
-        long r = 0, c = 0;
+        std::int64_t r = 0, c = 0;
         double v = 1.0;
         ls >> r >> c;
         if (field != "pattern")

@@ -152,6 +152,18 @@ TEST(CsbDeathTest, BlockSideMustBePowerOfTwo)
     EXPECT_DEATH(Csb::fromCsr(tiny(), 3), "power of two");
 }
 
+TEST(Csb, GridBlockCountDoesNotOverflow32Bits)
+{
+    // A 4M x 4M matrix tiled at beta = 16 has 250'000^2 = 6.25e10
+    // blocks: each per-dimension count fits an Index but the product
+    // wraps a 32-bit multiply. The grid math must widen first.
+    const Index rows = 4'000'000, cols = 4'000'000, beta = 16;
+    EXPECT_EQ(Csb::gridBlocks(rows, cols, beta), 62'500'000'000ll);
+    // Ragged edge: the per-dimension counts still round up.
+    EXPECT_EQ(Csb::gridBlocks(17, 17, 16), 4);
+    EXPECT_EQ(Csb::gridBlocks(16, 16, 16), 1);
+}
+
 TEST(SellCSigma, LayoutAndMultiply)
 {
     Csr src = tiny();

@@ -42,6 +42,40 @@ TEST(Distribution, BucketsClampAtTheEdges)
     EXPECT_EQ(d.count(), 6u);
 }
 
+TEST(Distribution, ExtremeSamplesNeverEscapeTheBuckets)
+{
+    // Values whose bucket position cannot be represented as an
+    // integer (NaN, infinities, huge magnitudes) must still land in
+    // an end bucket: the index is clamped before any float-to-int
+    // conversion, which would otherwise be undefined behaviour.
+    Distribution d(0.0, 10.0, 10);
+    d.sample(std::numeric_limits<double>::quiet_NaN());
+    d.sample(-std::numeric_limits<double>::infinity());
+    d.sample(-1.0e300);
+    d.sample(std::numeric_limits<double>::infinity());
+    d.sample(1.0e300);
+
+    ASSERT_EQ(d.buckets().size(), 10u);
+    EXPECT_EQ(d.buckets()[0], 3u); // NaN, -inf, -1e300
+    EXPECT_EQ(d.buckets()[9], 2u); // +inf, 1e300
+    for (std::size_t i = 1; i < 9; ++i)
+        EXPECT_EQ(d.buckets()[i], 0u) << "bucket " << i;
+    EXPECT_EQ(d.count(), 5u);
+}
+
+TEST(Distribution, UpperEdgeLandsInTheLastBucket)
+{
+    // v == hi floors to exactly one past the last bucket; it must be
+    // clamped back rather than indexing out of range.
+    Distribution d(0.0, 8.0, 4);
+    d.sample(8.0);
+    d.sample(7.9999);
+    d.sample(-0.0001); // just below lo -> first bucket
+    EXPECT_EQ(d.buckets()[3], 2u);
+    EXPECT_EQ(d.buckets()[0], 1u);
+    EXPECT_EQ(d.count(), 3u);
+}
+
 TEST(Distribution, FirstSampleSetsMinAndMax)
 {
     Distribution d(0.0, 1.0, 4);

@@ -1,0 +1,43 @@
+# cores=1 must take the unchanged single-core code path: the
+# benchmark fingerprints (BENCH_simspeed.json) are pinned to it, so
+# a run with cores=1 given explicitly is required to be
+# byte-identical — report, stats JSON and all — to the same run
+# without the key. A drift here means the multi-core plumbing leaked
+# into the single-core machine.
+#
+# Inputs: -DVIA_SIM=<path> -DFIG10=<path>
+
+function(run_pair label out_var)
+    execute_process(COMMAND ${ARGN}
+                    OUTPUT_VARIABLE out RESULT_VARIABLE rc)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR "${label} exited ${rc}")
+    endif()
+    set(${out_var} "${out}" PARENT_SCOPE)
+endfunction()
+
+# via_sim: kernel report plus the full stats JSON dump.
+run_pair("via_sim (plain)" base
+         ${VIA_SIM} spmv rows=128 density=0.03 json=1)
+run_pair("via_sim (cores=1)" one
+         ${VIA_SIM} spmv rows=128 density=0.03 json=1 cores=1)
+if(NOT base STREQUAL one)
+    message(FATAL_ERROR
+            "via_sim cores=1 output differs from the plain "
+            "single-core run")
+endif()
+
+# fig10_spmv: the speedup table (threads=1 for a serial run; the
+# output is order-stable anyway, but keep the comparison strict).
+run_pair("fig10_spmv (plain)" base
+         ${FIG10} count=2 max_rows=256 threads=1)
+run_pair("fig10_spmv (cores=1)" one
+         ${FIG10} count=2 max_rows=256 threads=1 cores=1)
+if(NOT base STREQUAL one)
+    message(FATAL_ERROR
+            "fig10_spmv cores=1 output differs from the plain "
+            "single-core run")
+endif()
+
+message(STATUS "cores=1 output bit-identical for via_sim and "
+               "fig10_spmv")

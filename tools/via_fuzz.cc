@@ -9,7 +9,7 @@
  * with a TimingInvariantChecker. Every failing seed prints a
  * replayable line, and the campaign exits nonzero:
  *
- *   replay: via_fuzz seeds=1 seed=<S> kernel=<K>
+ *   replay: via_fuzz seeds=1 seed=<S> kernel=<K> [cores=<N>]
  *
  * Usage:
  *   via_fuzz [key=value ...]
@@ -21,6 +21,10 @@
  *   threads=N  parallel seed workers; 0 = hardware (default 1).
  *              Per-seed verdicts and output are identical at any
  *              thread count.
+ *   cores=N    with N > 1, each seed also runs the parallel kernel
+ *              variants on an N-core machine (docs/multicore.md);
+ *              the partition policy alternates with seed parity
+ *              (even = static, odd = steal)
  *   verbose=1  per-seed progress on stderr
  *   inject=1   self-test: perturb a cache counter after each run so
  *              the checker must catch it and print the replay seed
@@ -51,6 +55,10 @@ main(int argc, char **argv)
                    "all|spmv|spma|spmm|histogram|stencil")
         .addUInt("threads", 1,
                  "parallel seed workers (0 = hardware concurrency)")
+        .addUInt("cores", 1,
+                 "also fuzz the parallel kernels on an N-core "
+                 "machine (1 = single-core only)",
+                 1, 32)
         .addFlag("verbose", "per-seed progress on stderr")
         .addFlag("inject",
                  "self-test: corrupt a cache counter after each "
@@ -64,6 +72,7 @@ main(int argc, char **argv)
     opts.firstSeed = args.getUInt("seed");
     opts.kernel = args.getString("kernel");
     opts.threads = unsigned(args.getUInt("threads"));
+    opts.cores = unsigned(args.getUInt("cores"));
     opts.verbose = args.getBool("verbose");
 
     static const std::set<std::string> kernels = {

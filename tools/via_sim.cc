@@ -38,6 +38,15 @@
  *   timeline=C      (spmv) sample IPC every C simulated cycles
  *   debug=1         per-instruction debug log to stderr
  *
+ * Multi-core (docs/multicore.md):
+ *   cores=N         cores sharing one LLC/DRAM (default 1; the
+ *                   cores=1 path is the unchanged, bit-identical
+ *                   single-core machine). cores>1 runs the parallel
+ *                   kernel variants and supports mode=detailed only
+ *                   (no sweep/checkpoint/restore).
+ *   partition=P     static | steal row partitioning
+ *   llc_banks=B     shared-LLC bank pipes (default 8)
+ *
  * Sampled simulation (the VIA run; see docs/sampling.md):
  *   mode=M          detailed | functional | sampled (default
  *                   detailed). functional warms caches/predictor
@@ -87,7 +96,9 @@
 #include "check/sampling_audit.hh"
 #include "cpu/machine.hh"
 #include "cpu/machine_config.hh"
+#include "cpu/multi_machine.hh"
 #include "kernels/dispatch.hh"
+#include "kernels/parallel.hh"
 #include "kernels/histogram.hh"
 #include "kernels/reference.hh"
 #include "kernels/runner.hh"
@@ -163,6 +174,7 @@ simOptions()
     addThreadsOption(opts);
     addSelfProfOption(opts);
     addMachineOptions(opts);
+    addMultiCoreOptions(opts);
     sample::addSampleOptions(opts);
     addTraceOptions(opts);
     return opts;
@@ -589,6 +601,205 @@ runStencil(const Config &cfg, const MachineParams &params, Rng &rng)
 }
 
 // ==================================================================
+// cores>1: the multi-core machine and the parallel kernel variants.
+// ==================================================================
+
+/** Per-run report line for a MultiMachine. */
+void
+reportMulti(const char *name, const MultiMachine &mm, Tick cycles,
+            Tick baseline_cycles)
+{
+    std::printf("%-18s %12llu cycles", name,
+                static_cast<unsigned long long>(cycles));
+    if (baseline_cycles)
+        std::printf("  (%5.2fx)",
+                    double(baseline_cycles) / double(cycles));
+    const SharedLlcStats &ls = mm.llc().stats();
+    std::printf("  llc inval %llu  fwd %llu  bankq %llu\n",
+                static_cast<unsigned long long>(ls.invalidations),
+                static_cast<unsigned long long>(ls.dirtyForwards),
+                static_cast<unsigned long long>(ls.bankQueueCycles));
+}
+
+/** stats=1 / json=1 for a multi-core run: shared level + per core. */
+void
+dumpStatsMulti(const Config &cfg, MultiMachine &mm)
+{
+    if (cfg.getBool("json", false)) {
+        std::cout << "{\"shared\": ";
+        mm.stats().dumpJson(std::cout);
+        for (unsigned c = 0; c < mm.cores(); ++c) {
+            std::cout << ", \"core" << c << "\": ";
+            mm.core(c).stats().dumpJson(std::cout);
+        }
+        std::cout << "}\n";
+    } else if (cfg.getBool("stats", false)) {
+        std::cout << "== shared (llc/dram) ==\n";
+        mm.stats().dump(std::cout);
+        for (unsigned c = 0; c < mm.cores(); ++c) {
+            std::cout << "== core " << c << " ==\n";
+            mm.core(c).stats().dump(std::cout);
+        }
+    }
+}
+
+/** Per-core trace export (suffix _coreN before the extension). */
+bool
+finishTracingMulti(MultiMachine &mm, const TraceOptions &topts)
+{
+    bool ok = true;
+    for (unsigned c = 0; c < mm.cores(); ++c)
+        ok = finishTracing(mm.core(c), topts,
+                           "_core" + std::to_string(c)) &&
+             ok;
+    return ok;
+}
+
+int
+runParallel(const std::string &kernel, const Config &cfg,
+            const MachineParams &params, Rng &rng, unsigned cores)
+{
+    auto sopts = sample::SampleOptions::fromConfig(cfg);
+    if (sopts.mode != sample::SimMode::Detailed)
+        via_fatal("cores>1 supports mode=detailed only (sampling "
+                  "and checkpoints are single-core)");
+    if (cfg.has("checkpoint") || cfg.has("restore"))
+        via_fatal("cores>1 cannot checkpoint/restore: the cores "
+                  "share one memory image");
+    auto part =
+        kernels::parsePartition(cfg.getString("partition", "static"));
+    SharedLlcParams llcp = sharedLlcParamsFrom(cfg, params, cores);
+    TraceOptions topts = TraceOptions::fromConfig(cfg);
+
+    // Baseline and VIA each get a fresh machine set; the reported
+    // makespan is the slowest core's commit front.
+    auto runPair = [&](const char *base_name, const char *via_name,
+                       auto &&body, auto &&check) {
+        MultiMachine base(params, cores, llcp);
+        Tick bcycles = body(base, false);
+        reportMulti(base_name, base, bcycles, 0);
+
+        MultiMachine viam(params, cores, llcp);
+        if (topts.active())
+            viam.enableTracing(topts.limit);
+        Tick vcycles = body(viam, true);
+        reportMulti(via_name, viam, vcycles, bcycles);
+
+        bool ok = check();
+        std::printf("result check: %s\n", ok ? "ok" : "MISMATCH");
+        if (topts.active())
+            ok = finishTracingMulti(viam, topts) && ok;
+        dumpStatsMulti(cfg, viam);
+        return ok ? 0 : 1;
+    };
+
+    const char *pname = kernels::partitionName(part);
+    if (kernel == "spmv") {
+        Csr a = loadMatrix(cfg, rng);
+        DenseVector x = randomVector(a.cols(), rng);
+        std::string fmt = cfg.getString("format", "csb");
+        std::printf("SpMV: %dx%d, %zu nnz  (%u cores, %s)\n",
+                    a.rows(), a.cols(), a.nnz(), cores, pname);
+        kernels::SpmvResult vres;
+        auto body = [&](MultiMachine &mm, bool via) {
+            auto res = kernels::spmvParallel(mm, a, x, fmt, part,
+                                             via);
+            if (via)
+                vres = res;
+            return res.cycles;
+        };
+        std::string base_name = "vector " + fmt;
+        std::string via_name = "VIA " + fmt;
+        return runPair(base_name.c_str(), via_name.c_str(), body,
+                       [&] { return allClose(vres.y, a.multiply(x)); });
+    }
+    if (kernel == "spma") {
+        Csr a = loadMatrix(cfg, rng);
+        Csr b = loadMatrix(cfg, rng);
+        std::printf("SpMA: %dx%d, %zu + %zu nnz  (%u cores, %s)\n",
+                    a.rows(), a.cols(), a.nnz(), b.nnz(), cores,
+                    pname);
+        kernels::SpmaResult vres;
+        auto body = [&](MultiMachine &mm, bool via) {
+            auto res = kernels::spmaParallel(mm, a, b, part, via);
+            if (via)
+                vres = res;
+            return res.cycles;
+        };
+        return runPair("scalar merge", "VIA CAM", body, [&] {
+            return closeElements(vres.c, addCsr(a, b), 1e-3);
+        });
+    }
+    if (kernel == "spmm") {
+        Config small = cfg;
+        if (!cfg.has("rows") && syntheticInput(cfg))
+            small.set("rows", "160");
+        Csr a = loadMatrix(small, rng);
+        Csr b_csr = loadMatrix(small, rng);
+        Csc b = Csc::fromCsr(b_csr);
+        std::printf("SpMM: %dx%d (%zu nnz) * %dx%d (%zu nnz)  "
+                    "(%u cores, %s)\n",
+                    a.rows(), a.cols(), a.nnz(), b.rows(), b.cols(),
+                    b.nnz(), cores, pname);
+        kernels::SpmmResult vres;
+        auto body = [&](MultiMachine &mm, bool via) {
+            auto res = kernels::spmmParallel(mm, a, b, part, via);
+            if (via)
+                vres = res;
+            return res.cycles;
+        };
+        return runPair("scalar inner", "VIA CAM", body, [&] {
+            return closeElements(vres.c, mulCsr(a, b_csr), 1e-2);
+        });
+    }
+    if (kernel == "histogram") {
+        auto count = std::size_t(cfg.getUInt("keys", 16384));
+        auto buckets = Index(cfg.getUInt("buckets", 1024));
+        std::vector<Index> keys(count);
+        for (auto &k : keys)
+            k = Index(rng.below(std::uint64_t(buckets)));
+        std::printf("histogram: %zu keys, %d buckets  (%u cores, "
+                    "%s)\n",
+                    count, buckets, cores, pname);
+        kernels::HistResult vres;
+        auto body = [&](MultiMachine &mm, bool via) {
+            auto res =
+                kernels::histParallel(mm, keys, buckets, part, via);
+            if (via)
+                vres = res;
+            return res.cycles;
+        };
+        return runPair("vector CD", "VIA", body, [&] {
+            return vres.hist == kernels::refHistogram(keys, buckets);
+        });
+    }
+    if (kernel == "stencil") {
+        auto side = Index(cfg.getUInt("px", 256));
+        DenseMatrix img(side, side);
+        for (auto &p : img.data())
+            p = Value(rng.uniform() * 255.0);
+        std::printf("stencil: 4x4 Gaussian on %dx%d px  (%u cores, "
+                    "%s)\n",
+                    side, side, cores, pname);
+        kernels::StencilResult vres;
+        auto body = [&](MultiMachine &mm, bool via) {
+            auto res = kernels::stencilParallel(mm, img, part, via);
+            if (via)
+                vres = res;
+            return res.cycles;
+        };
+        DenseMatrix ref = kernels::refConvolve4x4(img);
+        return runPair("vector", "VIA", body, [&] {
+            if (cfg.getBool("inject_error", false))
+                vres.out.at(0, 0) += Value(1.0);
+            return allClose(vres.out.data(), ref.data());
+        });
+    }
+    std::fprintf(stderr, "unknown kernel '%s'\n", kernel.c_str());
+    return 2;
+}
+
+// ==================================================================
 // sweep=1: one kernel, one input, a grid of SSPM configurations.
 // ==================================================================
 
@@ -840,10 +1051,16 @@ main(int argc, char **argv)
         setLogLevel(LogLevel::Debug);
     Rng rng(cfg.getUInt("seed", 1));
 
-    if (cfg.getBool("sweep", false))
+    auto cores = unsigned(cfg.getUInt("cores", 1));
+    if (cfg.getBool("sweep", false)) {
+        if (cores > 1)
+            via_fatal("sweep=1 is single-core; drop cores=");
         return runSweep(kernel, cfg, rng);
+    }
 
     MachineParams params = machineParamsFrom(cfg);
+    if (cores > 1)
+        return runParallel(kernel, cfg, params, rng, cores);
     if (kernel == "spmv")
         return runSpmv(cfg, params, rng);
     if (kernel == "spma")

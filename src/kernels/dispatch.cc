@@ -66,4 +66,46 @@ spmvBaseline(Machine &m, const Csr &a, const DenseVector &x,
     via_fatal("unknown SpMV format '", fmt, "'");
 }
 
+SpmvResident::SpmvResident(Machine &m, const Csr &a,
+                           const std::string &fmt, bool via)
+    : _fmt(fmt), _via(via), _csr(a)
+{
+    // Same conversion geometry as the one-shot dispatchers above, so
+    // the first run() on the constructing machine emits the exact
+    // one-shot stream.
+    if (fmt == "csr") {
+        _csrImg = uploadCsr(m, _csr);
+    } else if (fmt == "spc5") {
+        _spc5.emplace(Spc5::fromCsr(a, Index(m.vl())));
+        _spc5Img = uploadSpc5(m, *_spc5);
+    } else if (fmt == "sell") {
+        auto vl = Index(m.vl());
+        _sell.emplace(SellCSigma::fromCsr(a, vl, 4 * vl));
+        _sellImg = uploadSell(m, *_sell);
+    } else if (fmt == "csb") {
+        _csb.emplace(Csb::fromCsr(a, viaCsbBeta(m)));
+        _csbImg = uploadCsb(m, *_csb);
+    } else {
+        via_fatal("unknown SpMV format '", fmt, "'");
+    }
+}
+
+SpmvResult
+SpmvResident::run(Machine &m, const DenseVector &x) const
+{
+    if (_fmt == "csr")
+        return _via ? spmvViaCsrAt(m, _csr, _csrImg, x)
+                    : spmvVectorCsrAt(m, _csr, _csrImg, x);
+    if (_fmt == "spc5")
+        return _via ? spmvViaSpc5At(m, *_spc5, _spc5Img, x)
+                    : spmvVectorSpc5At(m, *_spc5, _spc5Img, x);
+    if (_fmt == "sell")
+        return _via ? spmvViaSellAt(m, *_sell, _sellImg, x)
+                    : spmvVectorSellAt(m, *_sell, _sellImg, x);
+    if (_fmt == "csb")
+        return _via ? spmvViaCsbAt(m, *_csb, _csbImg, x)
+                    : spmvVectorCsbAt(m, *_csb, _csbImg, x);
+    via_fatal("unknown SpMV format '", _fmt, "'");
+}
+
 } // namespace via::kernels

@@ -40,6 +40,53 @@ viaCsbBeta(const Machine &m)
     return Index(std::bit_floor(entries / 2));
 }
 
+// The matrix-operand uploads, shared by the one-shot wrappers and
+// the resident-matrix path. Upload order matches the historical
+// one-shot functions exactly, so the emitted streams (and the
+// BENCH_simspeed fingerprints) are unchanged.
+
+CsrImage
+uploadCsr(Machine &m, const Csr &a)
+{
+    CsrImage img;
+    img.rowPtr = upload(m, a.rowPtr());
+    img.colIdx = upload(m, a.colIdx());
+    img.values = upload(m, a.values());
+    return img;
+}
+
+Spc5Image
+uploadSpc5(Machine &m, const Spc5 &a)
+{
+    Spc5Image img;
+    img.values = upload(m, a.values());
+    img.blockRow = upload(m, a.blockRow());
+    img.blockCol = upload(m, a.blockCol());
+    img.blockMask = upload(m, a.blockMask());
+    return img;
+}
+
+SellImage
+uploadSell(Machine &m, const SellCSigma &a)
+{
+    SellImage img;
+    img.colIdx = upload(m, a.colIdx());
+    img.values = upload(m, a.values());
+    img.chunkPtr = upload(m, a.chunkPtr());
+    img.rowPerm = upload(m, a.rowPerm());
+    return img;
+}
+
+CsbImage
+uploadCsb(Machine &m, const Csb &a)
+{
+    CsbImage img;
+    img.packedIdx = upload(m, a.packedIdx());
+    img.values = upload(m, a.values());
+    img.blockPtr = upload(m, a.blockPtr());
+    return img;
+}
+
 SpmvResult
 spmvScalarCsr(Machine &m, const Csr &a, const DenseVector &x)
 {
@@ -77,9 +124,16 @@ spmvScalarCsr(Machine &m, const Csr &a, const DenseVector &x)
 SpmvResult
 spmvVectorCsr(Machine &m, const Csr &a, const DenseVector &x)
 {
-    Addr row_ptr = upload(m, a.rowPtr());
-    Addr col_idx = upload(m, a.colIdx());
-    Addr values = upload(m, a.values());
+    return spmvVectorCsrAt(m, a, uploadCsr(m, a), x);
+}
+
+SpmvResult
+spmvVectorCsrAt(Machine &m, const Csr &a, const CsrImage &img,
+                const DenseVector &x)
+{
+    Addr row_ptr = img.rowPtr;
+    Addr col_idx = img.colIdx;
+    Addr values = img.values;
     XY xy = uploadXY(m, x, a.rows());
 
     const int vl = int(m.vl());
@@ -113,10 +167,17 @@ spmvVectorCsr(Machine &m, const Csr &a, const DenseVector &x)
 SpmvResult
 spmvVectorSpc5(Machine &m, const Spc5 &a, const DenseVector &x)
 {
-    Addr values = upload(m, a.values());
-    Addr brow = upload(m, a.blockRow());
-    Addr bcol = upload(m, a.blockCol());
-    Addr bmask = upload(m, a.blockMask());
+    return spmvVectorSpc5At(m, a, uploadSpc5(m, a), x);
+}
+
+SpmvResult
+spmvVectorSpc5At(Machine &m, const Spc5 &a, const Spc5Image &img,
+                 const DenseVector &x)
+{
+    Addr values = img.values;
+    Addr brow = img.blockRow;
+    Addr bcol = img.blockCol;
+    Addr bmask = img.blockMask;
     XY xy = uploadXY(m, x, a.rows());
 
     const int vl = int(m.vl());
@@ -176,10 +237,17 @@ spmvVectorSpc5(Machine &m, const Spc5 &a, const DenseVector &x)
 SpmvResult
 spmvVectorSell(Machine &m, const SellCSigma &a, const DenseVector &x)
 {
-    Addr col_idx = upload(m, a.colIdx());
-    Addr values = upload(m, a.values());
-    Addr chunk_ptr = upload(m, a.chunkPtr());
-    Addr row_perm = upload(m, a.rowPerm());
+    return spmvVectorSellAt(m, a, uploadSell(m, a), x);
+}
+
+SpmvResult
+spmvVectorSellAt(Machine &m, const SellCSigma &a,
+                 const SellImage &img, const DenseVector &x)
+{
+    Addr col_idx = img.colIdx;
+    Addr values = img.values;
+    Addr chunk_ptr = img.chunkPtr;
+    Addr row_perm = img.rowPerm;
     XY xy = uploadXY(m, x, a.rows());
 
     const int vl = int(m.vl());
@@ -219,9 +287,16 @@ spmvVectorSell(Machine &m, const SellCSigma &a, const DenseVector &x)
 SpmvResult
 spmvVectorCsb(Machine &m, const Csb &a, const DenseVector &x)
 {
-    Addr packed = upload(m, a.packedIdx());
-    Addr values = upload(m, a.values());
-    Addr block_ptr = upload(m, a.blockPtr());
+    return spmvVectorCsbAt(m, a, uploadCsb(m, a), x);
+}
+
+SpmvResult
+spmvVectorCsbAt(Machine &m, const Csb &a, const CsbImage &img,
+                const DenseVector &x)
+{
+    Addr packed = img.packedIdx;
+    Addr values = img.values;
+    Addr block_ptr = img.blockPtr;
     XY xy = uploadXY(m, x, a.rows());
 
     const int vl = int(m.vl());
@@ -323,9 +398,16 @@ spmvScalarCsb(Machine &m, const Csb &a, const DenseVector &x)
 SpmvResult
 spmvViaCsr(Machine &m, const Csr &a, const DenseVector &x)
 {
-    Addr row_ptr = upload(m, a.rowPtr());
-    Addr col_idx = upload(m, a.colIdx());
-    Addr values = upload(m, a.values());
+    return spmvViaCsrAt(m, a, uploadCsr(m, a), x);
+}
+
+SpmvResult
+spmvViaCsrAt(Machine &m, const Csr &a, const CsrImage &img,
+             const DenseVector &x)
+{
+    Addr row_ptr = img.rowPtr;
+    Addr col_idx = img.colIdx;
+    Addr values = img.values;
     XY xy = uploadXY(m, x, a.rows());
 
     const int vl = int(m.vl());
@@ -381,10 +463,17 @@ spmvViaCsr(Machine &m, const Csr &a, const DenseVector &x)
 SpmvResult
 spmvViaSpc5(Machine &m, const Spc5 &a, const DenseVector &x)
 {
-    Addr values = upload(m, a.values());
-    Addr brow = upload(m, a.blockRow());
-    Addr bcol = upload(m, a.blockCol());
-    Addr bmask = upload(m, a.blockMask());
+    return spmvViaSpc5At(m, a, uploadSpc5(m, a), x);
+}
+
+SpmvResult
+spmvViaSpc5At(Machine &m, const Spc5 &a, const Spc5Image &img,
+              const DenseVector &x)
+{
+    Addr values = img.values;
+    Addr brow = img.blockRow;
+    Addr bcol = img.blockCol;
+    Addr bmask = img.blockMask;
     XY xy = uploadXY(m, x, a.rows());
 
     const int vl = int(m.vl());
@@ -452,10 +541,17 @@ spmvViaSpc5(Machine &m, const Spc5 &a, const DenseVector &x)
 SpmvResult
 spmvViaSell(Machine &m, const SellCSigma &a, const DenseVector &x)
 {
-    Addr col_idx = upload(m, a.colIdx());
-    Addr values = upload(m, a.values());
-    Addr chunk_ptr = upload(m, a.chunkPtr());
-    Addr row_perm = upload(m, a.rowPerm());
+    return spmvViaSellAt(m, a, uploadSell(m, a), x);
+}
+
+SpmvResult
+spmvViaSellAt(Machine &m, const SellCSigma &a, const SellImage &img,
+              const DenseVector &x)
+{
+    Addr col_idx = img.colIdx;
+    Addr values = img.values;
+    Addr chunk_ptr = img.chunkPtr;
+    Addr row_perm = img.rowPerm;
     XY xy = uploadXY(m, x, a.rows());
 
     const int vl = int(m.vl());
@@ -514,9 +610,16 @@ spmvViaSell(Machine &m, const SellCSigma &a, const DenseVector &x)
 SpmvResult
 spmvViaCsb(Machine &m, const Csb &a, const DenseVector &x)
 {
-    Addr packed = upload(m, a.packedIdx());
-    Addr values = upload(m, a.values());
-    Addr block_ptr = upload(m, a.blockPtr());
+    return spmvViaCsbAt(m, a, uploadCsb(m, a), x);
+}
+
+SpmvResult
+spmvViaCsbAt(Machine &m, const Csb &a, const CsbImage &img,
+             const DenseVector &x)
+{
+    Addr packed = img.packedIdx;
+    Addr values = img.values;
+    Addr block_ptr = img.blockPtr;
     XY xy = uploadXY(m, x, a.rows());
 
     const int vl = int(m.vl());

@@ -64,6 +64,68 @@ SpmvResult spmvViaSell(Machine &m, const SellCSigma &a,
 SpmvResult spmvViaCsb(Machine &m, const Csb &a, const DenseVector &x);
 
 /**
+ * Resident-matrix entry points (the serving subsystem's fast path).
+ *
+ * The one-shot kernels above upload their matrix operands on every
+ * call, so a second run on the same machine touches fresh, cold
+ * addresses. The Image/At split uploads the matrix once and emits
+ * the kernel body against the recorded base addresses: consecutive
+ * runs (a request batch against one resident matrix) re-walk the
+ * same lines with warm caches, and a checkpoint captured after a
+ * warm run restores the resident state for every fan-out batch.
+ * The dense x/y pair is still allocated per run — each request
+ * brings its own vector.
+ *
+ * A one-shot call is exactly upload + At, so the two paths emit
+ * bit-identical instruction streams.
+ */
+
+/** Base addresses of a CSR matrix uploaded once. */
+struct CsrImage
+{
+    Addr rowPtr = 0, colIdx = 0, values = 0;
+};
+/** Base addresses of an SPC5 matrix uploaded once. */
+struct Spc5Image
+{
+    Addr values = 0, blockRow = 0, blockCol = 0, blockMask = 0;
+};
+/** Base addresses of a Sell-C-sigma matrix uploaded once. */
+struct SellImage
+{
+    Addr colIdx = 0, values = 0, chunkPtr = 0, rowPerm = 0;
+};
+/** Base addresses of a CSB matrix uploaded once. */
+struct CsbImage
+{
+    Addr packedIdx = 0, values = 0, blockPtr = 0;
+};
+
+CsrImage uploadCsr(Machine &m, const Csr &a);
+Spc5Image uploadSpc5(Machine &m, const Spc5 &a);
+SellImage uploadSell(Machine &m, const SellCSigma &a);
+CsbImage uploadCsb(Machine &m, const Csb &a);
+
+SpmvResult spmvVectorCsrAt(Machine &m, const Csr &a,
+                           const CsrImage &img, const DenseVector &x);
+SpmvResult spmvViaCsrAt(Machine &m, const Csr &a, const CsrImage &img,
+                        const DenseVector &x);
+SpmvResult spmvVectorSpc5At(Machine &m, const Spc5 &a,
+                            const Spc5Image &img,
+                            const DenseVector &x);
+SpmvResult spmvViaSpc5At(Machine &m, const Spc5 &a,
+                         const Spc5Image &img, const DenseVector &x);
+SpmvResult spmvVectorSellAt(Machine &m, const SellCSigma &a,
+                            const SellImage &img,
+                            const DenseVector &x);
+SpmvResult spmvViaSellAt(Machine &m, const SellCSigma &a,
+                         const SellImage &img, const DenseVector &x);
+SpmvResult spmvVectorCsbAt(Machine &m, const Csb &a,
+                           const CsbImage &img, const DenseVector &x);
+SpmvResult spmvViaCsbAt(Machine &m, const Csb &a, const CsbImage &img,
+                        const DenseVector &x);
+
+/**
  * The CSB block side the VIA kernel wants for a machine: half the
  * SSPM entries (input chunk + accumulator chunk fill the SRAM).
  */

@@ -1,6 +1,7 @@
 #include "power/energy_model.hh"
 
 #include "cpu/machine.hh"
+#include "cpu/multi_machine.hh"
 #include "power/area_model.hh"
 
 namespace via
@@ -40,6 +41,38 @@ computeEnergy(const Machine &m, const EnergyParams &params)
     e.leakagePj = (params.coreLeakageMw + sspm_leak_mw) * 1e-3 *
                   seconds * 1e12;
     return e;
+}
+
+EnergyBreakdown
+computeEnergyMulti(const MultiMachine &mm,
+                   const EnergyParams &params)
+{
+    EnergyBreakdown total;
+    double seconds = double(mm.cycles()) /
+                     (params.clockGhz * 1e9);
+    for (unsigned i = 0; i < mm.cores(); ++i) {
+        const Machine &m = mm.core(i);
+        EnergyBreakdown e = computeEnergy(m, params);
+        total.corePj += e.corePj;
+        total.cachePj += e.cachePj;
+        total.dramPj += e.dramPj; // private DRAM: zero in practice
+        total.sspmPj += e.sspmPj;
+        // Re-integrate this core's leakage over the makespan: the
+        // per-machine breakdown stops at the core's own commit
+        // front, but an idle core leaks until the slowest finishes.
+        double sspm_leak_mw =
+            AreaModel::estimate(m.sspm().config()).leakageMw;
+        total.leakagePj += (params.coreLeakageMw + sspm_leak_mw) *
+                           1e-3 * seconds * 1e12;
+    }
+    // The shared level: LLC tag walks cost an L2-class access,
+    // misses pay the single shared DRAM per byte.
+    total.cachePj += double(mm.llc().tags().stats().accesses()) *
+                     params.l2AccessPj;
+    const DramStats &ds = mm.llc().dram().stats();
+    total.dramPj += double(ds.bytesRead + ds.bytesWritten) *
+                    params.dramPjPerByte;
+    return total;
 }
 
 } // namespace via

@@ -65,6 +65,19 @@ struct EnergyBreakdown
 EnergyBreakdown computeEnergy(const Machine &m,
                               const EnergyParams &params = {});
 
+class MultiMachine;
+
+/**
+ * The breakdown for a multi-core machine: per-core terms summed
+ * over every core, plus the shared level the cores' private DRAM
+ * counters never see (LLC tag walks at the L2 access energy, shared
+ * DRAM traffic per byte). Leakage integrates every core over the
+ * makespan — an early-finishing core keeps leaking until the
+ * slowest core commits its last instruction.
+ */
+EnergyBreakdown computeEnergyMulti(const MultiMachine &mm,
+                                   const EnergyParams &params = {});
+
 } // namespace via
 
 #endif // VIA_POWER_ENERGY_MODEL_HH

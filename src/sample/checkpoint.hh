@@ -26,6 +26,7 @@
 
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "simcore/rng.hh"
@@ -86,6 +87,52 @@ class Checkpoint
 
   private:
     std::vector<std::uint8_t> _bytes;
+};
+
+/**
+ * An in-memory cache of checkpoint images keyed by name.
+ *
+ * The serving executor restores a warm matrix image once per batch;
+ * without a cache every restore re-reads and re-validates the image
+ * from disk. get() reads the file on the first miss and serves every
+ * later request from memory, so a per-batch restore costs one
+ * memcpy-clone. put() registers an image captured in-process under a
+ * caller-chosen key (no disk involved at all); get() for that key
+ * never touches the filesystem.
+ *
+ * A cached image is byte-identical to the file it came from
+ * (tests/test_sample verifies restore-from-cache == restore-from-
+ * disk bit for bit), so the fast path cannot change results.
+ */
+class CheckpointCache
+{
+  public:
+    /**
+     * The image for @p key. On a miss the key is treated as a file
+     * path and read with Checkpoint::readFile (header validation
+     * included); on a hit the cached image is returned untouched.
+     */
+    const Checkpoint &get(const std::string &key);
+
+    /** Register an in-process image under @p key (replaces). */
+    void put(const std::string &key, Checkpoint cp);
+
+    bool contains(const std::string &key) const;
+
+    /** Cached images / total cached bytes (footprint reporting). */
+    std::size_t size() const { return _images.size(); }
+    std::size_t bytes() const;
+
+    /** get() calls served from memory / from disk. */
+    std::uint64_t hits() const { return _hits; }
+    std::uint64_t misses() const { return _misses; }
+
+    void clear();
+
+  private:
+    std::unordered_map<std::string, Checkpoint> _images;
+    std::uint64_t _hits = 0;
+    std::uint64_t _misses = 0;
 };
 
 } // namespace sample

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Arrival generation for the serving simulator.
+ *
+ * Two traffic shapes, both deterministic per seed:
+ *
+ *  - Open loop: a Poisson process at a configured rate. The whole
+ *    trace (arrival cycle + class per request) is generated up
+ *    front from one RNG stream, so the same seed always yields the
+ *    byte-identical trace regardless of host thread count.
+ *
+ *  - Closed loop: a fixed pool of clients, each keeping at most one
+ *    request outstanding and thinking an exponential time between
+ *    its completion and its next issue. Issue times depend on
+ *    completions, so the closed-loop "generator" is a per-client
+ *    state machine the serving DES advances; each client draws from
+ *    its own splitmix-derived stream (SweepExecutor::pointSeed), so
+ *    the interleaving is reproducible too.
+ */
+
+#ifndef VIA_SERVE_ARRIVALS_HH
+#define VIA_SERVE_ARRIVALS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "serve/request.hh"
+#include "simcore/rng.hh"
+
+namespace via::serve
+{
+
+/** Exponential draw with mean @p mean (cycles), never negative. */
+double expDraw(Rng &rng, double mean);
+
+/**
+ * Sample a class index from the mix's weights using one uniform
+ * draw from @p rng.
+ */
+std::uint32_t sampleClass(const std::vector<RequestClass> &mix,
+                          Rng &rng);
+
+/**
+ * The open-loop trace: @p requests Poisson arrivals at
+ * @p rate_per_mcycle requests per million cycles, classes sampled
+ * by mix weight. Arrivals are non-decreasing; ids are issue order.
+ */
+std::vector<Request> openLoopTrace(
+    const std::vector<RequestClass> &mix, std::uint64_t requests,
+    double rate_per_mcycle, std::uint64_t seed);
+
+/**
+ * The closed-loop client pool. The DES calls nextIssue()/issue() to
+ * pull the earliest pending issue into the system and complete() to
+ * schedule a client's next request after its think time.
+ */
+class ClientPool
+{
+  public:
+    /**
+     * @param clients pool size (concurrency limit)
+     * @param think_cycles mean think time between a completion and
+     *        the client's next issue; the initial issues are also
+     *        staggered by one think draw so the pool does not arrive
+     *        as a single burst at cycle 0
+     */
+    ClientPool(const std::vector<RequestClass> &mix,
+               unsigned clients, double think_cycles,
+               std::uint64_t seed);
+
+    /** The earliest cycle any client wants to issue; false if every
+     *  client is waiting on an in-flight request. */
+    bool nextIssue(Tick &when) const;
+
+    /**
+     * Materialize every issue due at or before @p now as Requests
+     * (appended to @p out), marking those clients in-flight. Ids
+     * continue from the previous issue count.
+     */
+    void issueUpTo(Tick now, std::vector<Request> &out);
+
+    /** Client owning request @p id finished at @p now: think, then
+     *  schedule its next issue. */
+    void complete(std::uint64_t id, Tick now);
+
+    std::uint64_t issued() const { return _issued; }
+
+  private:
+    struct Client
+    {
+        Rng rng{0};
+        Tick next_issue = 0; //!< valid when !in_flight
+        bool in_flight = false;
+        std::uint64_t request = 0; //!< id of the in-flight request
+    };
+
+    const std::vector<RequestClass> &_mix;
+    double _think;
+    std::vector<Client> _clients;
+    std::uint64_t _issued = 0;
+};
+
+} // namespace via::serve
+
+#endif // VIA_SERVE_ARRIVALS_HH

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * The batch executor: measure the service table with the
+ * cycle-level simulator.
+ *
+ * Single-core path (cores=1): each class's matrix is made resident
+ * on a fresh machine (kernels::SpmvResident — convert + upload
+ * once), warmed with one run, and captured as a PR-4 checkpoint.
+ * The warm image sits in a sample::CheckpointCache — optionally
+ * round-tripped through disk (warm_dir) — and every batch-size
+ * measurement restores it onto a fresh machine (fan-out: one warm
+ * image, batchMax restores per class) and runs n requests back to
+ * back. The measured cost is the marginal cycles past the warm
+ * point; energy is the marginal energy-model total.
+ *
+ * Multi-core path (cores=N): MultiMachine cannot checkpoint (the
+ * shared LLC carries unserializable in-flight analytic state), so
+ * each (class, n) point builds a fresh machine, warms it with one
+ * parallel run, and measures n more runs. Only csr and csb classes
+ * are servable multi-core (kernels::spmvParallel's formats), and
+ * because the parallel kernels re-upload per run, multi-core
+ * batches amortize scheduling only, not residency — the documented
+ * PR-6 limitation.
+ *
+ * Points fan out across a SweepExecutor; every per-point stream is
+ * derived from (seed, point index), so the table is bit-identical
+ * at any threads=N.
+ */
+
+#ifndef VIA_SERVE_EXECUTOR_HH
+#define VIA_SERVE_EXECUTOR_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cpu/machine.hh"
+#include "kernels/parallel.hh"
+#include "serve/request.hh"
+#include "serve/service.hh"
+
+namespace via::serve
+{
+
+/** How to measure the service table. */
+struct ExecutorConfig
+{
+    MachineParams params{};
+    unsigned cores = 1;
+    SharedLlcParams llc{}; //!< used when cores > 1
+    kernels::Partition partition = kernels::Partition::Static;
+    bool via = false;       //!< VIA kernels vs vector baseline
+    unsigned batchMax = 8;  //!< largest batch to price
+    unsigned threads = 1;   //!< measurement pool width (0 = auto)
+    std::uint64_t seed = 1;
+    /** When non-empty (cores=1): write each warm image to this
+     *  directory and reload it through the CheckpointCache, so the
+     *  disk round-trip is part of the measured path exactly once
+     *  per class. Empty keeps the image in memory only. */
+    std::string warmDir;
+};
+
+/**
+ * Measure cost/energy for every (class, batch size in 1..batchMax)
+ * pair. Fatal when a class cannot run on the requested machine
+ * (non-csr/csb formats with cores > 1).
+ */
+TableServiceModel measureServiceTable(
+    const std::vector<RequestClass> &mix, const ExecutorConfig &cfg);
+
+} // namespace via::serve
+
+#endif // VIA_SERVE_EXECUTOR_HH

@@ -1,0 +1,176 @@
+#include "serve/sim.hh"
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+#include <memory>
+
+#include "serve/arrivals.hh"
+#include "simcore/log.hh"
+
+namespace via::serve
+{
+
+namespace
+{
+
+/** Histogram over the collected samples: [0, max] at a resolution
+ *  fine enough for stable tail percentiles. */
+Distribution
+toDistribution(const std::vector<double> &samples)
+{
+    double hi = 1.0;
+    for (double v : samples)
+        hi = std::max(hi, v);
+    Distribution d(0.0, hi + 1.0, 512);
+    for (double v : samples)
+        d.sample(v);
+    return d;
+}
+
+} // namespace
+
+ServeReport
+runServe(const std::vector<RequestClass> &mix,
+         const ServiceModel &model, const ServeConfig &cfg)
+{
+    via_assert(!mix.empty(), "empty traffic mix");
+    via_assert(cfg.batchMax > 0, "batchMax must be > 0");
+    via_assert(model.batchMax() >= cfg.batchMax,
+               "service model prices batches up to ",
+               model.batchMax(), " but the scheduler forms up to ",
+               cfg.batchMax);
+
+    // Traffic sources: exactly one of these is active.
+    std::vector<Request> open_trace;
+    std::size_t next_open = 0;
+    std::unique_ptr<ClientPool> pool;
+    if (cfg.closed)
+        pool = std::make_unique<ClientPool>(
+            mix, cfg.clients, cfg.thinkCycles, cfg.seed);
+    else
+        open_trace = openLoopTrace(mix, cfg.requests,
+                                   cfg.ratePerMcycle, cfg.seed);
+
+    ServeReport report;
+    report.perClass.assign(mix.size(), 0);
+
+    std::vector<Request> pending;
+    std::vector<double> latencies, queueings;
+    double energy_total = 0.0;
+    std::uint64_t batch_size_sum = 0;
+    Tick now = 0;
+
+    // Admit every arrival at or before t into the pending set.
+    auto admit = [&](Tick t) {
+        if (cfg.closed) {
+            std::size_t before = pending.size();
+            pool->issueUpTo(t, pending);
+            if (cfg.keepTrace)
+                report.trace.insert(report.trace.end(),
+                                    pending.begin() +
+                                        std::ptrdiff_t(before),
+                                    pending.end());
+        } else {
+            while (next_open < open_trace.size() &&
+                   open_trace[next_open].arrival <= t) {
+                pending.push_back(open_trace[next_open]);
+                if (cfg.keepTrace)
+                    report.trace.push_back(open_trace[next_open]);
+                ++next_open;
+            }
+        }
+    };
+
+    // The next arrival after t, if any traffic remains.
+    auto nextArrival = [&](Tick &when) {
+        if (cfg.closed)
+            return pool->nextIssue(when);
+        if (next_open >= open_trace.size())
+            return false;
+        when = open_trace[next_open].arrival;
+        return true;
+    };
+
+    while (report.requests < cfg.requests) {
+        admit(now);
+        if (pending.empty()) {
+            Tick when = 0;
+            if (!nextArrival(when))
+                break; // open loop: trace exhausted
+            now = std::max(now, when);
+            admit(now);
+            continue;
+        }
+
+        // The oldest waiting request defines the batch's class;
+        // ties on arrival resolve to the lowest id.
+        std::size_t head = 0;
+        for (std::size_t i = 1; i < pending.size(); ++i) {
+            if (pending[i].arrival < pending[head].arrival ||
+                (pending[i].arrival == pending[head].arrival &&
+                 pending[i].id < pending[head].id))
+                head = i;
+        }
+        std::uint32_t cls = pending[head].cls;
+
+        // Coalesce same-class waiters in (arrival, id) order.
+        std::vector<std::size_t> members;
+        for (std::size_t i = 0; i < pending.size(); ++i)
+            if (pending[i].cls == cls)
+                members.push_back(i);
+        std::sort(members.begin(), members.end(),
+                  [&](std::size_t a, std::size_t b) {
+                      if (pending[a].arrival != pending[b].arrival)
+                          return pending[a].arrival <
+                                 pending[b].arrival;
+                      return pending[a].id < pending[b].id;
+                  });
+        if (members.size() > cfg.batchMax)
+            members.resize(cfg.batchMax);
+
+        unsigned n = unsigned(members.size());
+        Tick cost = model.cost(cls, n);
+        Tick done = now + cost;
+        energy_total += model.energyPj(cls, n);
+        ++report.batches;
+        batch_size_sum += n;
+        report.perClass[cls] += n;
+
+        for (std::size_t i : members) {
+            const Request &r = pending[i];
+            queueings.push_back(double(now - r.arrival));
+            latencies.push_back(double(done - r.arrival));
+            if (cfg.closed)
+                pool->complete(r.id, done);
+            ++report.requests;
+        }
+
+        // Drop the served members in descending *index* order so
+        // each erase leaves the remaining indices valid (members is
+        // sorted by arrival, which need not match pending order —
+        // the closed-loop pool issues in client order).
+        std::sort(members.begin(), members.end(),
+                  std::greater<std::size_t>());
+        for (std::size_t idx : members)
+            pending.erase(pending.begin() + std::ptrdiff_t(idx));
+
+        now = done;
+        report.makespan = done;
+    }
+
+    report.latency = toDistribution(latencies);
+    report.queueing = toDistribution(queueings);
+    if (report.makespan > 0)
+        report.throughputPerMcycle = double(report.requests) * 1e6 /
+                                     double(report.makespan);
+    if (report.requests > 0) {
+        report.energyPerRequestPj =
+            energy_total / double(report.requests);
+        report.meanBatch = double(batch_size_sum) /
+                           double(report.batches);
+    }
+    return report;
+}
+
+} // namespace via::serve

@@ -47,6 +47,39 @@ Distribution::sample(double v)
     ++_buckets[idx];
 }
 
+double
+Distribution::percentile(double p) const
+{
+    if (_count == 0)
+        return 0.0; // empty-histogram guard
+    if (!(p > 0.0))
+        return _min;
+    if (p >= 100.0)
+        return _max;
+
+    // Rank of the target sample (1-based, fractional).
+    double target = p / 100.0 * double(_count);
+    double width = (_hi - _lo) / double(_buckets.size());
+    std::uint64_t below = 0;
+    for (std::size_t i = 0; i < _buckets.size(); ++i) {
+        std::uint64_t n = _buckets[i];
+        if (n == 0)
+            continue;
+        if (double(below + n) >= target) {
+            // Interpolate within the crossing bucket: assume its n
+            // samples spread evenly across the bucket's width.
+            double frac = (target - double(below)) / double(n);
+            double v = _lo + width * (double(i) + frac);
+            // End buckets absorb out-of-range samples, so their
+            // nominal edges can overshoot the data; clamp to the
+            // exact observed range.
+            return std::min(std::max(v, _min), _max);
+        }
+        below += n;
+    }
+    return _max;
+}
+
 void
 Distribution::reset()
 {

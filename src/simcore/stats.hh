@@ -58,6 +58,22 @@ class Distribution
     double bucketLo() const { return _lo; }
     double bucketHi() const { return _hi; }
 
+    /**
+     * The @p p-th percentile (p in [0, 100]) estimated from the
+     * bucket histogram with linear interpolation inside the bucket
+     * that crosses the target rank. The estimate is clamped to the
+     * observed [min, max] (out-of-range samples land in the end
+     * buckets, whose nominal edges can lie beyond the data), so
+     * percentile(0) == min() and percentile(100) == max() exactly.
+     * An empty distribution returns 0.0.
+     */
+    double percentile(double p) const;
+
+    /** Tail-latency conveniences (serving report, SLO tracking). */
+    double p50() const { return percentile(50.0); }
+    double p95() const { return percentile(95.0); }
+    double p99() const { return percentile(99.0); }
+
   private:
     double _lo, _hi;
     std::vector<std::uint64_t> _buckets;

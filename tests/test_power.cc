@@ -6,8 +6,12 @@
 #include <gtest/gtest.h>
 
 #include "cpu/machine.hh"
+#include "cpu/multi_machine.hh"
+#include "kernels/parallel.hh"
 #include "power/area_model.hh"
 #include "power/energy_model.hh"
+#include "simcore/rng.hh"
+#include "sparse/generators.hh"
 
 namespace via
 {
@@ -118,6 +122,48 @@ TEST(EnergyModel, CamComparisonsCostEnergy)
     for (int i = 0; i < 50; ++i)
         m.vidxMulC(v0, v1, ViaOut::Vrf, VReg{2});
     EXPECT_GT(computeEnergy(m).sspmPj, before);
+}
+
+TEST(EnergyModel, MultiCoreCountsTheSharedLevel)
+{
+    Rng rng(31);
+    Csr a = genUniform(96, 96, 0.06, rng);
+    DenseVector x = randomVector(a.cols(), rng);
+
+    MultiMachine mm(MachineParams{}, 2);
+    kernels::spmvParallel(mm, a, x, "csr",
+                          kernels::Partition::Static, false);
+
+    auto e = computeEnergyMulti(mm);
+    EXPECT_GT(e.corePj, 0.0);
+    EXPECT_GT(e.cachePj, 0.0);
+    EXPECT_GT(e.dramPj, 0.0) << "shared DRAM traffic not counted";
+    EXPECT_GT(e.leakagePj, 0.0);
+
+    // The per-core private DRAMs carry no traffic in multicore mode;
+    // the breakdown must exceed the summed per-core views by exactly
+    // the shared-level terms (LLC tag walks + shared DRAM bytes).
+    EnergyParams params{};
+    double core_sum = 0.0;
+    for (unsigned i = 0; i < mm.cores(); ++i) {
+        auto ec = computeEnergy(mm.core(i), params);
+        EXPECT_EQ(ec.dramPj, 0.0) << "core " << i;
+        core_sum += ec.corePj + ec.cachePj + ec.sspmPj;
+    }
+    const DramStats &ds = mm.llc().dram().stats();
+    double shared =
+        double(mm.llc().tags().stats().accesses()) *
+            params.l2AccessPj +
+        double(ds.bytesRead + ds.bytesWritten) * params.dramPjPerByte;
+    EXPECT_NEAR(e.corePj + e.cachePj + e.dramPj + e.sspmPj,
+                core_sum + shared, 1e-6);
+
+    // Leakage integrates every core over the makespan, so it is at
+    // least cores x the single-core leakage for the same interval.
+    double seconds = double(mm.cycles()) / (params.clockGhz * 1e9);
+    EXPECT_GE(e.leakagePj,
+              double(mm.cores()) * params.coreLeakageMw * 1e-3 *
+                  seconds * 1e12 * 0.999);
 }
 
 } // namespace

@@ -113,6 +113,60 @@ TEST(Distribution, ResetClearsEverything)
     EXPECT_EQ(d.count(), 1u);
 }
 
+TEST(Distribution, PercentileOfEmptyDistributionIsZero)
+{
+    Distribution d(0.0, 10.0, 10);
+    EXPECT_DOUBLE_EQ(d.percentile(50.0), 0.0);
+    EXPECT_DOUBLE_EQ(d.p50(), 0.0);
+    EXPECT_DOUBLE_EQ(d.p99(), 0.0);
+}
+
+TEST(Distribution, PercentileOfSingleSampleIsThatSample)
+{
+    Distribution d(0.0, 10.0, 10);
+    d.sample(7.25);
+    EXPECT_DOUBLE_EQ(d.percentile(0.0), 7.25);
+    EXPECT_DOUBLE_EQ(d.p50(), 7.25);
+    EXPECT_DOUBLE_EQ(d.percentile(100.0), 7.25);
+}
+
+TEST(Distribution, PercentilesInterpolateAUniformRamp)
+{
+    // 1000 samples spread evenly over [0, 1000): the p-th
+    // percentile of the underlying data is ~10*p. With 100 buckets
+    // the interpolated estimate must land within one bucket width.
+    Distribution d(0.0, 1000.0, 100);
+    for (int i = 0; i < 1000; ++i)
+        d.sample(double(i));
+
+    EXPECT_NEAR(d.p50(), 500.0, 10.0);
+    EXPECT_NEAR(d.p95(), 950.0, 10.0);
+    EXPECT_NEAR(d.p99(), 990.0, 10.0);
+    // Monotone in p.
+    EXPECT_LE(d.p50(), d.p95());
+    EXPECT_LE(d.p95(), d.p99());
+    // Exact at the edges.
+    EXPECT_DOUBLE_EQ(d.percentile(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(d.percentile(100.0), 999.0);
+}
+
+TEST(Distribution, PercentileClampsToObservedRange)
+{
+    // Out-of-range samples land in the end buckets whose nominal
+    // edges overshoot the data; the estimate must never escape
+    // [min, max].
+    Distribution d(0.0, 10.0, 10);
+    d.sample(-50.0);
+    d.sample(5.0);
+    d.sample(200.0);
+
+    EXPECT_GE(d.p50(), d.min());
+    EXPECT_LE(d.p50(), d.max());
+    EXPECT_DOUBLE_EQ(d.percentile(100.0), 200.0);
+    EXPECT_DOUBLE_EQ(d.percentile(0.0), -50.0);
+    EXPECT_GE(d.p99(), d.p50());
+}
+
 // ---------------- StatSet::dumpJson -----------------------------
 
 /**

@@ -27,8 +27,19 @@
  *     speedup that changes simulated behavior is a bug, not a win)
  *   - host ns per simulated cycle must not regress >10%
  *
- * When the baseline file is missing the leg bootstraps: it writes
- * the report and passes. CI runs both legs on every push (see
+ * serve=1 leg (serving subsystem, docs/serving.md): runs the
+ * reference serving configuration — a two-class SpMV mix through
+ * the batch executor and the queueing loop, open and closed loop,
+ * base and VIA — and fingerprints the simulated results (request
+ * counts, makespan, latency percentiles, energy per request).
+ * Everything in the fingerprint is simulated-deterministic, so the
+ * gate against the committed BENCH_serving.json is exact:
+ *
+ *   - the serving fingerprint must match the baseline bit-for-bit
+ *   - VIA must not lose to the baseline at the p99 latency tail
+ *
+ * When the baseline file is missing a leg bootstraps: it writes
+ * the report and passes. CI runs all legs on every push (see
  * .github/workflows/ci.yml).
  *
  * Usage:
@@ -54,6 +65,9 @@
 #include "simcore/config.hh"
 #include "simcore/log.hh"
 #include "simcore/options.hh"
+#include "serve/executor.hh"
+#include "serve/request.hh"
+#include "serve/sim.hh"
 #include "simcore/parallel.hh"
 #include "simcore/rng.hh"
 #include "sparse/generators.hh"
@@ -316,6 +330,188 @@ runSimspeed(const Options &opts)
     return (stats_ok && speed_ok) ? 0 : 1;
 }
 
+// ==================================================================
+// serve=1: the serving-subsystem regression gate.
+// ==================================================================
+
+/** One serving scenario, base and VIA on identical traffic. */
+struct ServeLeg
+{
+    std::string name;
+    serve::ServeReport base;
+    serve::ServeReport via;
+
+    double
+    speedupP99() const
+    {
+        return via.latency.p99() > 0.0
+                   ? base.latency.p99() / via.latency.p99()
+                   : 0.0;
+    }
+
+    /** Canonical byte image of every simulated-deterministic
+     *  quantity the leg reports; the gate hashes this. */
+    std::string
+    fingerprint() const
+    {
+        char buf[512];
+        auto one = [&](const serve::ServeReport &r) {
+            std::snprintf(
+                buf, sizeof(buf),
+                "req=%llu batches=%llu makespan=%llu "
+                "p50=%.17g p95=%.17g p99=%.17g q99=%.17g "
+                "pj=%.17g;",
+                static_cast<unsigned long long>(r.requests),
+                static_cast<unsigned long long>(r.batches),
+                static_cast<unsigned long long>(r.makespan),
+                r.latency.p50(), r.latency.p95(), r.latency.p99(),
+                r.queueing.p99(), r.energyPerRequestPj);
+            return std::string(buf);
+        };
+        return name + ":base " + one(base) + "via " + one(via);
+    }
+};
+
+int
+runServing(const Options &opts)
+{
+    std::string out_path = opts.getString("serve_out");
+    std::string base_path = opts.getString("serve_baseline");
+    if (base_path.empty())
+        base_path = out_path;
+
+    // The reference serving configuration: two SpMV classes (CSR and
+    // SELL-C-sigma), arrivals fast enough that the scheduler
+    // actually batches, measured on the default single-core machine.
+    auto mix = serve::parseMix(
+        "spmv:csr:96:0.05:1,spmv:sell:96:0.05:1@2");
+    serve::ExecutorConfig ex;
+    ex.batchMax = 4;
+    ex.threads = unsigned(opts.getUInt("threads"));
+    ex.seed = 1;
+    serve::ExecutorConfig exv = ex;
+    exv.via = true;
+
+    std::printf("bench_report: serving gate (%zu classes, "
+                "batch<=%u)\n",
+                mix.size(), ex.batchMax);
+    serve::TableServiceModel base_table =
+        serve::measureServiceTable(mix, ex);
+    serve::TableServiceModel via_table =
+        serve::measureServiceTable(mix, exv);
+
+    std::vector<ServeLeg> legs;
+    {
+        serve::ServeConfig sc;
+        sc.requests = 200;
+        sc.ratePerMcycle = 2000.0; // ~500-cycle gaps vs ~700 service
+        sc.batchMax = 4;
+        sc.seed = 1;
+        legs.push_back({"open", runServe(mix, base_table, sc),
+                        runServe(mix, via_table, sc)});
+    }
+    {
+        serve::ServeConfig sc;
+        sc.closed = true;
+        sc.requests = 200;
+        sc.clients = 8;
+        sc.thinkCycles = 500.0;
+        sc.batchMax = 4;
+        sc.seed = 1;
+        legs.push_back({"closed", runServe(mix, base_table, sc),
+                        runServe(mix, via_table, sc)});
+    }
+
+    for (const ServeLeg &leg : legs)
+        std::printf("  %-6s base p99 %6.0f  via p99 %6.0f  "
+                    "(%.3fx)  mean batch %.2f  energy %0.f/%0.f "
+                    "pJ/req\n",
+                    leg.name.c_str(), leg.base.latency.p99(),
+                    leg.via.latency.p99(), leg.speedupP99(),
+                    leg.base.meanBatch, leg.base.energyPerRequestPj,
+                    leg.via.energyPerRequestPj);
+
+    bool finger_ok = true;
+    bool tail_ok = true;
+    std::ifstream in(base_path);
+    if (in) {
+        std::stringstream ss;
+        ss << in.rdbuf();
+        std::string text = ss.str();
+        for (const ServeLeg &leg : legs) {
+            std::string sect = jsonSection(text, leg.name);
+            std::uint64_t bhash = 0;
+            if (sect.empty() ||
+                !jsonHash(sect, "fingerprint_fnv64", bhash)) {
+                std::fprintf(stderr,
+                             "bench_report: baseline %s lacks "
+                             "serving leg '%s'\n",
+                             base_path.c_str(), leg.name.c_str());
+                finger_ok = false;
+                continue;
+            }
+            std::uint64_t hash = fnv64(leg.fingerprint());
+            if (hash != bhash) {
+                std::fprintf(
+                    stderr,
+                    "bench_report: FAIL %s serving fingerprint "
+                    "changed (%016llx vs %016llx): %s\n",
+                    leg.name.c_str(),
+                    static_cast<unsigned long long>(hash),
+                    static_cast<unsigned long long>(bhash),
+                    leg.fingerprint().c_str());
+                finger_ok = false;
+            }
+        }
+    } else {
+        std::printf("  no baseline at %s; bootstrapping\n",
+                    base_path.c_str());
+    }
+    for (const ServeLeg &leg : legs) {
+        if (leg.speedupP99() < 1.0) {
+            std::fprintf(stderr,
+                         "bench_report: FAIL %s VIA p99 %.0f worse "
+                         "than base %.0f\n",
+                         leg.name.c_str(), leg.via.latency.p99(),
+                         leg.base.latency.p99());
+            tail_ok = false;
+        }
+    }
+
+    std::FILE *f = std::fopen(out_path.c_str(), "w");
+    if (f == nullptr)
+        via_fatal("cannot write ", out_path);
+    std::fprintf(f, "{\n");
+    for (const ServeLeg &leg : legs)
+        std::fprintf(
+            f,
+            "  \"%s\": {\"requests\": %llu, \"batches\": %llu, "
+            "\"mean_batch\": %.2f, \"makespan_cycles\": %llu, "
+            "\"base_p99\": %.1f, \"via_p99\": %.1f, "
+            "\"via_speedup_p99\": %.3f, \"base_pj_per_request\": "
+            "%.1f, \"via_pj_per_request\": %.1f, "
+            "\"fingerprint_fnv64\": \"%016llx\"},\n",
+            leg.name.c_str(),
+            static_cast<unsigned long long>(leg.base.requests),
+            static_cast<unsigned long long>(leg.base.batches),
+            leg.base.meanBatch,
+            static_cast<unsigned long long>(leg.base.makespan),
+            leg.base.latency.p99(), leg.via.latency.p99(),
+            leg.speedupP99(), leg.base.energyPerRequestPj,
+            leg.via.energyPerRequestPj,
+            static_cast<unsigned long long>(
+                fnv64(leg.fingerprint())));
+    std::fprintf(f,
+                 "  \"pass\": {\"fingerprint_identical\": %s, "
+                 "\"via_p99_no_worse\": %s}\n}\n",
+                 finger_ok ? "true" : "false",
+                 tail_ok ? "true" : "false");
+    std::fclose(f);
+    std::printf("wrote %s\n", out_path.c_str());
+
+    return (finger_ok && tail_ok) ? 0 : 1;
+}
+
 } // namespace
 
 int
@@ -347,7 +543,15 @@ main(int argc, char **argv)
                    "simspeed-leg JSON report path")
         .addString("simspeed_baseline", "",
                    "baseline JSON to gate against (default: the "
-                   "simspeed_out path)");
+                   "simspeed_out path)")
+        .addFlag("serve",
+                 "run the serving-subsystem gate instead of the "
+                 "sampling leg")
+        .addString("serve_out", "BENCH_serving.json",
+                   "serving-leg JSON report path")
+        .addString("serve_baseline", "",
+                   "baseline JSON to gate against (default: the "
+                   "serve_out path)");
     addThreadsOption(opts);
     addSelfProfOption(opts);
     opts.parse(argc, argv);
@@ -355,6 +559,8 @@ main(int argc, char **argv)
 
     if (opts.getBool("simspeed"))
         return runSimspeed(opts);
+    if (opts.getBool("serve"))
+        return runServing(opts);
 
     auto rows = Index(opts.getUInt("rows"));
     double density = opts.getDouble("density");

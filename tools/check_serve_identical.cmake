@@ -1,0 +1,46 @@
+# The serving harness must be deterministic in the worker count: the
+# service table is measured by a SweepExecutor whose per-point seeds
+# are index-derived (simcore/parallel.hh), and the queueing loop
+# itself is single-threaded host code. A threads=N run is therefore
+# required to be byte-identical — report, JSON and all — to the
+# serial run, for both arrival generators.
+#
+# Inputs: -DVIA_SERVE=<path>
+
+function(run_pair label out_var)
+    execute_process(COMMAND ${ARGN}
+                    OUTPUT_VARIABLE out RESULT_VARIABLE rc)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR "${label} exited ${rc}")
+    endif()
+    set(${out_var} "${out}" PARENT_SCOPE)
+endfunction()
+
+set(mix "mix=spmv:csr:96:0.05:1,spmv:sell:96:0.05:1@2")
+
+# Open loop, JSON report (covers every emitted number).
+run_pair("open threads=1" base
+         ${VIA_SERVE} requests=24 ${mix} batch=4 json=1 threads=1)
+run_pair("open threads=4" four
+         ${VIA_SERVE} requests=24 ${mix} batch=4 json=1 threads=4)
+if(NOT base STREQUAL four)
+    message(FATAL_ERROR
+            "via_serve open-loop output differs between threads=1 "
+            "and threads=4")
+endif()
+
+# Closed loop, text report plus the request trace.
+run_pair("closed threads=1" base
+         ${VIA_SERVE} arrivals=closed requests=24 clients=3 ${mix}
+         batch=4 trace=1 threads=1)
+run_pair("closed threads=4" four
+         ${VIA_SERVE} arrivals=closed requests=24 clients=3 ${mix}
+         batch=4 trace=1 threads=4)
+if(NOT base STREQUAL four)
+    message(FATAL_ERROR
+            "via_serve closed-loop output differs between threads=1 "
+            "and threads=4")
+endif()
+
+message(STATUS "via_serve output bit-identical across threads=N "
+               "for both arrival generators")

@@ -45,6 +45,7 @@
 #include "cpu/machine.hh"
 #include "cpu/machine_config.hh"
 #include "cpu/multi_machine.hh"
+#include "kernels/backend_kernels.hh"
 #include "kernels/parallel.hh"
 #include "kernels/runner.hh"
 #include "kernels/spmv.hh"
@@ -72,6 +73,43 @@ MachineParams
 makeParams(const Config &cfg)
 {
     return machineParamsFrom(cfg);
+}
+
+/**
+ * The accelerated column's kernel per format, selected by backend=.
+ * backend=via (the default) runs the historical VIA kernels, so the
+ * default output is unchanged; backend=base degenerates to software
+ * vs software (every speedup 1.0 by construction).
+ */
+struct AccelKernels
+{
+    kernels::SpmvResult (*csr)(Machine &, const Csr &,
+                               const DenseVector &);
+    kernels::SpmvResult (*spc5)(Machine &, const Spc5 &,
+                                const DenseVector &);
+    kernels::SpmvResult (*sell)(Machine &, const SellCSigma &,
+                                const DenseVector &);
+    kernels::SpmvResult (*csb)(Machine &, const Csb &,
+                               const DenseVector &);
+};
+
+AccelKernels
+accelKernels(BackendKind kind)
+{
+    using namespace kernels;
+    switch (kind) {
+      case BackendKind::Base:
+        return {spmvVectorCsr, spmvVectorSpc5, spmvVectorSell,
+                spmvVectorCsb};
+      case BackendKind::Via:
+        return {spmvViaCsr, spmvViaSpc5, spmvViaSell, spmvViaCsb};
+      case BackendKind::Ssr:
+        return {spmvSsrCsr, spmvSsrSpc5, spmvSsrSell, spmvSsrCsb};
+      case BackendKind::IndexMac:
+        return {spmvImacCsr, spmvImacSpc5, spmvImacSell,
+                spmvImacCsb};
+    }
+    via_fatal("unhandled backend kind");
 }
 
 } // namespace
@@ -118,6 +156,11 @@ main(int argc, char **argv)
         kernels::parsePartition(opts.getString("partition"));
     if (cores > 1 && sopts.mode != sample::SimMode::Detailed)
         via_fatal("cores>1 supports mode=detailed only");
+    if (cores > 1 && params.backend.kind != BackendKind::Via)
+        via_fatal("cores>1 runs the VIA parallel kernels; backend=",
+                  backendName(params.backend.kind),
+                  " is single-core only");
+    AccelKernels accel = accelKernels(params.backend.kind);
     SharedLlcParams llcp =
         sharedLlcParamsFrom(opts.config(), params, cores);
 
@@ -159,19 +202,19 @@ main(int argc, char **argv)
         pm.nnzPerBlock = csb.meanNnzPerNonEmptyBlock();
         pm.spCsr = cores == 1
                        ? run(kernels::spmvVectorCsr, a) /
-                             run(kernels::spmvViaCsr, a)
+                             run(accel.csr, a)
                        : run_par("csr", false) / run_par("csr", true);
         pm.spSpc5 = run(kernels::spmvVectorSpc5, spc5) /
-                    run(kernels::spmvViaSpc5, spc5);
+                    run(accel.spc5, spc5);
         pm.spSell = run(kernels::spmvVectorSell, sell) /
-                    run(kernels::spmvViaSell, sell);
-        // The headline kernel (VIA on CSB) is the traced one.
+                    run(accel.sell, sell);
+        // The headline kernel (the backend's CSB) is the traced one.
         double via_csb = [&] {
             Machine m(params);
             enableTracing(m, topts);
             m.tracePhase("spmv_csb");
             auto est = sample::runWith(
-                m, sopts, [&] { kernels::spmvViaCsb(m, csb, x); });
+                m, sopts, [&] { accel.csb(m, csb, x); });
             finishTracing(m, topts, "_" + entry.name);
             return est.cycles;
         }();

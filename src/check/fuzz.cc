@@ -78,6 +78,18 @@ seedPartition(std::uint64_t seed)
 }
 
 /**
+ * The accelerated slot's variant= tag. With the default backend the
+ * campaign output stays byte-identical to the pre-backend fuzzer
+ * ("variant=via").
+ */
+std::string
+accelTag(const MachineParams &params)
+{
+    return "variant=" +
+           std::string(backendName(params.backend.kind));
+}
+
+/**
  * Run one kernel variant on a fresh machine with an invariant
  * checker attached; @p body executes the kernel and returns whether
  * the result matched the golden reference.
@@ -176,10 +188,11 @@ fuzzSpmv(const SeedCtx &ctx, const MachineParams &params, Rng &rng)
                     }))
             return false;
         if (!runOne(ctx, params, "spmv",
-                    "kernel=spmv format=" + fmt + " variant=via",
+                    "kernel=spmv format=" + fmt + " " +
+                        accelTag(params),
                     [&](Machine &m) {
                         return diff(
-                            kernels::spmvVia(m, a, x, fmt));
+                            kernels::spmvAccel(m, a, x, fmt));
                     }))
             return false;
     }
@@ -225,9 +238,10 @@ fuzzSpma(const SeedCtx &ctx, const MachineParams &params, Rng &rng)
                     return diff(kernels::spmaScalarCsr(m, a, b));
                 }))
         return false;
-    if (!runOne(ctx, params, "spma", "kernel=spma variant=via",
+    if (!runOne(ctx, params, "spma",
+                "kernel=spma " + accelTag(params),
                 [&](Machine &m) {
-                    return diff(kernels::spmaViaCsr(m, a, b));
+                    return diff(kernels::spmaAccel(m, a, b));
                 }))
         return false;
     if (ctx.opts.cores > 1) {
@@ -264,14 +278,18 @@ fuzzSpmm(const SeedCtx &ctx, const MachineParams &params, Rng &rng)
                     return diff(kernels::spmmScalarInner(m, a, b));
                 }))
         return false;
-    bool via_fits = a.maxRowNnz() <= Index(params.via.camEntries());
     // The VIA kernel loads whole A rows into the CAM; rows longer
-    // than the table cannot run on this configuration.
+    // than the table cannot run on this configuration. The other
+    // backends have no such capacity cliff.
+    bool via_fits =
+        params.backend.kind != BackendKind::Via ||
+        a.maxRowNnz() <= Index(params.via.camEntries());
     if (!via_fits)
         ++ctx.stats.skipped;
-    else if (!runOne(ctx, params, "spmm", "kernel=spmm variant=via",
+    else if (!runOne(ctx, params, "spmm",
+                     "kernel=spmm " + accelTag(params),
                      [&](Machine &m) {
-                         return diff(kernels::spmmViaInner(m, a, b));
+                         return diff(kernels::spmmAccel(m, a, b));
                      }))
         return false;
     if (ctx.opts.cores > 1) {
@@ -326,9 +344,10 @@ fuzzHistogram(const SeedCtx &ctx, const MachineParams &params,
                 }))
         return false;
     if (!runOne(ctx, params, "histogram",
-                "kernel=histogram variant=via", [&](Machine &m) {
+                "kernel=histogram " + accelTag(params),
+                [&](Machine &m) {
                     return diff(
-                        kernels::histVia(m, keys, buckets));
+                        kernels::histAccel(m, keys, buckets));
                 }))
         return false;
     if (ctx.opts.cores > 1) {
@@ -368,8 +387,9 @@ fuzzStencil(const SeedCtx &ctx, const MachineParams &params,
                 }))
         return false;
     if (!runOne(ctx, params, "stencil",
-                "kernel=stencil variant=via", [&](Machine &m) {
-                    return diff(kernels::stencilVia(m, img));
+                "kernel=stencil " + accelTag(params),
+                [&](Machine &m) {
+                    return diff(kernels::stencilAccel(m, img));
                 }))
         return false;
     if (ctx.opts.cores > 1) {
@@ -578,6 +598,8 @@ FuzzStats
 runFuzz(const FuzzOptions &opts)
 {
     std::vector<MachineParams> configs = fuzzConfigs();
+    for (MachineParams &params : configs)
+        params.backend.kind = opts.backend;
 
     SweepExecutor exec(opts.threads);
     std::vector<SeedResult> results =

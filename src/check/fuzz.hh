@@ -53,6 +53,17 @@ struct FuzzOptions
     bool verbose = false;         //!< per-seed progress on stderr
 
     /**
+     * The accelerated variant every seed differentials against the
+     * host goldens: the VIA kernels by default, or the SSR /
+     * IndexMAC baseline backends (machines are built over the
+     * matching VectorBackend). backend=base re-runs the software
+     * kernels in the accelerated slot — a self-consistency mode.
+     * cores>1 requires Via (only the VIA kernels have parallel
+     * variants).
+     */
+    BackendKind backend = BackendKind::Via;
+
+    /**
      * With cores > 1 each seed additionally runs the parallel
      * kernel variants (src/kernels/parallel.hh) on a cores-core
      * MultiMachine, diffed against the same host goldens with an

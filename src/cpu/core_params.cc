@@ -60,6 +60,12 @@ MachineParams::print(std::ostream &os) const
        << "-cycle latency, " << mem.dram.bytesPerCycle
        << " B/cycle (" << mem.dram.bytesPerCycle * core.clockGhz
        << " GB/s)\n";
+    os << "  backend             " << backendName(backend.kind);
+    if (backend.kind == BackendKind::Ssr)
+        os << " (" << backend.ssrStreams << " stream registers)";
+    else if (backend.kind == BackendKind::IndexMac)
+        os << " (" << backend.imacRows << " row-buffer entries)";
+    os << "\n";
     os << "VIA (" << via.name() << ")\n"
        << "  SSPM                " << via.sspmBytes / 1024 << " KB, "
        << via.ports << " ports, " << via.valueBytes

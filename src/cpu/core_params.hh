@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <ostream>
 
+#include "cpu/backend_params.hh"
 #include "isa/inst.hh"
 #include "isa/vreg.hh"
 #include "mem/mem_system.hh"
@@ -73,6 +74,7 @@ struct MachineParams
     CoreParams core;
     MemSystemParams mem = MemSystemParams::defaults();
     ViaConfig via;
+    BackendParams backend;
     ElemType valueType = ElemType::F32;
     ElemType indexType = ElemType::I32;
 

@@ -52,7 +52,10 @@ Machine::Machine(const MachineParams &params,
       _memSys(std::make_unique<MemSystem>(params.mem)),
       _sspm(std::make_unique<Sspm>(params.via)),
       _fivu(std::make_unique<Fivu>(params.via)),
-      _core(std::make_unique<OoOCore>(params.core, *_memSys, *_fivu)),
+      _backend(makeBackend(params.backend, *_fivu, *_sspm,
+                           _memSys->lineBytes())),
+      _core(std::make_unique<OoOCore>(params.core, *_memSys,
+                                      *_backend)),
       _func(std::make_unique<sample::FunctionalExecutor>(*_memSys,
                                                          *_core))
 {
@@ -104,6 +107,10 @@ Machine::Machine(const MachineParams &params,
     _stats.addScalar("fivu.sspm_write_cycles",
                      "cycles spent on SSPM write phases",
                      &fs.sspmWriteCycles);
+
+    // Via/Base register nothing here, keeping the dump (and every
+    // fingerprint over it) byte-identical to the pre-backend layout.
+    _backend->registerStats(_stats);
 
     if (check::envEnabled())
         attachChecker();
@@ -268,6 +275,9 @@ Machine::saveState(Serializer &ser) const
     _sspm->saveState(ser);
     _fivu->saveState(ser);
     _core->saveState(ser);
+    // Appended last; Via/Base backends write nothing, so their
+    // checkpoints are byte-identical to the pre-backend format.
+    _backend->saveState(ser);
 }
 
 void
@@ -295,6 +305,7 @@ Machine::loadState(Deserializer &des)
     _sspm->loadState(des);
     _fivu->loadState(des);
     _core->loadState(des);
+    _backend->loadState(des);
     _seq = seq;
     _events.resetTick(tick);
 }
@@ -1099,6 +1110,254 @@ Machine::vidxBlkMulD(VReg data, VReg idx, std::uint32_t idx_offset,
                          vid(data), vid(idx));
     inst.sspmReads = std::uint16_t(2 * n);
     inst.sspmWrites = std::uint16_t(n);
+    issue(inst);
+}
+
+// ================= SSR ==========================================
+
+SsrBackend &
+Machine::ssr()
+{
+    if (_backend->kind() != BackendKind::Ssr)
+        via_fatal("SSR emit on a backend=",
+                  backendName(_backend->kind()), " machine");
+    return static_cast<SsrBackend &>(*_backend);
+}
+
+void
+Machine::ssrBindAffine(std::uint32_t s, Addr base, ElemType t)
+{
+    SsrBackend &b = ssr();
+    SsrBackend::Stream &st = b.stream(s);
+    st.kind = SsrBackend::Stream::Kind::Affine;
+    st.base = base;
+    st.dataType = t;
+    st.cursor = 0;
+    ++b.archStats().binds;
+    issue(makeInst(Op::SsrCfg, 0, REG_NONE, REG_NONE));
+}
+
+void
+Machine::ssrBindIndirect(std::uint32_t s, Addr idx_base,
+                         ElemType idx_t, Addr data_base,
+                         ElemType data_t)
+{
+    SsrBackend &b = ssr();
+    SsrBackend::Stream &st = b.stream(s);
+    st.kind = SsrBackend::Stream::Kind::Indirect;
+    st.base = data_base;
+    st.dataType = data_t;
+    st.idxBase = idx_base;
+    st.idxType = idx_t;
+    st.cursor = 0;
+    ++b.archStats().binds;
+    issue(makeInst(Op::SsrCfg, 0, REG_NONE, REG_NONE));
+}
+
+void
+Machine::ssrPopV(VReg dst, std::uint32_t s, int vl_, int advance)
+{
+    SsrBackend &b = ssr();
+    SsrBackend::Stream &st = b.stream(s);
+    via_assert(st.kind != SsrBackend::Stream::Kind::None,
+               "ssr.popv from unbound stream ", s);
+    ElemType t = st.dataType;
+    std::uint32_t n = resolveVl(t, vl_);
+    std::uint32_t eb = elemBytes(t);
+    VecValue &d = _vrf[dst.id];
+
+    Inst inst = makeInst(Op::SsrPopV, int(n), vid(dst), REG_NONE);
+    if (st.kind == SsrBackend::Stream::Kind::Affine) {
+        Addr a = st.base + Addr(st.cursor) * eb;
+        for (std::uint32_t l = 0; l < n; ++l) {
+            std::uint64_t raw = 0;
+            _mem->read(a + Addr(l) * eb, &raw, eb);
+            if (t == ElemType::I32)
+                raw = std::uint64_t(std::int64_t(std::int32_t(raw)));
+            d.raw[l] = raw;
+        }
+        inst.addAccess(a, n * eb, false);
+    } else {
+        // The streamer fetches the next n indices, then their data.
+        std::uint32_t ib = elemBytes(st.idxType);
+        Addr ia = st.idxBase + Addr(st.cursor) * ib;
+        inst.addAccess(ia, n * ib, false);
+        for (std::uint32_t l = 0; l < n; ++l) {
+            std::uint64_t iraw = 0;
+            _mem->read(ia + Addr(l) * ib, &iraw, ib);
+            auto idx = std::int64_t(std::int32_t(iraw));
+            Addr da = st.base + Addr(idx) * eb;
+            std::uint64_t raw = 0;
+            _mem->read(da, &raw, eb);
+            if (t == ElemType::I32)
+                raw = std::uint64_t(std::int64_t(std::int32_t(raw)));
+            d.raw[l] = raw;
+            inst.addAccess(da, eb, false);
+        }
+    }
+    for (std::uint32_t l = n; l < MAX_LANES; ++l)
+        d.raw[l] = 0;
+
+    st.cursor += advance < 0 ? n : std::uint32_t(advance);
+    ++b.archStats().pops;
+    b.archStats().elements += n;
+    issue(inst);
+}
+
+void
+Machine::ssrPopS(SReg dst, std::uint32_t s)
+{
+    SsrBackend &b = ssr();
+    SsrBackend::Stream &st = b.stream(s);
+    via_assert(st.kind != SsrBackend::Stream::Kind::None,
+               "ssr.pops from unbound stream ", s);
+    ElemType t = st.dataType;
+    std::uint32_t eb = elemBytes(t);
+
+    Inst inst = makeInst(Op::SsrPopS, 0, sid(dst), REG_NONE);
+    Addr da;
+    if (st.kind == SsrBackend::Stream::Kind::Affine) {
+        da = st.base + Addr(st.cursor) * eb;
+    } else {
+        std::uint32_t ib = elemBytes(st.idxType);
+        Addr ia = st.idxBase + Addr(st.cursor) * ib;
+        std::uint64_t iraw = 0;
+        _mem->read(ia, &iraw, ib);
+        da = st.base + Addr(std::int64_t(std::int32_t(iraw))) * eb;
+        inst.addAccess(ia, ib, false);
+    }
+    std::uint64_t raw = 0;
+    _mem->read(da, &raw, eb);
+    inst.addAccess(da, eb, false);
+    if (t == ElemType::F32 || t == ElemType::F64) {
+        setSregF(dst, rawToF(t, raw));
+    } else {
+        if (eb == 4)
+            raw = std::uint64_t(std::int64_t(std::int32_t(raw)));
+        setSregI(dst, std::int64_t(raw));
+    }
+
+    st.cursor += 1;
+    ++b.archStats().pops;
+    ++b.archStats().elements;
+    issue(inst);
+}
+
+void
+Machine::ssrFma(VReg acc, std::uint32_t val_s, std::uint32_t idx_s,
+                int vl_, int advance)
+{
+    SsrBackend &b = ssr();
+    SsrBackend::Stream &vs = b.stream(val_s);
+    SsrBackend::Stream &is = b.stream(idx_s);
+    via_assert(vs.kind == SsrBackend::Stream::Kind::Affine,
+               "ssr.fma value stream must be affine");
+    via_assert(is.kind == SsrBackend::Stream::Kind::Indirect,
+               "ssr.fma gather stream must be indirect");
+
+    ElemType t = valueType();
+    std::uint32_t n = resolveVl(t, vl_);
+    std::uint32_t veb = elemBytes(vs.dataType);
+    std::uint32_t deb = elemBytes(is.dataType);
+    std::uint32_t ib = elemBytes(is.idxType);
+    VecValue &a = _vrf[acc.id];
+
+    // acc is both read and written: name it as a source so the
+    // scheduler sees the accumulation chain.
+    Inst inst = makeInst(Op::SsrFma, int(n), vid(acc), vid(acc));
+    Addr va = vs.base + Addr(vs.cursor) * veb;
+    inst.addAccess(va, n * veb, false);
+    Addr ia = is.idxBase + Addr(is.cursor) * ib;
+    inst.addAccess(ia, n * ib, false);
+
+    for (std::uint32_t l = 0; l < n; ++l) {
+        std::uint64_t vraw = 0;
+        _mem->read(va + Addr(l) * veb, &vraw, veb);
+        std::uint64_t iraw = 0;
+        _mem->read(ia + Addr(l) * ib, &iraw, ib);
+        Addr da = is.base +
+                  Addr(std::int64_t(std::int32_t(iraw))) * deb;
+        std::uint64_t graw = 0;
+        _mem->read(da, &graw, deb);
+        inst.addAccess(da, deb, false);
+
+        double prod = rawToF(vs.dataType, vraw) *
+                      rawToF(is.dataType, graw);
+        a.setFAs(t, l, a.fAs(t, l) + prod);
+    }
+
+    std::uint32_t adv = advance < 0 ? n : std::uint32_t(advance);
+    vs.cursor += adv;
+    is.cursor += adv;
+    ++b.archStats().pops;
+    b.archStats().elements += 2 * std::uint64_t(n);
+    issue(inst);
+}
+
+// ================= IndexMAC =====================================
+
+IndexMacBackend &
+Machine::imac()
+{
+    if (_backend->kind() != BackendKind::IndexMac)
+        via_fatal("IndexMAC emit on a backend=",
+                  backendName(_backend->kind()), " machine");
+    return static_cast<IndexMacBackend &>(*_backend);
+}
+
+void
+Machine::vimacF(VReg acc, Addr base, VReg idx, VReg val, int n_)
+{
+    IndexMacBackend &b = imac();
+    ElemType t = valueType();
+    std::uint32_t n = resolveVl(t, n_);
+    std::uint32_t eb = elemBytes(t);
+    const VecValue ix = _vrf[idx.id];
+    const VecValue v = _vrf[val.id];
+    VecValue &a = _vrf[acc.id];
+
+    Inst inst = makeInst(Op::VImacF, int(n), vid(acc), vid(idx),
+                         vid(val), vid(acc));
+    for (std::uint32_t l = 0; l < n; ++l) {
+        Addr da = base + Addr(ix.i(l)) * eb;
+        std::uint64_t raw = 0;
+        _mem->read(da, &raw, eb);
+        a.setFAs(t, l,
+                 a.fAs(t, l) + v.fAs(t, l) * rawToF(t, raw));
+        // A lane whose line sits in the row buffer is served by the
+        // MAC unit's buffered copy — no cache access.
+        if (!b.touchLine(da))
+            inst.addAccess(da, eb, false);
+    }
+    ++b.archStats().ops;
+    issue(inst);
+}
+
+void
+Machine::vimacStF(Addr base, VReg idx, VReg val, int n_)
+{
+    IndexMacBackend &b = imac();
+    ElemType t = valueType();
+    std::uint32_t n = resolveVl(t, n_);
+    std::uint32_t eb = elemBytes(t);
+    const VecValue ix = _vrf[idx.id];
+    const VecValue v = _vrf[val.id];
+
+    Inst inst = makeInst(Op::VImacStF, int(n), REG_NONE, vid(idx),
+                         vid(val));
+    // Lanes accumulate in order inside the MAC unit, so duplicate
+    // indices combine correctly without software conflict handling.
+    for (std::uint32_t l = 0; l < n; ++l) {
+        Addr da = base + Addr(ix.i(l)) * eb;
+        std::uint64_t raw = 0;
+        _mem->read(da, &raw, eb);
+        std::uint64_t res =
+            fToRaw(t, rawToF(t, raw) + v.fAs(t, l));
+        _mem->write(da, &res, eb);
+        if (!b.touchLine(da))
+            inst.addAccess(da, eb, true);
+    }
+    ++b.archStats().ops;
     issue(inst);
 }
 

@@ -23,6 +23,7 @@
 
 #include "cpu/core_params.hh"
 #include "cpu/ooo_core.hh"
+#include "cpu/vector_backend.hh"
 #include "isa/inst.hh"
 #include "isa/vreg.hh"
 #include "mem/backing_store.hh"
@@ -113,6 +114,10 @@ class Machine
     const Sspm &sspm() const { return *_sspm; }
     Fivu &fivu() { return *_fivu; }
     const Fivu &fivu() const { return *_fivu; }
+    /** The vector-unit backend this machine was built over. */
+    VectorBackend &backend() { return *_backend; }
+    const VectorBackend &backend() const { return *_backend; }
+    BackendKind backendKind() const { return _backend->kind(); }
     OoOCore &core() { return *_core; }
     const OoOCore &core() const { return *_core; }
     /**
@@ -393,6 +398,68 @@ class Machine
     void vidxBlkMulD(VReg data, VReg idx, std::uint32_t idx_offset,
                      std::int64_t offset, int vl = -1);
 
+    // ==============================================================
+    // SSR emits (backend=ssr; arXiv 2011.08070)
+    // ==============================================================
+
+    /**
+     * ssr.cfg affine: bind stream register @p s to the unit-stride
+     * sequence of @p t elements starting at @p base. Resets the
+     * stream's cursor.
+     */
+    void ssrBindAffine(std::uint32_t s, Addr base, ElemType t);
+
+    /**
+     * ssr.cfg indirect: bind stream register @p s so each pop reads
+     * the next index from @p idx_base and returns
+     * mem[data_base + index * elemBytes(data_t)].
+     */
+    void ssrBindIndirect(std::uint32_t s, Addr idx_base,
+                         ElemType idx_t, Addr data_base,
+                         ElemType data_t);
+
+    /**
+     * ssr.popv: dst[l] = the stream's next @p vl elements; the
+     * cursor advances by @p advance elements (default: vl — pass a
+     * larger value to skip padding, e.g. SELL chunks with fewer
+     * active rows than the chunk height).
+     */
+    void ssrPopV(VReg dst, std::uint32_t s, int vl = -1,
+                 int advance = -1);
+
+    /** ssr.pops: dst = the stream's next element (FP view for FP
+     *  data types, integer view otherwise). */
+    void ssrPopS(SReg dst, std::uint32_t s);
+
+    /**
+     * ssr.fma: acc[l] += val[l] * gather[l] where val streams from
+     * @p val_s (affine) and gather[l] reads the data array of
+     * indirect stream @p idx_s at its next indices — the fused
+     * stream-FMA that replaces the load/gather/FMA triple. Both
+     * cursors advance by @p advance (default vl).
+     */
+    void ssrFma(VReg acc, std::uint32_t val_s, std::uint32_t idx_s,
+                int vl = -1, int advance = -1);
+
+    // ==============================================================
+    // IndexMAC emits (backend=indexmac; arXiv 2311.07241)
+    // ==============================================================
+
+    /**
+     * vimac.f: acc[l] += val[l] * mem[base + idx[l]*elemBytes(vt)]
+     * for active lanes. Lanes whose source line sits in the row
+     * buffer skip their cache access.
+     */
+    void vimacF(VReg acc, Addr base, VReg idx, VReg val, int n = -1);
+
+    /**
+     * vimac.st.f: mem[base + idx[l]*elemBytes(vt)] += val[l], lanes
+     * processed in order so duplicate indices accumulate serially
+     * (no software conflict handling needed). Row-buffer hits skip
+     * the cache access.
+     */
+    void vimacStF(Addr base, VReg idx, VReg val, int n = -1);
+
   private:
     enum class ArithKind : std::uint8_t { Add, Sub, Mul };
 
@@ -414,6 +481,11 @@ class Machine
     static std::int16_t vid(VReg r);
     static std::int16_t sid(SReg r);
 
+    /** The backend downcast to SSR; fatal on any other kind. */
+    SsrBackend &ssr();
+    /** The backend downcast to IndexMAC; fatal on any other kind. */
+    IndexMacBackend &imac();
+
     double combineF(ArithKind k, double a, double b) const;
     void vidxArithD(Op op, ArithKind k, VReg data, VReg idx,
                     ViaOut out, VReg dst, std::int64_t offset,
@@ -429,6 +501,7 @@ class Machine
     std::unique_ptr<MemSystem> _memSys;
     std::unique_ptr<Sspm> _sspm;
     std::unique_ptr<Fivu> _fivu;
+    std::unique_ptr<VectorBackend> _backend;
     std::unique_ptr<OoOCore> _core;
     std::unique_ptr<sample::FunctionalExecutor> _func;
     ExecPolicy *_policy = nullptr;

@@ -1,5 +1,7 @@
 #include "cpu/machine_config.hh"
 
+#include "simcore/log.hh"
+
 namespace via
 {
 
@@ -15,6 +17,15 @@ machineParamsFrom(const Config &cfg)
         p.via.camBytes = cfg.getUInt("cam_kb", 4) * 1024;
     p.via.bankEntries =
         std::uint32_t(cfg.getUInt("cam_bank", p.via.bankEntries));
+
+    std::string be = cfg.getString("backend", "via");
+    if (!parseBackendKind(be, p.backend.kind))
+        via_fatal("unknown backend '", be,
+                  "' (expected base|via|ssr|indexmac)");
+    p.backend.ssrStreams = std::uint32_t(
+        cfg.getUInt("ssr_streams", p.backend.ssrStreams));
+    p.backend.imacRows = std::uint32_t(
+        cfg.getUInt("imac_rows", p.backend.imacRows));
 
     CoreParams &core = p.core;
     core.robSize = std::uint32_t(cfg.getUInt("rob", core.robSize));
@@ -38,6 +49,9 @@ machineParamsFrom(const Config &cfg)
         cfg.getUInt("mispredict", lat.mispredictPenalty);
     lat.storeForwardPenalty =
         cfg.getUInt("store_forward", lat.storeForwardPenalty);
+    lat.ssrSetup = cfg.getUInt("ssr_setup", lat.ssrSetup);
+    lat.imacOverhead =
+        cfg.getUInt("imac_overhead", lat.imacOverhead);
 
     MemSystemParams &mem = p.mem;
     if (cfg.has("l1_kb"))
@@ -91,6 +105,16 @@ addMachineOptions(Options &opts)
         .addUInt("sq", core.sqEntries, "store-queue entries", 1)
         .addBool("via_at_commit", core.viaAtCommit,
                  "strict commit-time VIA execution (Section IV-E)")
+        .addString("backend", "via",
+                   "vector backend: base|via|ssr|indexmac")
+        .addUInt("ssr_streams", d.backend.ssrStreams,
+                 "SSR architected stream registers", 1, 32)
+        .addUInt("imac_rows", d.backend.imacRows,
+                 "IndexMAC row-buffer entries", 1, 64)
+        .addUInt("ssr_setup", lat.ssrSetup,
+                 "SSR stream bind (ssr.cfg) cycles", 1)
+        .addUInt("imac_overhead", lat.imacOverhead,
+                 "indexed-MAC macro-op issue overhead cycles", 1)
         .addUInt("gather_overhead", lat.gatherOverhead,
                  "fixed gather/scatter startup cycles")
         .addUInt("gather_ports", lat.gatherPortFactor,

@@ -12,6 +12,9 @@
  *   gather_overhead, gather_ports         — indexed-access cost
  *   mispredict, store_forward             — penalty model
  *   via_at_commit                         — strict §IV-E reading
+ *   backend                               — base|via|ssr|indexmac
+ *   ssr_streams, ssr_setup                — SSR backend knobs
+ *   imac_rows, imac_overhead              — IndexMAC backend knobs
  */
 
 #ifndef VIA_CPU_MACHINE_CONFIG_HH

@@ -9,8 +9,9 @@
 namespace via
 {
 
-OoOCore::OoOCore(const CoreParams &params, MemSystem &mem, Fivu &fivu)
-    : _params(params), _mem(mem), _fivu(fivu), _fus(params),
+OoOCore::OoOCore(const CoreParams &params, MemSystem &mem,
+                 VectorBackend &backend)
+    : _params(params), _mem(mem), _backend(backend), _fus(params),
       _dispatchPorts(params.dispatchWidth),
       _rob(params.robSize, params.commitWidth),
       _stores(params.storeBuffer),
@@ -122,17 +123,28 @@ OoOCore::push(const Inst &inst)
         Tick safe = _params.viaAtCommit ? _rob.commitFront()
                                         : _lastBranchResolve;
         Tick eligible = std::max(ready, safe);
-        Fivu::Timing t = _fivu.dispatch(inst, eligible,
-                                        _params.latencies);
+        Fivu::Timing t = _backend.dispatch(inst, eligible,
+                                           _params.latencies);
+        issue = t.start;
+        complete = t.complete;
+    } else if (inst.op == Op::SsrCfg) {
+        // Stream binds occupy the backend's descriptor sequencer,
+        // not a core FU; later pops wait on the bind's completion
+        // through memEligible.
+        Fivu::Timing t = _backend.dispatch(inst, ready,
+                                           _params.latencies);
         issue = t.start;
         complete = t.complete;
     } else if (inst.isMem()) {
         ++_stats.memInsts;
         if (inst.op == Op::VGather || inst.op == Op::VScatter)
             _stats.gatherElements += inst.numAccesses;
-        // Address generation / AGU issue.
+        // Address generation / AGU issue, no earlier than any
+        // backend constraint (SSR pops wait for their stream's
+        // descriptor to land). The default backend hook returns
+        // ready unchanged.
         Resource &agu = _fus.forClass(cls);
-        issue = agu.acquire(ready);
+        issue = agu.acquire(_backend.memEligible(inst, ready));
         Tick fixed = _params.latencies.latencyOf(inst.op);
         complete = std::max(scheduleMem(inst, issue), issue + fixed);
     } else if (cls == FuClass::None) {
@@ -252,7 +264,7 @@ OoOCore::resetTiming(bool keep_predictor)
     _lastBranchResolve = 0;
     if (!keep_predictor)
         _branchTable.clear();
-    _fivu.resetTiming();
+    _backend.resetTiming();
     // Forgetting only the DRAM pipe would leave cache MSHRs holding
     // absolute ticks from the previous epoch; reset the whole
     // hierarchy's in-flight bookings.

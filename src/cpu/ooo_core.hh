@@ -13,9 +13,12 @@
  *   - L1 load/store ports: gathers and scatters issue one cache
  *     access per active element,
  *   - memory ordering: loads wait for overlapping older stores,
- *   - the FIVU: VIA instructions become eligible only when all older
- *     instructions have committed (commit-time execution, paper
- *     Section IV-E) and serialize on the SSPM ports.
+ *   - the vector backend: VIA instructions become eligible only when
+ *     non-speculative (commit-time execution, paper Section IV-E)
+ *     and serialize on the FIVU/SSPM ports; SSR stream binds occupy
+ *     the descriptor sequencer and gate later pops; backends may
+ *     also constrain when a memory instruction becomes eligible
+ *     (VectorBackend::memEligible).
  *
  * The model folds each pushed Inst into O(window) state; it keeps no
  * instruction history of its own. Branches are treated as perfectly
@@ -37,6 +40,7 @@
 #include "cpu/fu_pool.hh"
 #include "cpu/lsq.hh"
 #include "cpu/rob.hh"
+#include "cpu/vector_backend.hh"
 #include "isa/inst.hh"
 #include "mem/mem_system.hh"
 #include "simcore/event_queue.hh"
@@ -100,9 +104,11 @@ class OoOCore
     /**
      * @param params core sizing
      * @param mem the shared memory hierarchy
-     * @param fivu the VIA unit (shared with the Machine facade)
+     * @param backend the vector-unit backend (shared with the
+     *        Machine facade, which owns it)
      */
-    OoOCore(const CoreParams &params, MemSystem &mem, Fivu &fivu);
+    OoOCore(const CoreParams &params, MemSystem &mem,
+            VectorBackend &backend);
 
     /** Fold one instruction (program order) into the schedule. */
     void push(const Inst &inst);
@@ -185,7 +191,7 @@ class OoOCore
 
     CoreParams _params;
     MemSystem &_mem;
-    Fivu &_fivu;
+    VectorBackend &_backend;
     EventQueue *_events = nullptr;
 
     FuPool _fus;

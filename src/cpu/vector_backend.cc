@@ -1,0 +1,272 @@
+#include "cpu/vector_backend.hh"
+
+#include <algorithm>
+
+#include "power/area_model.hh"
+#include "simcore/log.hh"
+#include "simcore/serialize.hh"
+
+namespace via
+{
+
+namespace
+{
+
+/**
+ * Leakage of one SSR stream register: a handful of address/stride
+ * registers plus a small prefetch FIFO — orders of magnitude below
+ * the SSPM macro (0.5 mW for the 16 KB/2p point).
+ */
+constexpr double ssrStreamLeakMw = 0.015;
+
+/** Leakage of one IndexMAC row-buffer entry (one line + tag). */
+constexpr double imacRowLeakMw = 0.020;
+
+} // namespace
+
+// ----------------- Base -----------------------------------------
+
+Fivu::Timing
+BaseBackend::dispatch(const Inst &inst, Tick, const OpLatencies &)
+{
+    via_panic("backend=base cannot execute ", mnemonic(inst.op),
+              "; the kernel emitted an accelerator instruction on "
+              "a plain vector machine");
+}
+
+double
+BaseBackend::accelDynamicPj(double sspm_element_pj,
+                            double cam_compare_pj) const
+{
+    // The SSPM exists but is never touched; keep the (zero-valued)
+    // formula so base-vs-via deltas stay attributable.
+    const SspmStats &ss = _sspm.stats();
+    const IndexTableStats &its = _sspm.indexTable().stats();
+    return double(ss.elementAccesses()) * sspm_element_pj +
+           double(its.comparisons) * cam_compare_pj;
+}
+
+double
+BaseBackend::accelLeakageMw() const
+{
+    return AreaModel::estimate(_sspm.config()).leakageMw;
+}
+
+// ----------------- VIA ------------------------------------------
+
+double
+ViaBackend::accelDynamicPj(double sspm_element_pj,
+                           double cam_compare_pj) const
+{
+    const SspmStats &ss = _sspm.stats();
+    const IndexTableStats &its = _sspm.indexTable().stats();
+    return double(ss.elementAccesses()) * sspm_element_pj +
+           double(its.comparisons) * cam_compare_pj;
+}
+
+double
+ViaBackend::accelLeakageMw() const
+{
+    return AreaModel::estimate(_sspm.config()).leakageMw;
+}
+
+// ----------------- SSR ------------------------------------------
+
+SsrBackend::Stream &
+SsrBackend::stream(std::uint32_t s)
+{
+    via_assert(s < _streams.size(), "stream register ", s,
+               " out of range (", _streams.size(), " configured)");
+    return _streams[s];
+}
+
+Fivu::Timing
+SsrBackend::dispatch(const Inst &inst, Tick ready,
+                     const OpLatencies &lat)
+{
+    via_assert(inst.op == Op::SsrCfg,
+               "non-cfg op dispatched to the SSR sequencer: ",
+               mnemonic(inst.op));
+    // One descriptor write port: back-to-back binds serialize.
+    Tick start = _cfgUnit.acquire(ready);
+    Tick complete = start + lat.ssrSetup;
+    _lastCfgComplete = std::max(_lastCfgComplete, complete);
+    return Fivu::Timing{start, complete};
+}
+
+void
+SsrBackend::registerStats(StatSet &stats)
+{
+    stats.addScalar("ssr.binds", "stream descriptors programmed",
+                    &_stats.binds);
+    stats.addScalar("ssr.pops", "stream pop/fused instructions",
+                    &_stats.pops);
+    stats.addScalar("ssr.elements", "elements streamed in",
+                    &_stats.elements);
+}
+
+void
+SsrBackend::saveState(Serializer &ser) const
+{
+    ser.tag("SSRB");
+    ser.put(std::uint32_t(_streams.size()));
+    for (const Stream &s : _streams) {
+        ser.put(std::uint8_t(s.kind));
+        ser.put(s.base);
+        ser.put(s.dataType);
+        ser.put(s.idxBase);
+        ser.put(s.idxType);
+        ser.put(s.cursor);
+    }
+    ser.put(_lastCfgComplete);
+    _cfgUnit.saveState(ser);
+    ser.put(_stats.binds);
+    ser.put(_stats.pops);
+    ser.put(_stats.elements);
+}
+
+void
+SsrBackend::loadState(Deserializer &des)
+{
+    des.expectTag("SSRB");
+    if (des.get<std::uint32_t>() != _streams.size())
+        throw SerializeError("SSR stream count mismatch");
+    for (Stream &s : _streams) {
+        s.kind = Stream::Kind(des.get<std::uint8_t>());
+        s.base = des.get<Addr>();
+        s.dataType = des.get<ElemType>();
+        s.idxBase = des.get<Addr>();
+        s.idxType = des.get<ElemType>();
+        s.cursor = des.get<std::uint64_t>();
+    }
+    _lastCfgComplete = des.get<Tick>();
+    _cfgUnit.loadState(des);
+    _stats.binds = des.get<std::uint64_t>();
+    _stats.pops = des.get<std::uint64_t>();
+    _stats.elements = des.get<std::uint64_t>();
+}
+
+double
+SsrBackend::accelDynamicPj(double sspm_element_pj,
+                           double cam_compare_pj) const
+{
+    (void)cam_compare_pj;
+    // Each streamed element moves through the stream FIFO, an
+    // SSPM-port-class transfer; binds rewrite a descriptor (~a few
+    // element writes).
+    return double(_stats.elements + 4 * _stats.binds) *
+           sspm_element_pj;
+}
+
+double
+SsrBackend::accelLeakageMw() const
+{
+    return double(_streams.size()) * ssrStreamLeakMw;
+}
+
+// ----------------- IndexMAC -------------------------------------
+
+bool
+IndexMacBackend::touchLine(Addr addr)
+{
+    std::uint64_t line = std::uint64_t(addr) / _lineBytes;
+    auto it = std::find(_rows.begin(), _rows.end(), line);
+    if (it != _rows.end()) {
+        // Move-to-front LRU.
+        std::rotate(_rows.begin(), it, it + 1);
+        ++_stats.rowHits;
+        return true;
+    }
+    std::rotate(_rows.begin(), _rows.end() - 1, _rows.end());
+    _rows.front() = line;
+    ++_stats.rowMisses;
+    return false;
+}
+
+Fivu::Timing
+IndexMacBackend::dispatch(const Inst &inst, Tick,
+                          const OpLatencies &)
+{
+    via_panic("backend=indexmac has no dispatched accelerator "
+              "instructions (got ", mnemonic(inst.op),
+              "); vimac ops flow through the memory pipeline");
+}
+
+void
+IndexMacBackend::registerStats(StatSet &stats)
+{
+    stats.addScalar("imac.ops", "indexed-MAC macro-ops",
+                    &_stats.ops);
+    stats.addScalar("imac.row_hits",
+                    "lanes served by the row buffer",
+                    &_stats.rowHits);
+    stats.addScalar("imac.row_misses",
+                    "lanes paying a cache access",
+                    &_stats.rowMisses);
+}
+
+void
+IndexMacBackend::saveState(Serializer &ser) const
+{
+    ser.tag("IMAC");
+    ser.put(std::uint32_t(_rows.size()));
+    for (std::uint64_t line : _rows)
+        ser.put(line);
+    ser.put(_stats.ops);
+    ser.put(_stats.rowHits);
+    ser.put(_stats.rowMisses);
+}
+
+void
+IndexMacBackend::loadState(Deserializer &des)
+{
+    des.expectTag("IMAC");
+    if (des.get<std::uint32_t>() != _rows.size())
+        throw SerializeError("IndexMAC row-buffer size mismatch");
+    for (std::uint64_t &line : _rows)
+        line = des.get<std::uint64_t>();
+    _stats.ops = des.get<std::uint64_t>();
+    _stats.rowHits = des.get<std::uint64_t>();
+    _stats.rowMisses = des.get<std::uint64_t>();
+}
+
+double
+IndexMacBackend::accelDynamicPj(double sspm_element_pj,
+                                double cam_compare_pj) const
+{
+    (void)sspm_element_pj;
+    // The MAC lanes' cache traffic is charged by the cache counters;
+    // the extra hardware is the row-buffer tag match per lane.
+    return double(_stats.rowHits + _stats.rowMisses) *
+           cam_compare_pj;
+}
+
+double
+IndexMacBackend::accelLeakageMw() const
+{
+    return double(_rows.size()) * imacRowLeakMw;
+}
+
+// ----------------- factory --------------------------------------
+
+std::unique_ptr<VectorBackend>
+makeBackend(const BackendParams &params, Fivu &fivu,
+            const Sspm &sspm, std::uint32_t line_bytes)
+{
+    via_assert(params.ssrStreams > 0, "ssr_streams must be > 0");
+    via_assert(params.imacRows > 0, "imac_rows must be > 0");
+    switch (params.kind) {
+      case BackendKind::Base:
+        return std::make_unique<BaseBackend>(fivu, sspm);
+      case BackendKind::Via:
+        return std::make_unique<ViaBackend>(fivu, sspm);
+      case BackendKind::Ssr:
+        return std::make_unique<SsrBackend>(fivu, sspm, params);
+      case BackendKind::IndexMac:
+        return std::make_unique<IndexMacBackend>(fivu, sspm, params,
+                                                 line_bytes);
+    }
+    via_panic("makeBackend: bad backend kind");
+}
+
+} // namespace via

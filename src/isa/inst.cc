@@ -35,6 +35,9 @@ OpLatencies::latencyOf(Op op) const
         // part here covers address generation.
         return op == Op::VGather ? gatherOverhead
              : op == Op::VScatter ? scatterOverhead
+             : op == Op::SsrFma ? vecFpMul
+             : (op == Op::VImacF || op == Op::VImacStF)
+                 ? imacOverhead
              : 1;
       case FuClass::Fivu: {
         // SSPM request serialization is added by the FIVU model.

@@ -38,8 +38,10 @@ constexpr int REG_NONE = -1;
 /** Maximum source operands an instruction can name. */
 constexpr int MAX_SRCS = 3;
 
-/** Maximum cache accesses one instruction can carry (gather lanes). */
-constexpr std::uint32_t MAX_INST_ACCESSES = 8;
+/** Maximum cache accesses one instruction can carry: up to one per
+ *  gather/scatter lane, plus the stream-descriptor chunks an SSR
+ *  fused op reads alongside its lanes. */
+constexpr std::uint32_t MAX_INST_ACCESSES = 12;
 
 /** Dynamic-instruction timing record. */
 struct Inst
@@ -104,6 +106,18 @@ struct OpLatencies
      */
     Tick gatherPortFactor = 2;
     Tick viaOp = 2;      //!< FIVU pre/post processing overhead
+    /**
+     * Cycles to (re)program one SSR stream descriptor: address
+     * bounds, stride and element type land in the streamer before
+     * the first pop can issue (backend=ssr only).
+     */
+    Tick ssrSetup = 6;
+    /**
+     * Fixed cost of one indexed-MAC macro-op beyond its cache
+     * accesses: index extraction and in-cache accumulate sequencing
+     * (backend=indexmac only).
+     */
+    Tick imacOverhead = 8;
     /** Front-end redirect cost after a mispredicted branch. */
     Tick mispredictPenalty = 14;
     /**

@@ -15,6 +15,11 @@ isMemOp(Op op)
       case Op::VStore:
       case Op::VGather:
       case Op::VScatter:
+      case Op::SsrPopV:
+      case Op::SsrPopS:
+      case Op::SsrFma:
+      case Op::VImacF:
+      case Op::VImacStF:
         return true;
       default:
         return false;
@@ -61,6 +66,26 @@ isCamOp(Op op)
     }
 }
 
+bool
+isSsrOp(Op op)
+{
+    switch (op) {
+      case Op::SsrCfg:
+      case Op::SsrPopV:
+      case Op::SsrPopS:
+      case Op::SsrFma:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isImacOp(Op op)
+{
+    return op == Op::VImacF || op == Op::VImacStF;
+}
+
 FuClass
 fuClassOf(Op op)
 {
@@ -79,11 +104,18 @@ fuClassOf(Op op)
       case Op::SLoad:
       case Op::VLoad:
       case Op::VGather:
+      case Op::SsrPopV:
+      case Op::SsrPopS:
+      case Op::SsrFma:
+      case Op::VImacF:
         return FuClass::LoadPort;
       case Op::SStore:
       case Op::VStore:
       case Op::VScatter:
+      case Op::VImacStF:
         return FuClass::StorePort;
+      case Op::SsrCfg:
+        return FuClass::None;
       case Op::VAddF:
       case Op::VSubF:
         return FuClass::VecFp;
@@ -167,6 +199,12 @@ mnemonic(Op op)
       case Op::VidxMulD: return "vidx.mul.d";
       case Op::VidxMulC: return "vidx.mul.c";
       case Op::VidxBlkMulD: return "vidx.blkmul.d";
+      case Op::SsrCfg: return "ssr.cfg";
+      case Op::SsrPopV: return "ssr.popv";
+      case Op::SsrPopS: return "ssr.pops";
+      case Op::SsrFma: return "ssr.fma";
+      case Op::VImacF: return "vimac.f";
+      case Op::VImacStF: return "vimac.st.f";
       default: return "<bad-op>";
     }
 }

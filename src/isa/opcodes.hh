@@ -78,6 +78,16 @@ enum class Op : std::uint8_t
     VidxMulD, VidxMulC,
     VidxBlkMulD, //!< CSB block multiply-accumulate inside the SSPM
 
+    // --- SSR baseline extensions (stream semantic registers) ---
+    SsrCfg,  //!< bind an affine/indirect stream to a stream register
+    SsrPopV, //!< pop VL elements from a stream into a vector register
+    SsrPopS, //!< pop one element from a stream into a scalar register
+    SsrFma,  //!< fused acc += val_stream * mem[idx_stream], per lane
+
+    // --- IndexMAC baseline extensions (indexed MAC via the caches) ---
+    VImacF,   //!< acc[l] += val[l] * mem[base + idx[l]], per lane
+    VImacStF, //!< mem[base + idx[l]] += val[l], per lane
+
     NumOps
 };
 
@@ -106,6 +116,12 @@ bool isViaOp(Op op);
 
 /** True if the VIA op reads or writes the SSPM in CAM mode. */
 bool isCamOp(Op op);
+
+/** True for the SSR stream ops (backend=ssr only). */
+bool isSsrOp(Op op);
+
+/** True for the IndexMAC indexed-MAC ops (backend=indexmac only). */
+bool isImacOp(Op op);
 
 /** The functional unit class an op issues to. */
 FuClass fuClassOf(Op op);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "kernels/backend_kernels.hh"
 #include "simcore/log.hh"
 
 namespace via::kernels
@@ -66,9 +67,141 @@ spmvBaseline(Machine &m, const Csr &a, const DenseVector &x,
     via_fatal("unknown SpMV format '", fmt, "'");
 }
 
+namespace
+{
+
+/** SSR SpMV by format name (one-shot). */
+SpmvResult
+spmvSsr(Machine &m, const Csr &a, const DenseVector &x,
+        const std::string &fmt)
+{
+    if (fmt == "csr")
+        return spmvSsrCsr(m, a, x);
+    if (fmt == "spc5") {
+        Spc5 s = Spc5::fromCsr(a, Index(m.vl()));
+        return spmvSsrSpc5(m, s, x);
+    }
+    if (fmt == "sell") {
+        auto vl = Index(m.vl());
+        SellCSigma s = SellCSigma::fromCsr(a, vl, 4 * vl);
+        return spmvSsrSell(m, s, x);
+    }
+    if (fmt == "csb") {
+        Csb csb = Csb::fromCsr(a, viaCsbBeta(m));
+        return spmvSsrCsb(m, csb, x);
+    }
+    via_fatal("unknown SpMV format '", fmt, "'");
+}
+
+/** IndexMAC SpMV by format name (one-shot). */
+SpmvResult
+spmvImac(Machine &m, const Csr &a, const DenseVector &x,
+         const std::string &fmt)
+{
+    if (fmt == "csr")
+        return spmvImacCsr(m, a, x);
+    if (fmt == "spc5") {
+        Spc5 s = Spc5::fromCsr(a, Index(m.vl()));
+        return spmvImacSpc5(m, s, x);
+    }
+    if (fmt == "sell") {
+        auto vl = Index(m.vl());
+        SellCSigma s = SellCSigma::fromCsr(a, vl, 4 * vl);
+        return spmvImacSell(m, s, x);
+    }
+    if (fmt == "csb") {
+        Csb csb = Csb::fromCsr(a, viaCsbBeta(m));
+        return spmvImacCsb(m, csb, x);
+    }
+    via_fatal("unknown SpMV format '", fmt, "'");
+}
+
+} // namespace
+
+SpmvResult
+spmvAccel(Machine &m, const Csr &a, const DenseVector &x,
+          const std::string &fmt)
+{
+    switch (m.backendKind()) {
+    case BackendKind::Base:
+        return spmvBaseline(m, a, x, fmt);
+    case BackendKind::Via:
+        return spmvVia(m, a, x, fmt);
+    case BackendKind::Ssr:
+        return spmvSsr(m, a, x, fmt);
+    case BackendKind::IndexMac:
+        return spmvImac(m, a, x, fmt);
+    }
+    via_fatal("unhandled backend kind");
+}
+
+SpmaResult
+spmaAccel(Machine &m, const Csr &a, const Csr &b)
+{
+    switch (m.backendKind()) {
+    case BackendKind::Base:
+        return spmaScalarCsr(m, a, b);
+    case BackendKind::Via:
+        return spmaViaCsr(m, a, b);
+    case BackendKind::Ssr:
+        return spmaSsrCsr(m, a, b);
+    case BackendKind::IndexMac:
+        return spmaImacCsr(m, a, b);
+    }
+    via_fatal("unhandled backend kind");
+}
+
+SpmmResult
+spmmAccel(Machine &m, const Csr &a, const Csc &b)
+{
+    switch (m.backendKind()) {
+    case BackendKind::Base:
+        return spmmScalarInner(m, a, b);
+    case BackendKind::Via:
+        return spmmViaInner(m, a, b);
+    case BackendKind::Ssr:
+        return spmmSsrInner(m, a, b);
+    case BackendKind::IndexMac:
+        return spmmImacGustavson(m, a, b);
+    }
+    via_fatal("unhandled backend kind");
+}
+
+HistResult
+histAccel(Machine &m, const std::vector<Index> &keys, Index buckets)
+{
+    switch (m.backendKind()) {
+    case BackendKind::Base:
+        return histVector(m, keys, buckets);
+    case BackendKind::Via:
+        return histVia(m, keys, buckets);
+    case BackendKind::Ssr:
+        return histSsr(m, keys, buckets);
+    case BackendKind::IndexMac:
+        return histImac(m, keys, buckets);
+    }
+    via_fatal("unhandled backend kind");
+}
+
+StencilResult
+stencilAccel(Machine &m, const DenseMatrix &img)
+{
+    switch (m.backendKind()) {
+    case BackendKind::Base:
+        return stencilVector(m, img);
+    case BackendKind::Via:
+        return stencilVia(m, img);
+    case BackendKind::Ssr:
+        return stencilSsr(m, img);
+    case BackendKind::IndexMac:
+        return stencilImac(m, img);
+    }
+    via_fatal("unhandled backend kind");
+}
+
 SpmvResident::SpmvResident(Machine &m, const Csr &a,
-                           const std::string &fmt, bool via)
-    : _fmt(fmt), _via(via), _csr(a)
+                           const std::string &fmt, BackendKind kind)
+    : _fmt(fmt), _kind(kind), _csr(a)
 {
     // Same conversion geometry as the one-shot dispatchers above, so
     // the first run() on the constructing machine emits the exact
@@ -93,18 +226,54 @@ SpmvResident::SpmvResident(Machine &m, const Csr &a,
 SpmvResult
 SpmvResident::run(Machine &m, const DenseVector &x) const
 {
-    if (_fmt == "csr")
-        return _via ? spmvViaCsrAt(m, _csr, _csrImg, x)
-                    : spmvVectorCsrAt(m, _csr, _csrImg, x);
-    if (_fmt == "spc5")
-        return _via ? spmvViaSpc5At(m, *_spc5, _spc5Img, x)
-                    : spmvVectorSpc5At(m, *_spc5, _spc5Img, x);
-    if (_fmt == "sell")
-        return _via ? spmvViaSellAt(m, *_sell, _sellImg, x)
-                    : spmvVectorSellAt(m, *_sell, _sellImg, x);
-    if (_fmt == "csb")
-        return _via ? spmvViaCsbAt(m, *_csb, _csbImg, x)
-                    : spmvVectorCsbAt(m, *_csb, _csbImg, x);
+    if (_fmt == "csr") {
+        switch (_kind) {
+        case BackendKind::Base:
+            return spmvVectorCsrAt(m, _csr, _csrImg, x);
+        case BackendKind::Via:
+            return spmvViaCsrAt(m, _csr, _csrImg, x);
+        case BackendKind::Ssr:
+            return spmvSsrCsrAt(m, _csr, _csrImg, x);
+        case BackendKind::IndexMac:
+            return spmvImacCsrAt(m, _csr, _csrImg, x);
+        }
+    }
+    if (_fmt == "spc5") {
+        switch (_kind) {
+        case BackendKind::Base:
+            return spmvVectorSpc5At(m, *_spc5, _spc5Img, x);
+        case BackendKind::Via:
+            return spmvViaSpc5At(m, *_spc5, _spc5Img, x);
+        case BackendKind::Ssr:
+            return spmvSsrSpc5At(m, *_spc5, _spc5Img, x);
+        case BackendKind::IndexMac:
+            return spmvImacSpc5At(m, *_spc5, _spc5Img, x);
+        }
+    }
+    if (_fmt == "sell") {
+        switch (_kind) {
+        case BackendKind::Base:
+            return spmvVectorSellAt(m, *_sell, _sellImg, x);
+        case BackendKind::Via:
+            return spmvViaSellAt(m, *_sell, _sellImg, x);
+        case BackendKind::Ssr:
+            return spmvSsrSellAt(m, *_sell, _sellImg, x);
+        case BackendKind::IndexMac:
+            return spmvImacSellAt(m, *_sell, _sellImg, x);
+        }
+    }
+    if (_fmt == "csb") {
+        switch (_kind) {
+        case BackendKind::Base:
+            return spmvVectorCsbAt(m, *_csb, _csbImg, x);
+        case BackendKind::Via:
+            return spmvViaCsbAt(m, *_csb, _csbImg, x);
+        case BackendKind::Ssr:
+            return spmvSsrCsbAt(m, *_csb, _csbImg, x);
+        case BackendKind::IndexMac:
+            return spmvImacCsbAt(m, *_csb, _csbImg, x);
+        }
+    }
     via_fatal("unknown SpMV format '", _fmt, "'");
 }
 

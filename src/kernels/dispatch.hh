@@ -17,7 +17,11 @@
 #include <string>
 #include <vector>
 
+#include "kernels/histogram.hh"
+#include "kernels/spma.hh"
+#include "kernels/spmm.hh"
 #include "kernels/spmv.hh"
+#include "kernels/stencil.hh"
 
 namespace via::kernels
 {
@@ -46,6 +50,27 @@ SpmvResult spmvBaseline(Machine &m, const Csr &a,
                         const DenseVector &x, const std::string &fmt);
 
 /**
+ * Run the SpMV kernel matching the machine's vector backend: the
+ * VIA kernels on backend=via, the SSR / IndexMAC variants on their
+ * backends, and the plain vector kernels on backend=base. This is
+ * the entry point drivers use when the accelerated column of a
+ * comparison should follow `backend=`.
+ */
+SpmvResult spmvAccel(Machine &m, const Csr &a, const DenseVector &x,
+                     const std::string &fmt);
+
+/**
+ * The other kernels' backend-following entry points: the accelerated
+ * variant matching Machine::backendKind() (VIA CAM / SSR streams /
+ * IndexMAC), or the software baseline on backend=base.
+ */
+SpmaResult spmaAccel(Machine &m, const Csr &a, const Csr &b);
+SpmmResult spmmAccel(Machine &m, const Csr &a, const Csc &b);
+HistResult histAccel(Machine &m, const std::vector<Index> &keys,
+                     Index buckets);
+StencilResult stencilAccel(Machine &m, const DenseMatrix &img);
+
+/**
  * A matrix made resident on a machine: the format conversion and
  * the matrix-operand upload happen once in the constructor, and
  * every run() emits the kernel body against the recorded base
@@ -64,21 +89,33 @@ SpmvResult spmvBaseline(Machine &m, const Csr &a,
 class SpmvResident
 {
   public:
-    /** Convert @p a to @p fmt and upload it onto @p m once. */
+    /**
+     * Convert @p a to @p fmt and upload it onto @p m once; run()
+     * emits the kernel family of @p kind (which must match the
+     * machine's backend for Ssr / IndexMac).
+     */
     SpmvResident(Machine &m, const Csr &a, const std::string &fmt,
-                 bool via);
+                 BackendKind kind);
+
+    /** Back-compat: via selects BackendKind::Via, else Base. */
+    SpmvResident(Machine &m, const Csr &a, const std::string &fmt,
+                 bool via)
+        : SpmvResident(m, a, fmt,
+                       via ? BackendKind::Via : BackendKind::Base)
+    {}
 
     /** Emit y = A x against the resident matrix. */
     SpmvResult run(Machine &m, const DenseVector &x) const;
 
     const std::string &format() const { return _fmt; }
-    bool via() const { return _via; }
+    bool via() const { return _kind == BackendKind::Via; }
+    BackendKind kind() const { return _kind; }
     /** Rows of the resident matrix (the result vector's length). */
     Index rows() const { return _csr.rows(); }
 
   private:
     std::string _fmt;
-    bool _via;
+    BackendKind _kind;
     Csr _csr; //!< owned copy; also the conversion source
     std::optional<Spc5> _spc5;
     std::optional<SellCSigma> _sell;

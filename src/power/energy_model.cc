@@ -2,7 +2,6 @@
 
 #include "cpu/machine.hh"
 #include "cpu/multi_machine.hh"
-#include "power/area_model.hh"
 
 namespace via
 {
@@ -28,17 +27,17 @@ computeEnergy(const Machine &m, const EnergyParams &params)
     e.dramPj = double(ds.bytesRead + ds.bytesWritten) *
                params.dramPjPerByte;
 
-    const SspmStats &ss = m.sspm().stats();
-    e.sspmPj = double(ss.elementAccesses()) * params.sspmElementPj;
-    const IndexTableStats &its = m.sspm().indexTable().stats();
-    e.sspmPj += double(its.comparisons) * params.camComparePj;
+    // The accelerator's share comes from the backend: SSPM/CAM
+    // events for VIA, stream transfers for SSR, row-buffer tag
+    // matches for IndexMAC.
+    e.sspmPj = m.backend().accelDynamicPj(params.sspmElementPj,
+                                          params.camComparePj);
 
-    // Leakage: core + SSPM over the simulated interval.
+    // Leakage: core + accelerator over the simulated interval.
     double seconds = double(m.cycles()) /
                      (params.clockGhz * 1e9);
-    double sspm_leak_mw =
-        AreaModel::estimate(m.sspm().config()).leakageMw;
-    e.leakagePj = (params.coreLeakageMw + sspm_leak_mw) * 1e-3 *
+    double accel_leak_mw = m.backend().accelLeakageMw();
+    e.leakagePj = (params.coreLeakageMw + accel_leak_mw) * 1e-3 *
                   seconds * 1e12;
     return e;
 }
@@ -60,9 +59,8 @@ computeEnergyMulti(const MultiMachine &mm,
         // Re-integrate this core's leakage over the makespan: the
         // per-machine breakdown stops at the core's own commit
         // front, but an idle core leaks until the slowest finishes.
-        double sspm_leak_mw =
-            AreaModel::estimate(m.sspm().config()).leakageMw;
-        total.leakagePj += (params.coreLeakageMw + sspm_leak_mw) *
+        double accel_leak_mw = m.backend().accelLeakageMw();
+        total.leakagePj += (params.coreLeakageMw + accel_leak_mw) *
                            1e-3 * seconds * 1e12;
     }
     // The shared level: LLC tag walks cost an L2-class access,

@@ -66,11 +66,25 @@ runServe(const std::vector<RequestClass> &mix,
         if (cfg.closed) {
             std::size_t before = pending.size();
             pool->issueUpTo(t, pending);
-            if (cfg.keepTrace)
+            if (cfg.keepTrace) {
+                // issueUpTo scans clients in id order, but the trace
+                // contract is (arrival, id) order. Chunks admitted at
+                // successive ticks never interleave — everything a
+                // later admit issues arrived strictly after the
+                // previous admit tick — so sorting each chunk keeps
+                // the whole trace monotonic.
+                std::vector<Request> chunk(
+                    pending.begin() + std::ptrdiff_t(before),
+                    pending.end());
+                std::sort(chunk.begin(), chunk.end(),
+                          [](const Request &a, const Request &b) {
+                              if (a.arrival != b.arrival)
+                                  return a.arrival < b.arrival;
+                              return a.id < b.id;
+                          });
                 report.trace.insert(report.trace.end(),
-                                    pending.begin() +
-                                        std::ptrdiff_t(before),
-                                    pending.end());
+                                    chunk.begin(), chunk.end());
+            }
         } else {
             while (next_open < open_trace.size() &&
                    open_trace[next_open].arrival <= t) {
@@ -128,6 +142,14 @@ runServe(const std::vector<RequestClass> &mix,
                   });
         if (members.size() > cfg.batchMax)
             members.resize(cfg.batchMax);
+        // The loop condition is checked before batch formation, so
+        // without this cap the final batch could push the served
+        // count past cfg.requests (inflating throughput, per-class
+        // counts and meanBatch). Trim the youngest members — the
+        // list is (arrival, id)-sorted, so the cut is deterministic.
+        std::uint64_t budget = cfg.requests - report.requests;
+        if (members.size() > budget)
+            members.resize(std::size_t(budget));
 
         unsigned n = unsigned(members.size());
         Tick cost = model.cost(cls, n);

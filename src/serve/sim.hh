@@ -64,7 +64,9 @@ struct ServeReport
     double meanBatch = 0.0;
     std::vector<std::uint64_t> perClass; //!< requests per class
 
-    /** The issued trace, in issue order (when keepTrace). */
+    /** The issued trace, in (arrival, id) order (when keepTrace).
+     *  May include requests admitted but unserved when the run hit
+     *  its request budget. */
     std::vector<Request> trace;
 };
 

@@ -221,6 +221,61 @@ TEST(RunServe, TraceIsSeedDeterministicBothLoops)
     }
 }
 
+TEST(RunServe, ClosedLoopServesExactlyTheConfiguredRequests)
+{
+    // Closed-loop clients keep issuing forever, and the loop
+    // condition is checked before batch formation: without the
+    // final-batch trim the last batch of a batch>1 run overshoots
+    // cfg.requests. Saturate the server so batches form.
+    auto mix = twoClassMix();
+    TableServiceModel table = flatTable(mix.size(), 8, 20000);
+    ServeConfig cfg;
+    cfg.closed = true;
+    cfg.requests = 50;
+    cfg.clients = 8;
+    cfg.thinkCycles = 100.0;
+    cfg.batchMax = 8;
+    cfg.seed = 7;
+    ServeReport r = runServe(mix, table, cfg);
+    EXPECT_EQ(r.requests, 50u);
+    EXPECT_GT(r.meanBatch, 1.0); // the trim actually had batches
+    std::uint64_t per_class = 0;
+    for (std::uint64_t n : r.perClass)
+        per_class += n;
+    EXPECT_EQ(per_class, 50u);
+    EXPECT_EQ(r.latency.count(), 50u);
+    EXPECT_NEAR(r.meanBatch,
+                double(r.requests) / double(r.batches), 1e-12);
+}
+
+TEST(RunServe, ClosedLoopTraceIsArrivalSorted)
+{
+    // ClientPool::issueUpTo appends in client-id order; the report
+    // trace contract is (arrival, id) order across the whole run.
+    auto mix = twoClassMix();
+    TableServiceModel table = flatTable(mix.size(), 4, 5000);
+    ServeConfig cfg;
+    cfg.closed = true;
+    cfg.requests = 80;
+    cfg.clients = 6;
+    cfg.thinkCycles = 300.0;
+    cfg.batchMax = 4;
+    cfg.seed = 13;
+    cfg.keepTrace = true;
+    ServeReport r = runServe(mix, table, cfg);
+    ASSERT_GE(r.trace.size(), cfg.requests);
+    for (std::size_t i = 1; i < r.trace.size(); ++i) {
+        const Request &prev = r.trace[i - 1];
+        const Request &cur = r.trace[i];
+        EXPECT_TRUE(cur.arrival > prev.arrival ||
+                    (cur.arrival == prev.arrival &&
+                     cur.id > prev.id))
+            << "trace[" << i << "] out of order: ("
+            << prev.arrival << "," << prev.id << ") then ("
+            << cur.arrival << "," << cur.id << ")";
+    }
+}
+
 TEST(RunServe, RejectsUnpriceableBatchLimit)
 {
     auto mix = parseMix("spmv:csr:64:0.05:1");

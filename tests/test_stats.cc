@@ -150,6 +150,22 @@ TEST(Distribution, PercentilesInterpolateAUniformRamp)
     EXPECT_DOUBLE_EQ(d.percentile(100.0), 999.0);
 }
 
+TEST(Distribution, PercentileSingleBucketAllEqualSamples)
+{
+    // Every sample identical and landing in one bucket: the
+    // interpolation walks part-way across that bucket's nominal
+    // width, so only the [min, max] clamp keeps the estimate at the
+    // sample value, for every p.
+    Distribution d(0.0, 10.0, 1);
+    d.sample(5.0);
+    d.sample(5.0);
+    d.sample(5.0);
+    for (double p : {0.0, 25.0, 50.0, 95.0, 99.0, 100.0})
+        EXPECT_DOUBLE_EQ(d.percentile(p), 5.0) << "p=" << p;
+    EXPECT_DOUBLE_EQ(d.p50(), 5.0);
+    EXPECT_DOUBLE_EQ(d.p99(), 5.0);
+}
+
 TEST(Distribution, PercentileClampsToObservedRange)
 {
     // Out-of-range samples land in the end buckets whose nominal

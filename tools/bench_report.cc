@@ -526,6 +526,10 @@ main(int argc, char **argv)
                    0.0, 1.0)
         .addUInt("seed", 1, "generator seed")
         .addString("format", "csb", "SpMV format: csr|spc5|sell|csb")
+        .addString("backend", "via",
+                   "sampling-leg accelerated backend: "
+                   "base|via|ssr|indexmac (the simspeed/serve "
+                   "regression gates stay pinned to via)")
         .addUInt("sample_interval", 100000,
                  "instructions per sampling unit", 1)
         .addUInt("sample_warmup", 500,
@@ -557,6 +561,17 @@ main(int argc, char **argv)
     opts.parse(argc, argv);
     applySelfProfOption(opts);
 
+    // Validate before dispatching to any leg so a typo'd backend is
+    // a usage error (exit 2), the same contract as an unknown key.
+    BackendKind backend = BackendKind::Via;
+    if (!parseBackendKind(opts.getString("backend"), backend)) {
+        std::fprintf(stderr,
+                     "bench_report: unknown backend '%s' (expected "
+                     "base|via|ssr|indexmac)\n",
+                     opts.getString("backend").c_str());
+        return 2;
+    }
+
     if (opts.getBool("simspeed"))
         return runSimspeed(opts);
     if (opts.getBool("serve"))
@@ -583,6 +598,7 @@ main(int argc, char **argv)
                 fmt.c_str(), a.rows(), a.cols(), a.nnz());
 
     MachineParams params{};
+    params.backend.kind = backend;
 
     // The timed region is machine construction + kernel execution:
     // exactly the work a mode changes. Input generation, the golden
@@ -597,7 +613,7 @@ main(int argc, char **argv)
         auto start = std::chrono::steady_clock::now();
         Machine m(params);
         sample::SampleEstimate est = sample::runWith(
-            m, mopts, [&] { kernels::spmvVia(m, a, x, fmt); });
+            m, mopts, [&] { kernels::spmvAccel(m, a, x, fmt); });
         double wall = secondsSince(start);
         if (r == 0 || wall < best.wall) {
             best.wall = wall;
@@ -621,7 +637,7 @@ main(int argc, char **argv)
         mopts.mode = sample::SimMode::Functional;
         kernels::SpmvResult res;
         sample::runWith(m, mopts,
-                        [&] { res = kernels::spmvVia(m, a, x, fmt); });
+                        [&] { res = kernels::spmvAccel(m, a, x, fmt); });
         if (!allClose(res.y, golden)) {
             std::fprintf(stderr,
                          "bench_report: result MISMATCH in "
@@ -641,7 +657,7 @@ main(int argc, char **argv)
     // machine state without re-running the kernel, and must report
     // the identical cycle count.
     Machine warm(params);
-    kernels::spmvVia(warm, a, x, fmt);
+    kernels::spmvAccel(warm, a, x, fmt);
     Tick warm_cycles = warm.cycles();
 
     auto cap_start = std::chrono::steady_clock::now();

@@ -1,0 +1,33 @@
+# The VectorBackend refactor must be invisible at backend=via: the
+# default machine is constructed over the Via backend, and every
+# label, cycle count, stat and JSON byte it prints has to match the
+# pre-refactor output exactly. The goldens were captured from the
+# if(via)-flag code the refactor replaced, so a byte-for-byte diff
+# here is the regression gate for the whole seam.
+#
+# Inputs: -DVIA_SIM=<path> -DGOLDEN_DIR=<tools/goldens>
+
+function(check_golden label golden)
+    execute_process(COMMAND ${ARGN}
+                    OUTPUT_VARIABLE out RESULT_VARIABLE rc)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR "${label} exited ${rc}")
+    endif()
+    file(READ "${GOLDEN_DIR}/${golden}" want)
+    if(NOT out STREQUAL want)
+        message(FATAL_ERROR
+                "${label} output differs from ${golden}: the "
+                "backend=via path is no longer byte-identical to "
+                "the pre-refactor simulator")
+    endif()
+endfunction()
+
+check_golden("spmv csb" backend_via_spmv_csb.golden
+             ${VIA_SIM} spmv rows=256 density=0.05 seed=3
+             format=csb json=1 backend=via)
+check_golden("spma" backend_via_spma.golden
+             ${VIA_SIM} spma rows=96 density=0.04 seed=2
+             json=1 backend=via)
+
+message(STATUS "backend=via output byte-identical to the "
+               "pre-refactor goldens")

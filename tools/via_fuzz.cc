@@ -18,6 +18,13 @@
  *   seeds=N    seeds to run                       (default 100)
  *   seed=S     first seed                         (default 1)
  *   kernel=K   all|spmv|spma|spmm|histogram|stencil (default all)
+ *   backend=B  base|via|ssr|indexmac (default via): the accelerated
+ *              variant run against the host goldens. ssr/indexmac
+ *              fuzz the baseline-accelerator kernels on machines
+ *              built over the matching VectorBackend; base re-runs
+ *              the software kernels in the accelerated slot.
+ *              cores>1 requires backend=via (only the VIA kernels
+ *              have parallel variants).
  *   threads=N  parallel seed workers; 0 = hardware (default 1).
  *              Per-seed verdicts and output are identical at any
  *              thread count.
@@ -53,6 +60,8 @@ main(int argc, char **argv)
         .addUInt("seed", 1, "first seed")
         .addString("kernel", "all",
                    "all|spmv|spma|spmm|histogram|stencil")
+        .addString("backend", "via",
+                   "accelerated variant: base|via|ssr|indexmac")
         .addUInt("threads", 1,
                  "parallel seed workers (0 = hardware concurrency)")
         .addUInt("cores", 1,
@@ -80,6 +89,22 @@ main(int argc, char **argv)
     if (!kernels.count(opts.kernel)) {
         std::fprintf(stderr, "via_fuzz: unknown kernel '%s'\n",
                      opts.kernel.c_str());
+        return 2;
+    }
+
+    std::string backend = args.getString("backend");
+    if (!parseBackendKind(backend, opts.backend)) {
+        std::fprintf(stderr,
+                     "via_fuzz: unknown backend '%s' (expected "
+                     "base|via|ssr|indexmac)\n",
+                     backend.c_str());
+        return 2;
+    }
+    if (opts.cores > 1 && opts.backend != BackendKind::Via) {
+        std::fprintf(stderr,
+                     "via_fuzz: cores>1 fuzzes the VIA parallel "
+                     "kernels; backend=%s is single-core only\n",
+                     backend.c_str());
         return 2;
     }
 

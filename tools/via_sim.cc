@@ -97,6 +97,7 @@
 #include "cpu/machine.hh"
 #include "cpu/machine_config.hh"
 #include "cpu/multi_machine.hh"
+#include "kernels/backend_kernels.hh"
 #include "kernels/dispatch.hh"
 #include "kernels/parallel.hh"
 #include "kernels/histogram.hh"
@@ -231,6 +232,50 @@ report(const char *name, const Machine &m, Tick baseline_cycles)
     std::printf("  ipc %.2f  dram %.1f MB  energy %.1f uJ\n",
                 metrics.ipc, double(metrics.dramBytes()) / 1e6,
                 metrics.energy.totalPj() / 1e6);
+}
+
+// ==================================================================
+// backend=: the accelerated column of every comparison follows the
+// machine's vector backend. backend=via (the default) runs the
+// historical VIA kernels and keeps the historical labels, so default
+// output is byte-identical to the pre-backend driver.
+// ==================================================================
+
+/** Display prefix for the accelerated column. */
+const char *
+accelPrefix(BackendKind k)
+{
+    switch (k) {
+      case BackendKind::Base: return "vector";
+      case BackendKind::Via: return "VIA";
+      case BackendKind::Ssr: return "SSR";
+      case BackendKind::IndexMac: return "IndexMAC";
+    }
+    return "?";
+}
+
+const char *
+spmaAccelName(BackendKind k)
+{
+    switch (k) {
+      case BackendKind::Base: return "scalar merge";
+      case BackendKind::Via: return "VIA CAM";
+      case BackendKind::Ssr: return "SSR merge";
+      case BackendKind::IndexMac: return "IndexMAC merge";
+    }
+    return "?";
+}
+
+const char *
+spmmAccelName(BackendKind k)
+{
+    switch (k) {
+      case BackendKind::Base: return "scalar inner";
+      case BackendKind::Via: return "VIA CAM";
+      case BackendKind::Ssr: return "SSR inner";
+      case BackendKind::IndexMac: return "IndexMAC rows";
+    }
+    return "?";
 }
 
 /** json=1/stats=1 statistics dump, uniform across all kernels. */
@@ -400,12 +445,14 @@ runSpmv(const Config &cfg, const MachineParams &params, Rng &rng)
                 a.nnz());
 
     std::string fmt = cfg.getString("format", "csb");
+    std::string label =
+        std::string(accelPrefix(params.backend.kind)) + " " + fmt;
     auto sopts = sample::SampleOptions::fromConfig(cfg);
     if (sopts.mode != sample::SimMode::Detailed)
-        return runModal(cfg, params, sopts, "VIA " + fmt,
+        return runModal(cfg, params, sopts, label,
                         [&](Machine &m) {
                             auto res =
-                                kernels::spmvVia(m, a, x, fmt);
+                                kernels::spmvAccel(m, a, x, fmt);
                             return allClose(res.y, a.multiply(x));
                         });
 
@@ -420,8 +467,8 @@ runSpmv(const Config &cfg, const MachineParams &params, Rng &rng)
     viam.tracePhase("spmv_" + fmt);
     Timeline timeline;
     timeline.install(viam, Tick(cfg.getUInt("timeline", 0)));
-    kernels::SpmvResult vres = kernels::spmvVia(viam, a, x, fmt);
-    report(("VIA " + fmt).c_str(), viam, bres.cycles);
+    kernels::SpmvResult vres = kernels::spmvAccel(viam, a, x, fmt);
+    report(label.c_str(), viam, bres.cycles);
     timeline.print();
 
     bool ok = allClose(vres.y, a.multiply(x));
@@ -440,11 +487,12 @@ runSpma(const Config &cfg, const MachineParams &params, Rng &rng)
     std::printf("SpMA: %dx%d, %zu + %zu nnz\n", a.rows(), a.cols(),
                 a.nnz(), b.nnz());
 
+    const char *label = spmaAccelName(params.backend.kind);
     auto sopts = sample::SampleOptions::fromConfig(cfg);
     if (sopts.mode != sample::SimMode::Detailed)
-        return runModal(cfg, params, sopts, "VIA CAM",
+        return runModal(cfg, params, sopts, label,
                         [&](Machine &m) {
-                            auto res = kernels::spmaViaCsr(m, a, b);
+                            auto res = kernels::spmaAccel(m, a, b);
                             return closeElements(res.c,
                                                  addCsr(a, b), 1e-3);
                         });
@@ -458,8 +506,8 @@ runSpma(const Config &cfg, const MachineParams &params, Rng &rng)
     TraceOptions topts = TraceOptions::fromConfig(cfg);
     enableTracing(viam, topts);
     viam.tracePhase("spma");
-    auto vres = kernels::spmaViaCsr(viam, a, b);
-    report("VIA CAM", viam, bres.cycles);
+    auto vres = kernels::spmaAccel(viam, a, b);
+    report(label, viam, bres.cycles);
 
     bool ok = closeElements(vres.c, addCsr(a, b), 1e-3);
     std::printf("result check: %s\n", ok ? "ok" : "MISMATCH");
@@ -482,12 +530,12 @@ runSpmm(const Config &cfg, const MachineParams &params, Rng &rng)
                 a.rows(), a.cols(), a.nnz(), b.rows(), b.cols(),
                 b.nnz());
 
+    const char *label = spmmAccelName(params.backend.kind);
     auto sopts = sample::SampleOptions::fromConfig(cfg);
     if (sopts.mode != sample::SimMode::Detailed)
-        return runModal(cfg, params, sopts, "VIA CAM",
+        return runModal(cfg, params, sopts, label,
                         [&](Machine &m) {
-                            auto res =
-                                kernels::spmmViaInner(m, a, b);
+                            auto res = kernels::spmmAccel(m, a, b);
                             return closeElements(
                                 res.c, mulCsr(a, b_csr), 1e-2);
                         });
@@ -501,8 +549,8 @@ runSpmm(const Config &cfg, const MachineParams &params, Rng &rng)
     TraceOptions topts = TraceOptions::fromConfig(cfg);
     enableTracing(viam, topts);
     viam.tracePhase("spmm");
-    auto vres = kernels::spmmViaInner(viam, a, b);
-    report("VIA CAM", viam, bres.cycles);
+    auto vres = kernels::spmmAccel(viam, a, b);
+    report(label, viam, bres.cycles);
 
     bool ok = closeElements(vres.c, mulCsr(a, b_csr), 1e-2);
     std::printf("result check: %s\n", ok ? "ok" : "MISMATCH");
@@ -523,12 +571,12 @@ runHistogram(const Config &cfg, const MachineParams &params,
         k = Index(rng.below(std::uint64_t(buckets)));
     std::printf("histogram: %zu keys, %d buckets\n", count, buckets);
 
+    const char *label = accelPrefix(params.backend.kind);
     auto sopts = sample::SampleOptions::fromConfig(cfg);
     if (sopts.mode != sample::SimMode::Detailed)
-        return runModal(cfg, params, sopts, "VIA",
+        return runModal(cfg, params, sopts, label,
                         [&](Machine &m) {
-                            auto res =
-                                kernels::histVia(m, keys, buckets);
+                            auto res = kernels::histAccel(m, keys, buckets);
                             return res.hist ==
                                    kernels::refHistogram(keys,
                                                          buckets);
@@ -543,8 +591,8 @@ runHistogram(const Config &cfg, const MachineParams &params,
     report("scalar", m1, 0);
     kernels::histVector(m2, keys, buckets);
     report("vector CD", m2, sres.cycles);
-    auto vres = kernels::histVia(m3, keys, buckets);
-    report("VIA", m3, sres.cycles);
+    auto vres = kernels::histAccel(m3, keys, buckets);
+    report(label, m3, sres.cycles);
 
     bool ok = vres.hist == kernels::refHistogram(keys, buckets);
     std::printf("result check: %s\n", ok ? "ok" : "MISMATCH");
@@ -563,12 +611,13 @@ runStencil(const Config &cfg, const MachineParams &params, Rng &rng)
         p = Value(rng.uniform() * 255.0);
     std::printf("stencil: 4x4 Gaussian on %dx%d px\n", side, side);
 
+    const char *label = accelPrefix(params.backend.kind);
     auto sopts = sample::SampleOptions::fromConfig(cfg);
     if (sopts.mode != sample::SimMode::Detailed) {
         DenseMatrix ref = kernels::refConvolve4x4(img);
-        return runModal(cfg, params, sopts, "VIA",
+        return runModal(cfg, params, sopts, label,
                         [&](Machine &m) {
-                            auto res = kernels::stencilVia(m, img);
+                            auto res = kernels::stencilAccel(m, img);
                             if (cfg.getBool("inject_error", false))
                                 res.out.at(0, 0) += Value(1.0);
                             return allClose(res.out.data(),
@@ -585,8 +634,8 @@ runStencil(const Config &cfg, const MachineParams &params, Rng &rng)
     TraceOptions topts = TraceOptions::fromConfig(cfg);
     enableTracing(viam, topts);
     viam.tracePhase("stencil");
-    auto vres = kernels::stencilVia(viam, img);
-    report("VIA", viam, bres.cycles);
+    auto vres = kernels::stencilAccel(viam, img);
+    report(label, viam, bres.cycles);
 
     if (cfg.getBool("inject_error", false))
         vres.out.at(0, 0) += Value(1.0);
@@ -1052,15 +1101,24 @@ main(int argc, char **argv)
     Rng rng(cfg.getUInt("seed", 1));
 
     auto cores = unsigned(cfg.getUInt("cores", 1));
+    MachineParams params = machineParamsFrom(cfg);
     if (cfg.getBool("sweep", false)) {
         if (cores > 1)
             via_fatal("sweep=1 is single-core; drop cores=");
+        if (params.backend.kind != BackendKind::Via)
+            via_fatal("sweep=1 sweeps VIA SSPM configurations; "
+                      "it requires backend=via");
         return runSweep(kernel, cfg, rng);
     }
 
-    MachineParams params = machineParamsFrom(cfg);
-    if (cores > 1)
+    if (cores > 1) {
+        if (params.backend.kind != BackendKind::Via)
+            via_fatal("cores>1 runs the VIA parallel kernels; "
+                      "backend=",
+                      backendName(params.backend.kind),
+                      " is single-core only");
         return runParallel(kernel, cfg, params, rng, cores);
+    }
     if (kernel == "spmv")
         return runSpmv(cfg, params, rng);
     if (kernel == "spma")

@@ -73,6 +73,20 @@ class SlotPool
             t = 0;
     }
 
+    /** Number of slots in the pool. */
+    std::size_t size() const { return _freeAt.size(); }
+
+    /** Slots still occupied at tick @p t. Inspection-only. */
+    std::size_t
+    busyAt(Tick t) const
+    {
+        std::size_t n = 0;
+        for (Tick f : _freeAt)
+            if (f > t)
+                ++n;
+        return n;
+    }
+
     /** Serialize slot occupancy (checkpoints). */
     void saveState(Serializer &ser) const;
     /** Restore state saved by saveState; validates slot count. */

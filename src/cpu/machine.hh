@@ -128,6 +128,7 @@ class Machine
     EventQueue &events() { return _events; }
     const MachineParams &params() const { return _params; }
     StatSet &stats() { return _stats; }
+    const StatSet &stats() const { return _stats; }
 
     /**
      * Turn on event tracing with a ring of @p limit events, wiring

@@ -162,6 +162,12 @@ class OoOCore
     /** Lifecycle ticks of the most recently pushed instruction. */
     const InstTiming &lastTiming() const { return _lastTiming; }
 
+    /** Read-only views of the schedule structures (debugger). */
+    const RobModel &rob() const { return _rob; }
+    const SlotPool &loadQueue() const { return _loadQueue; }
+    const SlotPool &storeQueue() const { return _storeQueue; }
+    const StoreTracker &stores() const { return _stores; }
+
     /** Attach a timing observer (notified on every push/reset). */
     void addTimingObserver(TimingObserver *obs);
     /** Detach a previously attached observer (no-op if absent). */

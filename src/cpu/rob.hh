@@ -43,6 +43,25 @@ class RobModel
     /** Number of instructions pushed so far. */
     SeqNum count() const { return _count; }
 
+    /** ROB capacity (entries). */
+    std::size_t size() const { return _ring.size(); }
+
+    /**
+     * Entries still occupied at tick @p t: pushed instructions whose
+     * commit tick lies in the future. Inspection-only (debugger).
+     */
+    std::size_t
+    occupancyAt(Tick t) const
+    {
+        std::size_t n = 0;
+        const std::size_t live =
+            _count < _ring.size() ? std::size_t(_count) : _ring.size();
+        for (std::size_t i = 0; i < live; ++i)
+            if (_ring[i] > t)
+                ++n;
+        return n;
+    }
+
     /** Reset for a new kernel run. */
     void resetTiming();
 

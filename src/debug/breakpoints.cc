@@ -1,0 +1,189 @@
+#include "debug/breakpoints.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "isa/opcodes.hh"
+
+namespace via::debug
+{
+
+std::string
+StopSpec::describe() const
+{
+    char buf[96];
+    switch (kind) {
+    case StopKind::OpBreak:
+        std::snprintf(buf, sizeof(buf), "break %s",
+                      std::string(mnemonic(op)).c_str());
+        break;
+    case StopKind::AddrWatch:
+        std::snprintf(buf, sizeof(buf),
+                      "watch addr 0x%llx bytes %llu",
+                      (unsigned long long)addr,
+                      (unsigned long long)bytes);
+        break;
+    case StopKind::LineWatch:
+        std::snprintf(buf, sizeof(buf), "watch line 0x%llx",
+                      (unsigned long long)addr);
+        break;
+    case StopKind::CamWatch:
+        std::snprintf(buf, sizeof(buf), "watch cam >= %llu",
+                      (unsigned long long)threshold);
+        break;
+    case StopKind::SspmWatch:
+        std::snprintf(buf, sizeof(buf), "watch sspm >= %llu",
+                      (unsigned long long)threshold);
+        break;
+    }
+    std::string s(buf);
+    if (once)
+        s += " [once]";
+    return s;
+}
+
+int
+BreakpointEngine::add(StopSpec spec)
+{
+    spec.id = _nextId++;
+    _specs.push_back(Armed{spec, true});
+    return spec.id;
+}
+
+int
+BreakpointEngine::addOpBreak(Op op, bool once)
+{
+    StopSpec s;
+    s.kind = StopKind::OpBreak;
+    s.op = op;
+    s.once = once;
+    return add(s);
+}
+
+int
+BreakpointEngine::addAddrWatch(Addr addr, std::uint64_t bytes,
+                               bool once)
+{
+    StopSpec s;
+    s.kind = StopKind::AddrWatch;
+    s.addr = addr;
+    s.bytes = bytes > 0 ? bytes : 1;
+    s.once = once;
+    return add(s);
+}
+
+int
+BreakpointEngine::addLineWatch(Addr addr, std::uint64_t line_bytes,
+                               bool once)
+{
+    StopSpec s;
+    s.kind = StopKind::LineWatch;
+    s.addr = line_bytes > 0 ? addr - addr % line_bytes : addr;
+    s.bytes = line_bytes > 0 ? line_bytes : 1;
+    s.once = once;
+    return add(s);
+}
+
+int
+BreakpointEngine::addCamWatch(std::uint64_t threshold, bool once)
+{
+    StopSpec s;
+    s.kind = StopKind::CamWatch;
+    s.threshold = threshold;
+    s.once = once;
+    return add(s);
+}
+
+int
+BreakpointEngine::addSspmWatch(std::uint64_t threshold, bool once)
+{
+    StopSpec s;
+    s.kind = StopKind::SspmWatch;
+    s.threshold = threshold;
+    s.once = once;
+    return add(s);
+}
+
+bool
+BreakpointEngine::remove(int id)
+{
+    auto it = std::find_if(_specs.begin(), _specs.end(),
+                           [id](const Armed &a) {
+                               return a.spec.id == id;
+                           });
+    if (it == _specs.end())
+        return false;
+    _specs.erase(it);
+    return true;
+}
+
+void
+BreakpointEngine::list(std::ostream &os) const
+{
+    if (_specs.empty()) {
+        os << "no breakpoints\n";
+        return;
+    }
+    for (const Armed &a : _specs) {
+        os << "  " << a.spec.id << "  " << a.spec.describe();
+        if (!a.armed)
+            os << " (disarmed until below threshold)";
+        os << "\n";
+    }
+}
+
+bool
+BreakpointEngine::matches(const Armed &a, const StopContext &ctx) const
+{
+    const StopSpec &s = a.spec;
+    switch (s.kind) {
+    case StopKind::OpBreak:
+        return ctx.inst != nullptr && ctx.inst->op == s.op;
+    case StopKind::AddrWatch:
+    case StopKind::LineWatch: {
+        if (ctx.inst == nullptr)
+            return false;
+        const Addr lo = s.addr;
+        const Addr hi = s.addr + s.bytes;
+        for (std::uint8_t i = 0; i < ctx.inst->numAccesses; ++i) {
+            const MemAccess &acc = ctx.inst->accesses[i];
+            if (acc.addr < hi && acc.addr + acc.bytes > lo)
+                return true;
+        }
+        return false;
+    }
+    case StopKind::CamWatch:
+        return ctx.camCount >= s.threshold;
+    case StopKind::SspmWatch:
+        return ctx.sspmValid >= s.threshold;
+    }
+    return false;
+}
+
+std::vector<StopSpec>
+BreakpointEngine::evaluate(const StopContext &ctx)
+{
+    std::vector<StopSpec> hits;
+    for (std::size_t i = 0; i < _specs.size();) {
+        Armed &a = _specs[i];
+        const bool match = matches(a, ctx);
+        const bool threshold = a.spec.kind == StopKind::CamWatch ||
+                               a.spec.kind == StopKind::SspmWatch;
+        if (threshold && !match)
+            a.armed = true; // value dropped below: re-arm
+        if (match && a.armed) {
+            hits.push_back(a.spec);
+            if (a.spec.once) {
+                _specs.erase(_specs.begin() +
+                             std::ptrdiff_t(i));
+                continue; // erased: do not advance
+            }
+            if (threshold)
+                a.armed = false;
+        }
+        ++i;
+    }
+    return hits;
+}
+
+} // namespace via::debug

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Breakpoint / watchpoint engine for the interactive debugger.
+ *
+ * The engine is a passive condition evaluator: the DebugSession
+ * feeds it one StopContext per committed instruction (from its
+ * TimingObserver hook) and receives back the conditions that fired.
+ * It never touches the machine, so attaching it cannot perturb the
+ * schedule — which is what makes "stop, inspect, continue" provably
+ * bit-identical to an uninterrupted run.
+ *
+ * Condition kinds (paper-facing structures in parentheses):
+ *   - opcode breakpoints: commit of a given mnemonic;
+ *   - address / cache-line watchpoints: any memory access of the
+ *     committed instruction overlapping the watched bytes;
+ *   - CAM occupancy threshold (IndexTable::count());
+ *   - SSPM valid-bitmap pressure threshold (Sspm::validCount()).
+ *
+ * Threshold watches are edge-triggered: they fire when the observed
+ * value crosses from below the threshold to at-or-above it, then
+ * re-arm once the value drops below again (a vidx.clear, say).
+ * Without the re-arm latch a `continue` after the first hit would
+ * stop on every subsequent instruction.
+ */
+
+#ifndef VIA_DEBUG_BREAKPOINTS_HH
+#define VIA_DEBUG_BREAKPOINTS_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "isa/inst.hh"
+#include "simcore/types.hh"
+
+namespace via::debug
+{
+
+enum class StopKind : std::uint8_t
+{
+    OpBreak,   //!< commit of a given opcode
+    AddrWatch, //!< access overlapping [addr, addr + bytes)
+    LineWatch, //!< access touching one cache line
+    CamWatch,  //!< CAM occupancy >= threshold
+    SspmWatch, //!< SSPM valid-bit count >= threshold
+};
+
+/** One armed condition. */
+struct StopSpec
+{
+    int id = 0;
+    StopKind kind = StopKind::OpBreak;
+    bool once = false; //!< delete after the first hit
+    Op op = Op::Nop;
+    Addr addr = 0;             //!< watch window base (line-aligned
+                               //!< for LineWatch)
+    std::uint64_t bytes = 1;   //!< watch window size
+    std::uint64_t threshold = 0;
+
+    /** Render as "break vidx.addd" / "watch line 0x1000" etc. */
+    std::string describe() const;
+};
+
+/** Per-instruction snapshot the engine evaluates against. */
+struct StopContext
+{
+    const Inst *inst = nullptr;
+    std::uint64_t camCount = 0;  //!< IndexTable occupancy
+    std::uint64_t sspmValid = 0; //!< SSPM valid-bitmap popcount
+    std::uint64_t lineBytes = 64;
+};
+
+class BreakpointEngine
+{
+  public:
+    /** Each add returns the new condition's id (1-based). */
+    int addOpBreak(Op op, bool once = false);
+    int addAddrWatch(Addr addr, std::uint64_t bytes,
+                     bool once = false);
+    int addLineWatch(Addr addr, std::uint64_t line_bytes,
+                     bool once = false);
+    int addCamWatch(std::uint64_t threshold, bool once = false);
+    int addSspmWatch(std::uint64_t threshold, bool once = false);
+
+    /** Delete condition @p id; false if no such id. */
+    bool remove(int id);
+
+    bool empty() const { return _specs.empty(); }
+    std::size_t size() const { return _specs.size(); }
+
+    /** "  1  break vidx.addd" rows, one per armed condition. */
+    void list(std::ostream &os) const;
+
+    /**
+     * Evaluate every condition against one committed instruction.
+     * Returns copies of the specs that fired (once-specs are
+     * removed, threshold specs disarmed until re-armed).
+     */
+    std::vector<StopSpec> evaluate(const StopContext &ctx);
+
+  private:
+    struct Armed
+    {
+        StopSpec spec;
+        bool armed = true; //!< threshold re-arm latch
+    };
+
+    bool matches(const Armed &a, const StopContext &ctx) const;
+
+    int add(StopSpec spec);
+
+    std::vector<Armed> _specs;
+    int _nextId = 1;
+};
+
+} // namespace via::debug
+
+#endif // VIA_DEBUG_BREAKPOINTS_HH

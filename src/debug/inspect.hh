@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Pretty-printers for the debugger's `info` commands.
+ *
+ * Every renderer reads the same component state that saveState
+ * serializes — through const accessors only, so inspection can
+ * never perturb the machine it describes. Output is deterministic
+ * (fixed field order, %.17g for floating-point) so script-mode
+ * transcripts diff cleanly and CTest can pin them.
+ */
+
+#ifndef VIA_DEBUG_INSPECT_HH
+#define VIA_DEBUG_INSPECT_HH
+
+#include <cstdint>
+#include <ostream>
+
+#include "simcore/types.hh"
+
+namespace via
+{
+class Machine;
+class StatSet;
+} // namespace via
+
+namespace via::debug
+{
+
+/** ROB occupancy, size, commit front (`info rob`). */
+void infoRob(std::ostream &os, const Machine &m);
+
+/** LQ/SQ slot pressure + store-forward conflicts (`info lsq`). */
+void infoLsq(std::ostream &os, const Machine &m);
+
+/** SSPM geometry, valid-bit pressure, access stats (`info sspm`). */
+void infoSspm(std::ostream &os, const Machine &m);
+
+/** CAM occupancy and index-table stats (`info cam`). */
+void infoCam(std::ostream &os, const Machine &m);
+
+/** Presence of @p addr's line at every cache level + MSHR state
+ *  (`info cache <addr>`). */
+void infoCache(std::ostream &os, const Machine &m, Addr addr);
+
+/** Backend kind and headline counters (`info backend`). */
+void infoBackend(std::ostream &os, const Machine &m);
+
+/** Full stat table (`info stats`): StatSet::dump order. */
+void infoStats(std::ostream &os, const Machine &m);
+
+/**
+ * FNV-1a 64 over the sorted "name=value;" rendering of a StatSet —
+ * the debugger's bit-identity witness. Two runs with identical
+ * fingerprints observed identical counters.
+ */
+std::uint64_t statsFingerprint(const StatSet &stats);
+
+} // namespace via::debug
+
+#endif // VIA_DEBUG_INSPECT_HH

@@ -99,6 +99,118 @@ genRmat(Index n, std::size_t nnz_target, Rng &rng)
 }
 
 Csr
+genBandedCsr(Index n, Index bandwidth, double fill, Rng &rng)
+{
+    via_assert(n > 0 && bandwidth >= 0, "bad band parameters");
+    std::vector<Index> row_ptr(std::size_t(n) + 1, 0);
+    std::vector<Index> col_idx;
+    std::vector<Value> values;
+    // The band walk visits (r, c) in row-major order and never
+    // repeats a position, so entries land CSR-sorted as drawn.
+    for (Index r = 0; r < n; ++r) {
+        Index lo = std::max<Index>(0, r - bandwidth);
+        Index hi = std::min<Index>(n - 1, r + bandwidth);
+        for (Index c = lo; c <= hi; ++c) {
+            if (c == r || rng.chance(fill)) {
+                col_idx.push_back(c);
+                values.push_back(randValue(rng));
+            }
+        }
+        row_ptr[std::size_t(r) + 1] = Index(col_idx.size());
+    }
+    return Csr::fromParts(n, n, std::move(row_ptr),
+                          std::move(col_idx), std::move(values));
+}
+
+Csr
+genRmatCsr(Index n, std::size_t nnz_target, Rng &rng)
+{
+    via_assert(n > 0 && (n & (n - 1)) == 0,
+               "RMAT needs a power-of-two size, got ", n);
+    const double a = 0.57, b = 0.19, c = 0.19; // d = 0.05
+    auto draw_edge = [n, a, b, c](Rng &r, Index &row, Index &col) {
+        row = 0;
+        col = 0;
+        for (Index bit = n >> 1; bit > 0; bit >>= 1) {
+            double p = r.uniform();
+            if (p < a) {
+                // top-left: nothing to add
+            } else if (p < a + b) {
+                col |= bit;
+            } else if (p < a + b + c) {
+                row |= bit;
+            } else {
+                row |= bit;
+                col |= bit;
+            }
+        }
+    };
+
+    // Pass 1: count edges per row on a copy of the stream. The
+    // value draw is consumed and discarded so both passes read the
+    // random sequence identically.
+    std::vector<Index> row_ptr(std::size_t(n) + 1, 0);
+    {
+        Rng probe = rng;
+        for (std::size_t e = 0; e < nnz_target; ++e) {
+            Index row = 0, col = 0;
+            draw_edge(probe, row, col);
+            (void)randValue(probe);
+            ++row_ptr[std::size_t(row) + 1];
+        }
+    }
+    for (Index r = 0; r < n; ++r)
+        row_ptr[std::size_t(r) + 1] += row_ptr[std::size_t(r)];
+
+    // Pass 2: place each edge into its row's segment (consuming the
+    // caller's rng, which therefore ends exactly as after genRmat).
+    std::vector<Index> col_idx(nnz_target);
+    std::vector<Value> values(nnz_target);
+    std::vector<Index> next(row_ptr.begin(), row_ptr.end() - 1);
+    for (std::size_t e = 0; e < nnz_target; ++e) {
+        Index row = 0, col = 0;
+        draw_edge(rng, row, col);
+        const Value v = randValue(rng);
+        const auto slot = std::size_t(next[std::size_t(row)]++);
+        col_idx[slot] = col;
+        values[slot] = v;
+    }
+
+    // Per-row sort + duplicate merge (summing in draw order via the
+    // stable sort; exact zeros are kept, as in Coo::canonicalize).
+    std::vector<Index> out_ptr(std::size_t(n) + 1, 0);
+    std::vector<std::pair<Index, Value>> tmp;
+    std::size_t w = 0;
+    for (Index r = 0; r < n; ++r) {
+        const auto lo = std::size_t(row_ptr[std::size_t(r)]);
+        const auto hi = std::size_t(row_ptr[std::size_t(r) + 1]);
+        tmp.clear();
+        for (std::size_t i = lo; i < hi; ++i)
+            tmp.emplace_back(col_idx[i], values[i]);
+        std::stable_sort(tmp.begin(), tmp.end(),
+                         [](const auto &x, const auto &y) {
+                             return x.first < y.first;
+                         });
+        for (std::size_t i = 0; i < tmp.size();) {
+            Index col = tmp[i].first;
+            Value sum = tmp[i].second;
+            std::size_t j = i + 1;
+            for (; j < tmp.size() && tmp[j].first == col; ++j)
+                sum += tmp[j].second;
+            col_idx[w] = col;
+            values[w] = sum;
+            ++w;
+            i = j;
+        }
+        out_ptr[std::size_t(r) + 1] = Index(w);
+    }
+    col_idx.resize(w);
+    values.resize(w);
+    return Csr::fromParts(n, n, std::move(out_ptr),
+                          std::move(col_idx), std::move(values));
+}
+
+Csr
 genBlocked(Index n, Index block_side, double block_fill,
            double inner_fill, Rng &rng)
 {

@@ -51,6 +51,34 @@ Csr genDiagHeavy(Index n, double off_diag, Rng &rng);
 /** Assign a uniform random value in [-1,1) to every element. */
 void randomizeValues(Coo &coo, Rng &rng);
 
+// --- streaming variants (million-row inputs) ---------------------
+//
+// The Coo-based generators above hold every triplet plus a global
+// canonicalize sort — fine at paper scale (<= 20k rows), wasteful
+// at 10^6+. These emit CSR storage directly with no intermediate
+// triplet set and no dense structures.
+
+/**
+ * genBanded emitting CSR directly. The row-major in-band walk
+ * already produces sorted, duplicate-free entries, and the random
+ * stream is consumed in exactly genBanded's order, so the result is
+ * bit-identical to genBanded for the same Rng state.
+ */
+Csr genBandedCsr(Index n, Index bandwidth, double fill, Rng &rng);
+
+/**
+ * genRmat emitting CSR directly: two passes over a replayed random
+ * stream (pass one counts per-row edges on a copy of @p rng, pass
+ * two places them), then per-row sort + duplicate merge. @p rng
+ * ends in the same state as after genRmat, the structure (row_ptr /
+ * col_idx) matches genRmat exactly, and values match except that
+ * 3+-way duplicate edges may sum in a different association order
+ * than Coo::canonicalize's global unstable sort (allClose, not
+ * bit-equal). Peak memory is O(n + nnz_target), with no global
+ * triplet sort.
+ */
+Csr genRmatCsr(Index n, std::size_t nnz_target, Rng &rng);
+
 } // namespace via
 
 #endif // VIA_SPARSE_GENERATORS_HH

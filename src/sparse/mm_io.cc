@@ -6,6 +6,8 @@
 #include <fstream>
 #include <limits>
 #include <sstream>
+#include <utility>
+#include <vector>
 
 #include "simcore/log.hh"
 
@@ -24,10 +26,23 @@ lower(std::string s)
     return s;
 }
 
-} // namespace
+/** The parsed banner + size line of a coordinate .mtx stream. */
+struct MmHeader
+{
+    std::int64_t rows = 0;
+    std::int64_t cols = 0;
+    std::int64_t entries = 0;
+    bool pattern = false;
+    bool symmetric = false;
+};
 
-Csr
-readMatrixMarketStream(std::istream &in, const std::string &what)
+/**
+ * Parse banner, comments, and size line, leaving @p in positioned
+ * at the first entry line. Shared by the one-pass and streaming
+ * readers so both accept exactly the same dialect.
+ */
+MmHeader
+parseMmHeader(std::istream &in, const std::string &what)
 {
     std::string line;
     if (!std::getline(in, line))
@@ -58,34 +73,59 @@ readMatrixMarketStream(std::istream &in, const std::string &what)
     // on LLP64 platforms, where a billion-edge graph's entry count
     // would silently wrap negative and fail the check below.
     std::istringstream sizes(line);
-    std::int64_t rows = 0, cols = 0, entries = 0;
-    sizes >> rows >> cols >> entries;
-    if (rows <= 0 || cols <= 0 || entries < 0)
+    MmHeader h;
+    sizes >> h.rows >> h.cols >> h.entries;
+    if (h.rows <= 0 || h.cols <= 0 || h.entries < 0)
         via_fatal(what, ": bad size line '", line, "'");
-    if (rows > std::numeric_limits<Index>::max() ||
-        cols > std::numeric_limits<Index>::max())
-        via_fatal(what, ": matrix dimensions ", rows, "x", cols,
+    if (h.rows > std::numeric_limits<Index>::max() ||
+        h.cols > std::numeric_limits<Index>::max())
+        via_fatal(what, ": matrix dimensions ", h.rows, "x", h.cols,
                   " exceed the 32-bit simulated index type");
+    h.pattern = field == "pattern";
+    h.symmetric = symmetry == "symmetric";
+    return h;
+}
 
-    Coo coo(static_cast<Index>(rows), static_cast<Index>(cols));
-    for (std::int64_t e = 0; e < entries; ++e) {
+/** Parse one entry line; false for comment/blank lines. */
+bool
+parseEntry(const std::string &line, const MmHeader &h,
+           const std::string &what, std::int64_t &r, std::int64_t &c,
+           double &v)
+{
+    if (line.empty() || line[0] == '%')
+        return false;
+    std::istringstream ls(line);
+    r = 0;
+    c = 0;
+    v = 1.0;
+    ls >> r >> c;
+    if (!h.pattern)
+        ls >> v;
+    if (ls.fail() || r < 1 || r > h.rows || c < 1 || c > h.cols)
+        via_fatal(what, ": bad entry line '", line, "'");
+    return true;
+}
+
+} // namespace
+
+Csr
+readMatrixMarketStream(std::istream &in, const std::string &what)
+{
+    const MmHeader h = parseMmHeader(in, what);
+    std::string line;
+    Coo coo(static_cast<Index>(h.rows), static_cast<Index>(h.cols));
+    for (std::int64_t e = 0; e < h.entries; ++e) {
         if (!std::getline(in, line))
             via_fatal(what, ": truncated after ", e, " of ",
-                      entries, " entries");
-        if (line.empty() || line[0] == '%') {
+                      h.entries, " entries");
+        std::int64_t r = 0, c = 0;
+        double v = 1.0;
+        if (!parseEntry(line, h, what, r, c, v)) {
             --e;
             continue;
         }
-        std::istringstream ls(line);
-        std::int64_t r = 0, c = 0;
-        double v = 1.0;
-        ls >> r >> c;
-        if (field != "pattern")
-            ls >> v;
-        if (ls.fail() || r < 1 || r > rows || c < 1 || c > cols)
-            via_fatal(what, ": bad entry line '", line, "'");
         coo.add(Index(r - 1), Index(c - 1), Value(v));
-        if (symmetry == "symmetric" && r != c)
+        if (h.symmetric && r != c)
             coo.add(Index(c - 1), Index(r - 1), Value(v));
     }
     return Csr::fromCoo(std::move(coo));
@@ -98,6 +138,100 @@ readMatrixMarket(const std::string &path)
     if (!in)
         via_fatal("cannot open '", path, "'");
     return readMatrixMarketStream(in, path);
+}
+
+Csr
+readMatrixMarketStreaming(const std::string &path)
+{
+    // Pass 1: count entries per row (symmetric mirrors included).
+    std::ifstream in(path);
+    if (!in)
+        via_fatal("cannot open '", path, "'");
+    const MmHeader h = parseMmHeader(in, path);
+    const auto n_rows = std::size_t(h.rows);
+    std::vector<Index> row_ptr(n_rows + 1, 0);
+    std::string line;
+    for (std::int64_t e = 0; e < h.entries; ++e) {
+        if (!std::getline(in, line))
+            via_fatal(path, ": truncated after ", e, " of ",
+                      h.entries, " entries");
+        std::int64_t r = 0, c = 0;
+        double v = 1.0;
+        if (!parseEntry(line, h, path, r, c, v)) {
+            --e;
+            continue;
+        }
+        ++row_ptr[std::size_t(r - 1) + 1];
+        if (h.symmetric && r != c)
+            ++row_ptr[std::size_t(c - 1) + 1];
+    }
+    for (std::size_t r = 0; r < n_rows; ++r)
+        row_ptr[r + 1] += row_ptr[r];
+    const auto total = std::size_t(row_ptr[n_rows]);
+
+    // Pass 2: place entries into their rows' segments.
+    std::ifstream in2(path);
+    if (!in2)
+        via_fatal("cannot open '", path, "'");
+    const MmHeader h2 = parseMmHeader(in2, path);
+    if (h2.rows != h.rows || h2.entries != h.entries)
+        via_fatal(path, ": file changed between passes");
+    std::vector<Index> col_idx(total);
+    std::vector<Value> values(total);
+    std::vector<Index> next(row_ptr.begin(), row_ptr.end() - 1);
+    auto place = [&](std::int64_t r, std::int64_t c, double v) {
+        const auto slot = std::size_t(next[std::size_t(r - 1)]++);
+        col_idx[slot] = Index(c - 1);
+        values[slot] = Value(v);
+    };
+    for (std::int64_t e = 0; e < h.entries; ++e) {
+        if (!std::getline(in2, line))
+            via_fatal(path, ": truncated after ", e, " of ",
+                      h.entries, " entries");
+        std::int64_t r = 0, c = 0;
+        double v = 1.0;
+        if (!parseEntry(line, h, path, r, c, v)) {
+            --e;
+            continue;
+        }
+        place(r, c, v);
+        if (h.symmetric && r != c)
+            place(c, r, v);
+    }
+
+    // Per-row sort + duplicate merge (duplicates sum in file order,
+    // exact zeros kept — matching Coo::canonicalize semantics).
+    std::vector<std::pair<Index, Value>> tmp;
+    std::size_t w = 0;
+    std::vector<Index> out_ptr(n_rows + 1, 0);
+    for (std::size_t r = 0; r < n_rows; ++r) {
+        const auto lo = std::size_t(row_ptr[r]);
+        const auto hi = std::size_t(row_ptr[r + 1]);
+        tmp.clear();
+        for (std::size_t i = lo; i < hi; ++i)
+            tmp.emplace_back(col_idx[i], values[i]);
+        std::stable_sort(tmp.begin(), tmp.end(),
+                         [](const auto &x, const auto &y) {
+                             return x.first < y.first;
+                         });
+        for (std::size_t i = 0; i < tmp.size();) {
+            Index col = tmp[i].first;
+            Value sum = tmp[i].second;
+            std::size_t j = i + 1;
+            for (; j < tmp.size() && tmp[j].first == col; ++j)
+                sum += tmp[j].second;
+            col_idx[w] = col;
+            values[w] = sum;
+            ++w;
+            i = j;
+        }
+        out_ptr[r + 1] = Index(w);
+    }
+    col_idx.resize(w);
+    values.resize(w);
+    return Csr::fromParts(Index(h.rows), Index(h.cols),
+                          std::move(out_ptr), std::move(col_idx),
+                          std::move(values));
 }
 
 void
@@ -124,6 +258,51 @@ writeMatrixMarket(const Csr &matrix, const std::string &path)
     if (!out)
         via_fatal("cannot open '", path, "' for writing");
     writeMatrixMarket(matrix, out);
+}
+
+MatrixMarketWriter::MatrixMarketWriter(const std::string &path,
+                                       Index rows, Index cols,
+                                       std::size_t nnz)
+    : _out(path), _path(path), _declared(nnz)
+{
+    if (!_out)
+        via_fatal("cannot open '", path, "' for writing");
+    _out << "%%MatrixMarket matrix coordinate real general\n";
+    _out << "% written by the VIA reproduction library\n";
+    _out << rows << ' ' << cols << ' ' << nnz << '\n';
+}
+
+MatrixMarketWriter::~MatrixMarketWriter()
+{
+    // No count validation here: a fatal() in a destructor would
+    // mask the error that is unwinding. Callers close() to verify.
+    if (!_closed)
+        _out.flush();
+}
+
+void
+MatrixMarketWriter::add(Index r, Index c, Value v)
+{
+    if (_written >= _declared)
+        via_fatal(_path, ": more entries than the declared ",
+                  _declared);
+    _out << (r + 1) << ' ' << (c + 1) << ' ' << v << '\n';
+    ++_written;
+}
+
+void
+MatrixMarketWriter::close()
+{
+    if (_closed)
+        return;
+    if (_written != _declared)
+        via_fatal(_path, ": wrote ", _written, " of ", _declared,
+                  " declared entries");
+    _out.flush();
+    if (!_out)
+        via_fatal(_path, ": write failed");
+    _out.close();
+    _closed = true;
 }
 
 } // namespace via

@@ -103,6 +103,27 @@ class Sspm
     /** True when the CAM cannot take another distinct key. */
     bool camFull() const { return _indexTable.full(); }
 
+    /**
+     * Valid bits currently set (direct-mode pressure). Counted on
+     * demand — inspection/watchpoint use only, not a hot path.
+     */
+    std::size_t
+    validCount() const
+    {
+        std::size_t n = 0;
+        for (bool v : _valid)
+            if (v)
+                ++n;
+        return n;
+    }
+
+    /** Raw SRAM word (debugger inspection; no stats side effects). */
+    std::uint64_t
+    rawAt(std::uint64_t idx) const
+    {
+        return idx < _sram.size() ? _sram[idx] : 0;
+    }
+
     // --- clearing ------------------------------------------------
 
     /** vidx.clear full mode: bitmap, index table, element count. */

@@ -460,6 +460,47 @@ runServing(const Options &opts)
                     static_cast<unsigned long long>(hash),
                     static_cast<unsigned long long>(bhash),
                     leg.fingerprint().c_str());
+                // Per-field breakdown against the baseline record,
+                // so a drifting leg points at the quantity that
+                // moved instead of just two hashes.
+                struct Field
+                {
+                    const char *key;
+                    double actual;
+                };
+                const Field fields[] = {
+                    {"requests", double(leg.base.requests)},
+                    {"batches", double(leg.base.batches)},
+                    {"mean_batch", leg.base.meanBatch},
+                    {"makespan_cycles", double(leg.base.makespan)},
+                    {"base_p99", leg.base.latency.p99()},
+                    {"via_p99", leg.via.latency.p99()},
+                    {"via_speedup_p99", leg.speedupP99()},
+                    {"base_pj_per_request",
+                     leg.base.energyPerRequestPj},
+                    {"via_pj_per_request",
+                     leg.via.energyPerRequestPj},
+                };
+                for (const Field &fd : fields) {
+                    double expect = 0;
+                    if (!jsonNumber(sect, fd.key, expect)) {
+                        std::fprintf(stderr,
+                                     "  %-20s missing from "
+                                     "baseline, actual %.6g\n",
+                                     fd.key, fd.actual);
+                        continue;
+                    }
+                    // The JSON rounds (%.2f/%.1f/%.3f), so compare
+                    // at the printed precision, not bit-exactly.
+                    bool differs =
+                        std::fabs(expect - fd.actual) > 5e-4 *
+                            std::max(1.0, std::fabs(expect));
+                    std::fprintf(stderr,
+                                 "  %-20s expected %-12.6g actual "
+                                 "%-12.6g%s\n",
+                                 fd.key, expect, fd.actual,
+                                 differs ? "  <-- differs" : "");
+                }
                 finger_ok = false;
             }
         }

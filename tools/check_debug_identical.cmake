@@ -1,0 +1,43 @@
+# The debugger's stop engine observes commits through the passive
+# TimingObserver hook, so stopping, inspecting, and continuing must
+# not perturb the simulation: every scripted session is required to
+# print `final:` lines (cycles / committed insts / stats
+# fingerprint) bit-identical to a session that runs straight
+# through. The rewind script prints two final lines — the pre-rewind
+# run and the replayed one — and both must match.
+#
+# Usage:
+#   cmake -DVIA_DB=<path> -DDBG_DIR=<dir with *.dbg>
+#         -DARGS=<common via_db args> -P check_debug_identical.cmake
+
+function(final_lines script out_var)
+    separate_arguments(arg_list UNIX_COMMAND "${ARGS}")
+    execute_process(COMMAND ${VIA_DB} ${arg_list} echo=0
+                            script=${DBG_DIR}/${script}
+                    OUTPUT_VARIABLE out ERROR_VARIABLE err
+                    RESULT_VARIABLE rc)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR
+                "via_db script=${script}: exited ${rc}\n${out}${err}")
+    endif()
+    string(REGEX MATCHALL "final: [^\n]*" lines "${out}")
+    if(lines STREQUAL "")
+        message(FATAL_ERROR
+                "via_db script=${script}: no final line\n${out}")
+    endif()
+    set(${out_var} "${lines}" PARENT_SCOPE)
+endfunction()
+
+final_lines(run.dbg base)
+foreach(script break.dbg watch.dbg rewind.dbg)
+    final_lines(${script} got)
+    foreach(line IN LISTS got)
+        if(NOT line STREQUAL base)
+            message(FATAL_ERROR
+                    "via_db script=${script} drifted from the "
+                    "uninterrupted run:\n  ${base}\n  ${line}")
+        endif()
+    endforeach()
+endforeach()
+message(STATUS "all debugger sessions bit-identical to the "
+               "uninterrupted run: ${base}")

@@ -1,0 +1,28 @@
+# Run one scripted via_db session and require a clean exit plus
+# every expected output fragment. CTest's PASS_REGULAR_EXPRESSION
+# ignores the exit status, and the debugger reports verification
+# failures through it — so the smoke tests go through this script
+# instead (same idea as tests/check_exit_code.cmake).
+#
+# Usage:
+#   cmake -DVIA_DB=<path> -DARGS=<space-separated args>
+#         -DREQUIRE=<|-separated output fragments>
+#         -P check_via_db.cmake
+
+separate_arguments(ARG_LIST UNIX_COMMAND "${ARGS}")
+execute_process(COMMAND ${VIA_DB} ${ARG_LIST}
+                OUTPUT_VARIABLE out ERROR_VARIABLE err
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+            "via_db ${ARGS}: exited ${rc}\n${out}${err}")
+endif()
+string(REPLACE "|" ";" fragments "${REQUIRE}")
+foreach(frag IN LISTS fragments)
+    string(FIND "${out}" "${frag}" at)
+    if(at EQUAL -1)
+        message(FATAL_ERROR
+                "via_db ${ARGS}: output lacks '${frag}'\n${out}")
+    endif()
+endforeach()
+message(STATUS "via_db ${ARGS}: ok")

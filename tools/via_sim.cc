@@ -149,6 +149,9 @@ simOptions()
                    "synthetic family: "
                    "banded|uniform|rmat|blocked|diag")
         .addUInt("seed", 1, "input generator seed")
+        .addFlag("stream",
+                 "stream the input with no triplet intermediates "
+                 "(family=banded|rmat or mtx=; million-row inputs)")
         .addString("format", "csb",
                    "spmv sparse format: csr|spc5|sell|csb")
         .addUInt("keys", 16384, "histogram input size", 1)
@@ -191,23 +194,34 @@ syntheticInput(const Config &cfg)
 Csr
 loadMatrix(const Config &cfg, Rng &rng)
 {
-    if (cfg.has("matrix"))
-        return readMatrixMarket(cfg.getString("matrix", ""));
-    if (cfg.has("mtx"))
-        return readMatrixMarket(cfg.getString("mtx", ""));
+    const bool stream = cfg.getBool("stream", false);
+    if (cfg.has("matrix") || cfg.has("mtx")) {
+        const std::string path = cfg.has("matrix")
+                                     ? cfg.getString("matrix", "")
+                                     : cfg.getString("mtx", "");
+        return stream ? readMatrixMarketStreaming(path)
+                      : readMatrixMarket(path);
+    }
     auto n = Index(cfg.getUInt("rows", 512));
     double density = cfg.getDouble("density", 0.01);
     std::string family = cfg.getString("family", "uniform");
-    if (family == "banded")
-        return genBanded(n, std::max<Index>(1, n / 32),
-                         std::min(1.0, density * n / 16.0), rng);
+    if (stream && family != "banded" && family != "rmat")
+        via_fatal("stream=1 needs family=banded|rmat or mtx= "
+                  "(got family=", family, ")");
+    if (family == "banded") {
+        const auto bw = std::max<Index>(1, n / 32);
+        const double fill = std::min(1.0, density * n / 16.0);
+        return stream ? genBandedCsr(n, bw, fill, rng)
+                      : genBanded(n, bw, fill, rng);
+    }
     if (family == "rmat") {
         Index n2 = 1;
         while (2 * n2 <= n)
             n2 *= 2;
-        return genRmat(n2, std::size_t(density * double(n2) *
-                                       double(n2)),
-                       rng);
+        const auto target =
+            std::size_t(density * double(n2) * double(n2));
+        return stream ? genRmatCsr(n2, target, rng)
+                      : genRmat(n2, target, rng);
     }
     if (family == "blocked")
         return genBlocked(n, 16, std::sqrt(density),
